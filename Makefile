@@ -1,0 +1,38 @@
+# Convenience targets for the BCC reproduction.
+
+GO ?= go
+
+.PHONY: build test race bench figures figures-full cover fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: every benchmark, including one run of each paper figure.
+bench:
+	$(GO) test -bench=. -benchmem -timeout=60m ./...
+
+## figures: print the reproduced tables for every figure (Small preset).
+figures:
+	$(GO) run ./cmd/bccbench
+
+## figures-full: paper-scale dimensions; expect hours.
+figures-full:
+	$(GO) run ./cmd/bccbench -full
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,184 @@
+// Package bcc is a Go implementation of "Classifier Construction Under
+// Budget Constraints" (Gershtein, Milo, Novgorodov, Razmadze — SIGMOD
+// 2022): given a search-query workload with utilities, classifier
+// construction costs and a budget, select the classifier set maximizing
+// the total utility of the queries it can answer.
+//
+// The package is a façade over the internal implementation:
+//
+//   - Build instances with NewBuilder (or load them with ReadInstance, or
+//     generate the paper's evaluation workloads with BestBuy / Private /
+//     Synthetic).
+//   - Solve runs A^BCC, the paper's algorithm (Algorithm 1): classifier
+//     pruning, a knapsack solver for the BCC(1) subproblem, a Quadratic
+//     Knapsack solver built on Heaviest-k-Subgraph heuristics for the
+//     BCC(2) subproblem, MC3 local search and residual iteration.
+//   - SolveRand / SolveIG1 / SolveIG2 are the paper's baselines, and
+//     BruteForce the exact reference for small instances.
+//   - SolveGMC3 answers "cheapest classifier set reaching utility T"
+//     (Section 5, Definition 5.1) and SolveECC "best utility per cost"
+//     (Definition 5.2).
+//
+// A minimal use:
+//
+//	b := bcc.NewBuilder()
+//	b.AddQuery(8, "wooden", "table")
+//	b.AddQuery(5, "running", "shoes")
+//	b.SetCost(3, "wooden")
+//	// ... remaining costs ...
+//	in, err := b.Instance(10) // budget 10
+//	res := bcc.Solve(in, bcc.Options{})
+//	fmt.Println(res.Utility, res.Solution.Classifiers())
+package bcc
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+	"repro/internal/gmc3"
+	"repro/internal/model"
+	"repro/internal/overlap"
+	"repro/internal/partial"
+	"repro/internal/propset"
+	"repro/internal/querylog"
+)
+
+// Core model types.
+type (
+	// Instance is an immutable BCC problem ⟨Q, U, C, B⟩.
+	Instance = model.Instance
+	// Builder accumulates queries and costs into an Instance.
+	Builder = model.Builder
+	// Solution is a mutable selected-classifier set with utility/cost
+	// accounting under the paper's exact-cover semantics.
+	Solution = model.Solution
+	// Query is a property conjunction with a utility.
+	Query = model.Query
+	// Classifier is a property conjunction with a construction cost.
+	Classifier = model.Classifier
+	// PropSet is a canonical property set.
+	PropSet = propset.Set
+	// PropID identifies one interned property.
+	PropID = propset.ID
+	// Universe interns property names.
+	Universe = propset.Universe
+)
+
+// Solver types.
+type (
+	// Options tunes the A^BCC solver.
+	Options = core.Options
+	// Result reports a BCC solver run.
+	Result = core.Result
+	// GMC3Options tunes the A^GMC3 solver.
+	GMC3Options = gmc3.Options
+	// GMC3Result reports a GMC3 run.
+	GMC3Result = gmc3.Result
+	// ECCResult reports an ECC run.
+	ECCResult = ecc.Result
+)
+
+// NewBuilder returns a Builder with a fresh property universe.
+func NewBuilder() *Builder { return model.NewBuilder() }
+
+// NewSolution returns an empty solution for the instance.
+func NewSolution(in *Instance) *Solution { return model.NewSolution(in) }
+
+// Solve runs the paper's algorithm A^BCC on the instance.
+func Solve(in *Instance, opts Options) Result { return core.Solve(in, opts) }
+
+// SolveRand runs the RAND baseline: uniformly random affordable picks.
+func SolveRand(in *Instance, seed int64) Result { return core.SolveRand(in, seed) }
+
+// SolveIG1 runs the IG1 baseline: per-query cheapest-cover greedy.
+func SolveIG1(in *Instance) Result { return core.SolveIG1(in) }
+
+// SolveIG2 runs the IG2 baseline: per-classifier utility-density greedy.
+func SolveIG2(in *Instance) Result { return core.SolveIG2(in) }
+
+// BruteForce solves small instances exactly (≤ 26 candidate classifiers).
+func BruteForce(in *Instance) (Result, error) { return core.BruteForce(in) }
+
+// SolveGMC3 finds a low-cost classifier set reaching the target utility
+// (Generalized MC3; the instance's budget field is ignored).
+func SolveGMC3(in *Instance, target float64, opts GMC3Options) GMC3Result {
+	return gmc3.Solve(in, target, opts)
+}
+
+// SolveECC finds the classifier set with the best utility-to-cost ratio
+// (Effective Classifier Construction; the budget field is ignored).
+func SolveECC(in *Instance) ECCResult { return ecc.Solve(in) }
+
+// BestBuy generates the simulated BestBuy evaluation workload (≈1000
+// electronics queries, uniform costs, frequency utilities).
+func BestBuy(seed int64, budget float64) *Instance { return dataset.BestBuy(seed, budget) }
+
+// Private generates the simulated private e-commerce workload (≈5000
+// queries, analyst-style costs and utilities, category structure).
+func Private(seed int64, budget float64) *Instance { return dataset.Private(seed, budget) }
+
+// Synthetic generates the paper's synthetic workload: nQueries queries of
+// length i with probability 2^-i over a 10K-property pool, uniform integer
+// costs [0,50] and utilities [1,50].
+func Synthetic(seed int64, nQueries int, budget float64) *Instance {
+	return dataset.Synthetic(seed, nQueries, budget)
+}
+
+// ReadInstance parses a JSON instance (see internal/dataset.FileFormat).
+func ReadInstance(r io.Reader) (*Instance, error) { return dataset.Read(r) }
+
+// WriteInstance serializes an instance to JSON.
+func WriteInstance(w io.Writer, in *Instance) error { return dataset.Write(w, in) }
+
+// Extension: partial-cover utility (the paper's §8 future work).
+type (
+	// Gain maps a query's covered-conjunct fraction to earned utility.
+	Gain = partial.Gain
+	// PartialResult reports a partial-cover solver run.
+	PartialResult = partial.Result
+)
+
+// Gain curves for SolvePartial. GainThreshold reproduces base BCC.
+var (
+	GainThreshold Gain = partial.Threshold
+	GainLinear    Gain = partial.Linear
+	GainSqrt      Gain = partial.Sqrt
+	GainAllButOne Gain = partial.AllButOne
+)
+
+// SolvePartial maximizes partial-cover utility within the budget: a query
+// with k of its |q| conjuncts testable earns U(q)·g(k/|q|).
+func SolvePartial(in *Instance, g Gain) PartialResult { return partial.Solve(in, g) }
+
+// Extension: overlapping construction costs (the paper's §8 future work).
+type (
+	// OverlapCostModel prices classifier sets with shared per-property
+	// labeling: C(S) = Σ_{p∈P(S)} Label(p) + Σ_{s∈S} Assembly(s).
+	OverlapCostModel = overlap.CostModel
+	// OverlapResult reports an overlap-aware solver run.
+	OverlapResult = overlap.Result
+)
+
+// SolveOverlap maximizes covered utility within the budget under the
+// shared-labeling cost model (the instance's own classifier costs are
+// ignored).
+func SolveOverlap(in *Instance, m OverlapCostModel) OverlapResult {
+	return overlap.SolveCoverGreedy(in, m)
+}
+
+// Query-log ingestion.
+type (
+	// LogOptions configures ParseQueryLog.
+	LogOptions = querylog.Options
+	// LogStats reports what ParseQueryLog kept and dropped.
+	LogStats = querylog.Stats
+)
+
+// ParseQueryLog reads a "terms<TAB>count" search log into a Builder with
+// frequencies as utilities; set costs on the Builder before calling
+// Instance.
+func ParseQueryLog(r io.Reader, opts LogOptions) (*Builder, LogStats, error) {
+	return querylog.Parse(r, opts)
+}

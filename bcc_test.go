@@ -1,0 +1,95 @@
+package bcc_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	bcc "repro"
+)
+
+// TestQuickstart mirrors the README quickstart end to end through the
+// public API.
+func TestQuickstart(t *testing.T) {
+	b := bcc.NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	b.AddQuery(3, "round", "table")
+	b.AddQuery(5, "running", "shoes")
+	b.SetCost(4, "wooden")
+	b.SetCost(2, "table")
+	b.SetCost(3, "round")
+	b.SetCost(6, "running", "shoes")
+	b.SetCost(math.Inf(1), "wooden", "table")
+	b.SetCost(5, "round", "table")
+	b.SetCost(9, "running")
+	b.SetCost(9, "shoes")
+	in, err := b.Instance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bcc.Solve(in, bcc.Options{})
+	if res.Cost > 9+1e-9 {
+		t.Fatalf("cost %v exceeds budget", res.Cost)
+	}
+	// Optimal at budget 9: wooden+table+round = 9 covering both table
+	// queries (utility 11) vs running shoes (6 → utility 5).
+	if res.Utility != 11 {
+		t.Fatalf("utility = %v, want 11 (%v)", res.Utility, res.Solution.Classifiers())
+	}
+	opt, err := bcc.BruteForce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Utility != res.Utility {
+		t.Fatalf("A^BCC %v != optimal %v", res.Utility, opt.Utility)
+	}
+}
+
+func TestPublicBaselinesAndComplements(t *testing.T) {
+	in := bcc.Synthetic(3, 300, 50)
+	abcc := bcc.Solve(in, bcc.Options{Seed: 2})
+	for name, r := range map[string]bcc.Result{
+		"RAND": bcc.SolveRand(in, 2),
+		"IG1":  bcc.SolveIG1(in),
+		"IG2":  bcc.SolveIG2(in),
+	} {
+		if r.Cost > in.Budget()+1e-9 {
+			t.Fatalf("%s exceeded budget", name)
+		}
+		if r.Utility > abcc.Utility+1e-9 {
+			t.Errorf("%s (%v) beats A^BCC (%v)", name, r.Utility, abcc.Utility)
+		}
+	}
+
+	gm := bcc.SolveGMC3(in, in.TotalUtility()*0.3, bcc.GMC3Options{Seed: 2})
+	if !gm.Achieved {
+		t.Fatal("GMC3 missed an easy target")
+	}
+	ec := bcc.SolveECC(in)
+	if ec.Ratio <= 0 {
+		t.Fatalf("ECC ratio = %v", ec.Ratio)
+	}
+}
+
+func TestPublicDatasetsAndIO(t *testing.T) {
+	bb := bcc.BestBuy(1, 100)
+	if bb.NumQueries() < 900 {
+		t.Fatalf("BestBuy too small: %d", bb.NumQueries())
+	}
+	p := bcc.Private(1, 2000)
+	if p.NumQueries() < 4500 {
+		t.Fatalf("Private too small: %d", p.NumQueries())
+	}
+	var buf bytes.Buffer
+	small := bcc.Synthetic(1, 50, 20)
+	if err := bcc.WriteInstance(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bcc.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQueries() != small.NumQueries() {
+		t.Fatal("round trip lost queries")
+	}
+}

@@ -1,0 +1,133 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (one benchmark per figure, Small preset; run cmd/bccbench -full for the
+// paper-scale dimensions). Each iteration executes the complete experiment
+// and reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=Fig -benchmem
+//
+// both times the harness and prints the reproduced numbers.
+package bcc
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+const benchSeed = 1
+
+// lastCell parses the numeric cell at (row = last, col) of the table.
+func lastCell(b *testing.B, t exper.Table, col int) float64 {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	v, err := strconv.ParseFloat(t.Rows[len(t.Rows)-1][col], 64)
+	if err != nil {
+		b.Fatalf("cell not numeric: %v", err)
+	}
+	return v
+}
+
+func BenchmarkFig3aBestBuyUtility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig3aBestBuy(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
+	}
+}
+
+func BenchmarkFig3bPrivateUtility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig3bPrivate(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
+	}
+}
+
+func BenchmarkFig3cSyntheticUtility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig3cSynthetic(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
+	}
+}
+
+func BenchmarkFig3dBruteForceGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig3dBruteGap(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "abcc_over_opt")
+	}
+}
+
+func BenchmarkFig3ePreprocessingTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exper.Fig3ePreprocessingTime(exper.Small, benchSeed)
+	}
+}
+
+func BenchmarkFig3fPreprocessingUtility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig3fPreprocessingUtility(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 3), "with_over_without")
+	}
+}
+
+func BenchmarkFig4aGMC3BestBuy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig4aGMC3BestBuy(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
+	}
+}
+
+func BenchmarkFig4bGMC3Private(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig4bGMC3Private(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
+	}
+}
+
+func BenchmarkFig4cGMC3Synthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig4cGMC3Synthetic(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
+	}
+}
+
+func BenchmarkFig4dGMC3Time(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exper.Fig4dGMC3Time(exper.Small, benchSeed)
+	}
+}
+
+func BenchmarkFig4eECCPrivate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig4eECCPrivate(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 1), "aecc_ratio")
+	}
+}
+
+func BenchmarkFig4fECCSynthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.Fig4fECCSynthetic(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 1), "aecc_ratio")
+	}
+}
+
+func BenchmarkInsightCostNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.InsightCostNoise(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 2), "utility_share_at_cut_budget")
+	}
+}
+
+func BenchmarkInsightEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exper.InsightEndToEnd(exper.Small, benchSeed)
+	}
+}
+
+func BenchmarkInsightDiminishingReturns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exper.InsightDiminishingReturns(exper.Small, benchSeed)
+		b.ReportMetric(lastCell(b, t, 2), "budget_share_for_75pct")
+	}
+}

@@ -1,0 +1,51 @@
+// Command bccbench regenerates the tables and figures of the paper's
+// experimental study (Section 6).
+//
+// Usage:
+//
+//	bccbench              # all experiments, Small preset
+//	bccbench -fig 3b      # one experiment
+//	bccbench -full        # paper-scale dimensions (long-running)
+//	bccbench -seed 7      # different workload seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "", "experiment id (3a..3f, 4a..4f, insights); empty = all")
+		full = flag.Bool("full", false, "paper-scale dimensions (long-running)")
+		seed = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	scale := exper.Small
+	if *full {
+		scale = exper.Full
+	}
+
+	start := time.Now()
+	if *fig != "" {
+		run, ok := exper.ByName(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bccbench: unknown experiment %q\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(run(scale, *seed).Format())
+	} else {
+		// Run and print one experiment at a time so progress is visible.
+		for _, id := range exper.Order() {
+			run, _ := exper.ByName(id)
+			fmt.Print(run(scale, *seed).Format())
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bccbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,58 @@
+// Command bccgen generates BCC evaluation workloads (the paper's BestBuy,
+// Private and Synthetic datasets) as JSON instances for bccsolve.
+//
+// Usage:
+//
+//	bccgen -dataset bb|private|synthetic [-n 10000] [-budget 5000] [-seed 1] -out instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "synthetic", "dataset: bb, private, synthetic, private-subset")
+		n      = flag.Int("n", 10000, "number of queries (synthetic only)")
+		budget = flag.Float64("budget", 5000, "budget to embed in the instance")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var in *model.Instance
+	switch *ds {
+	case "bb", "bestbuy":
+		in = dataset.BestBuy(*seed, *budget)
+	case "private", "p":
+		in = dataset.Private(*seed, *budget)
+	case "private-subset":
+		in = dataset.PrivateSubset(*seed, *budget, 22)
+	case "synthetic", "s":
+		in = dataset.Synthetic(*seed, *n, *budget)
+	default:
+		fmt.Fprintf(os.Stderr, "bccgen: unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bccgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.Write(w, in); err != nil {
+		fmt.Fprintf(os.Stderr, "bccgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bccgen: budget %.0f\n%s\n", in.Budget(), dataset.Describe(in))
+}

@@ -1,0 +1,116 @@
+// Command bccsolve solves a BCC instance stored as JSON (see
+// internal/dataset.FileFormat) and prints the selected classifiers with
+// their utility/cost accounting.
+//
+// Usage:
+//
+//	bccsolve -in instance.json [-algo abcc|rand|ig1|ig2|brute] [-budget B]
+//	bccsolve -in instance.json -gmc3-target T
+//	bccsolve -in instance.json -ecc
+//	bccsolve -in instance.json -plan plan.json   # machine-readable plan
+//	bccsolve -in instance.json -plan -           # human-readable plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	bcc "repro"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		inPath     = flag.String("in", "", "path to the JSON instance (required)")
+		algo       = flag.String("algo", "abcc", "BCC algorithm: abcc, rand, ig1, ig2, brute")
+		budget     = flag.Float64("budget", -1, "override the instance's budget")
+		seed       = flag.Int64("seed", 1, "random seed")
+		gmc3Target = flag.Float64("gmc3-target", 0, "solve GMC3 for this utility target instead of BCC")
+		eccMode    = flag.Bool("ecc", false, "solve ECC (max utility/cost) instead of BCC")
+		verbose    = flag.Bool("v", false, "print the selected classifiers")
+		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := dataset.ReadFile(*inPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+		os.Exit(1)
+	}
+	if *budget >= 0 {
+		in = in.WithBudget(*budget)
+	}
+
+	var sol *bcc.Solution
+	switch {
+	case *eccMode:
+		res := bcc.SolveECC(in)
+		fmt.Printf("ECC: ratio=%.4f utility=%.2f cost=%.2f time=%v\n",
+			res.Ratio, res.Utility, res.Cost, res.Duration)
+		sol = res.Solution
+	case *gmc3Target > 0:
+		res := bcc.SolveGMC3(in, *gmc3Target, bcc.GMC3Options{Seed: *seed})
+		fmt.Printf("GMC3: cost=%.2f utility=%.2f target=%.2f achieved=%v time=%v\n",
+			res.Cost, res.Utility, *gmc3Target, res.Achieved, res.Duration)
+		sol = res.Solution
+	default:
+		var res bcc.Result
+		switch *algo {
+		case "abcc":
+			res = bcc.Solve(in, bcc.Options{Seed: *seed})
+		case "rand":
+			res = bcc.SolveRand(in, *seed)
+		case "ig1":
+			res = bcc.SolveIG1(in)
+		case "ig2":
+			res = bcc.SolveIG2(in)
+		case "brute":
+			var err error
+			res, err = bcc.BruteForce(in)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "bccsolve: unknown algorithm %q\n", *algo)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: utility=%.2f cost=%.2f budget=%.2f covered=%d/%d time=%v\n",
+			*algo, res.Utility, res.Cost, in.Budget(), res.Covered, in.NumQueries(), res.Duration)
+		sol = res.Solution
+	}
+
+	if *verbose && sol != nil {
+		u := in.Universe()
+		for _, c := range sol.Classifiers() {
+			fmt.Printf("  %-40s cost=%.2f\n", u.Format(c.Props), c.Cost)
+		}
+	}
+
+	if *planOut != "" && sol != nil {
+		plan := report.Build(sol, 10)
+		switch *planOut {
+		case "-":
+			if err := plan.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			f, err := os.Create(*planOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := plan.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Query-log ingestion: the full pipeline from a raw search log to a
+// classifier construction plan — parse the log (frequencies become
+// utilities), attach analyst cost estimates, and solve BCC, the
+// partial-cover variant, and the overlap-aware variant side by side.
+//
+// Run with:
+//
+//	go run ./examples/querylog                 # built-in sample log
+//	go run ./examples/querylog -log search.tsv # your own log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	bcc "repro"
+)
+
+const sampleLog = `# term[s] <TAB> search count
+wooden table	1542
+running shoes	987
+table	2210
+wooden	310
+round table	404
+leather sofa	760
+sofa	1530
+leather	201
+garden chair	356
+chair	1204
+wooden chair	512
+round mirror	187
+leather shoes	423
+`
+
+func main() {
+	logPath := flag.String("log", "", "query log path (default: built-in sample)")
+	budget := flag.Float64("budget", 10, "construction budget")
+	flag.Parse()
+
+	var r io.Reader = strings.NewReader(sampleLog)
+	if *logPath != "" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	builder, stats, err := bcc.ParseQueryLog(r, bcc.LogOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("parsed %d lines → %d queries over %d properties (dropped: %d long, %d empty)\n",
+		stats.Lines, stats.Kept, stats.Properties, stats.DroppedLong, stats.DroppedEmpty)
+
+	// Analyst cost model: visually concrete nouns are cheap, abstract
+	// attributes cost more, conjunctions sit in between.
+	builder.SetDefaultCost(func(s bcc.PropSet) float64 {
+		return 1.5 + 0.5*float64(s.Len())
+	})
+	builder.SetCost(4, "running") // hard without shoe context
+	builder.SetCost(3, "leather")
+
+	in, err := builder.Instance(*budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	res := bcc.Solve(in, bcc.Options{})
+	fmt.Printf("\nBCC plan (budget %.0f): utility %.0f of %.0f, cost %.1f\n",
+		*budget, res.Utility, in.TotalUtility(), res.Cost)
+	for _, c := range res.Solution.Classifiers() {
+		fmt.Printf("  build %-24s (cost %.1f)\n", in.Universe().Format(c.Props), c.Cost)
+	}
+
+	// Partial-cover view: partially-filtered result sets retain value.
+	pr := bcc.SolvePartial(in, bcc.GainLinear)
+	fmt.Printf("\npartial-cover (linear gain): utility %.1f at cost %.1f\n", pr.Utility, pr.Cost)
+
+	// Overlap-aware view: labeling a property once serves every classifier
+	// that tests it, so the same budget reaches further.
+	ov := bcc.SolveOverlap(in, bcc.OverlapCostModel{
+		Label:    func(bcc.PropID) float64 { return 1.2 },
+		Assembly: func(s bcc.PropSet) float64 { return 0.6 * float64(s.Len()) },
+	})
+	fmt.Printf("overlap-aware: utility %.0f at shared cost %.1f (additive would be %.1f)\n",
+		ov.Utility, ov.Cost, ov.AdditiveCost)
+}

@@ -1,0 +1,39 @@
+// Scalability walk-through: the paper's synthetic generator at increasing
+// workload sizes, showing the effect of the preprocessing step (Figures
+// 3e/3f) and how solve time and utility scale.
+//
+// Run with:
+//
+//	go run ./examples/scalability            # quick sizes
+//	go run ./examples/scalability -n 100000  # one big run
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	bcc "repro"
+)
+
+func main() {
+	one := flag.Int("n", 0, "run a single size instead of the sweep")
+	flag.Parse()
+
+	sizes := []int{5000, 10000, 25000}
+	if *one > 0 {
+		sizes = []int{*one}
+	}
+
+	const budget = 5000
+	fmt.Printf("%-8s  %-22s  %-22s  %s\n", "queries", "with preprocessing", "without preprocessing", "utility ratio")
+	for _, n := range sizes {
+		in := bcc.Synthetic(1, n, budget)
+		with := bcc.Solve(in, bcc.Options{Seed: 1})
+		without := bcc.Solve(in, bcc.Options{Seed: 1, DisablePruning: true})
+		fmt.Printf("%-8d  u=%-7.0f t=%-10v  u=%-7.0f t=%-10v  %.3f\n",
+			n,
+			with.Utility, with.Duration.Round(1e6),
+			without.Utility, without.Duration.Round(1e6),
+			with.Utility/without.Utility)
+	}
+}

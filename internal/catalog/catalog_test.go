@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/propset"
+	"repro/internal/training"
+)
+
+func smallCatalog(t testing.TB) *Catalog {
+	t.Helper()
+	return Generate(1, Options{Items: 3000, Attributes: 80, AttrsPerItem: 4, RecordRate: 0.35})
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := smallCatalog(t)
+	if len(c.Items) != 3000 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	if c.Universe.Size() != 80 {
+		t.Fatalf("attributes = %d", c.Universe.Size())
+	}
+	recorded, total := 0, 0
+	for _, it := range c.Items {
+		if !it.Recorded.SubsetOf(it.True) {
+			t.Fatal("recorded attributes must be a subset of true attributes")
+		}
+		recorded += it.Recorded.Len()
+		total += it.True.Len()
+	}
+	rate := float64(recorded) / float64(total)
+	if rate < 0.25 || rate > 0.45 {
+		t.Fatalf("record rate = %.2f, want ≈0.35", rate)
+	}
+}
+
+func TestBaselineSubsetOfTruth(t *testing.T) {
+	c := smallCatalog(t)
+	q := propset.New(0, 1) // two most popular attributes
+	truth := map[int]bool{}
+	for _, id := range c.TrueMatches(q) {
+		truth[id] = true
+	}
+	base := c.BaselineMatches(q)
+	for _, id := range base {
+		if !truth[id] {
+			t.Fatal("baseline retrieved a non-matching item")
+		}
+	}
+	if len(base) >= len(truth) && len(truth) > 0 {
+		t.Fatalf("baseline (%d) should undershoot the truth (%d) at record rate 0.35",
+			len(base), len(truth))
+	}
+}
+
+func TestPerfectClassifierRecoversTruth(t *testing.T) {
+	c := smallCatalog(t)
+	q := propset.New(0, 1)
+	cls := map[string]Trained{
+		q.Key(): {Props: q, Acc: 1.0},
+	}
+	r := c.Evaluate(7, q, cls)
+	if r.Recall != 1 || r.Precision != 1 {
+		t.Fatalf("perfect classifier: recall %v precision %v", r.Recall, r.Precision)
+	}
+	if r.AugmentedSize != r.TrueSize {
+		t.Fatalf("augmented %d != true %d", r.AugmentedSize, r.TrueSize)
+	}
+}
+
+func TestNoisyClassifierPrecisionRecall(t *testing.T) {
+	c := smallCatalog(t)
+	q := propset.New(0)
+	cls := map[string]Trained{
+		q.Key(): {Props: q, Acc: 0.95},
+	}
+	r := c.Evaluate(7, q, cls)
+	if r.Recall < 0.85 {
+		t.Fatalf("recall %v too low for a 95%% classifier", r.Recall)
+	}
+	if r.Precision < 0.5 {
+		t.Fatalf("precision %v too low", r.Precision)
+	}
+	if r.AugmentedSize <= r.BaselineSize {
+		t.Fatalf("augmentation did not grow the result set: %d vs %d",
+			r.AugmentedSize, r.BaselineSize)
+	}
+}
+
+func TestDeriveWorkloadSolvable(t *testing.T) {
+	c := smallCatalog(t)
+	m := training.Model{CurveFor: func(s propset.Set) training.Curve {
+		return training.DefaultCurve(0.2 + 0.1*float64(s.Len()))
+	}}
+	in, err := c.DeriveWorkload(2, WorkloadOptions{Queries: 60, MaxLen: 3}, m.Cost, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumQueries() < 30 {
+		t.Fatalf("derived only %d queries", in.NumQueries())
+	}
+	res := core.Solve(in, core.Options{Seed: 1})
+	if res.Utility <= 0 {
+		t.Fatal("nothing covered at a reasonable budget")
+	}
+	if res.Cost > in.Budget()+1e-9 {
+		t.Fatal("budget exceeded")
+	}
+}
+
+// TestEndToEndGrowth reproduces the paper's §6.2 finding: result sets of
+// newly covered queries grow substantially (paper: >200% on every sampled
+// query) with high precision (paper: ≥90%).
+func TestEndToEndGrowth(t *testing.T) {
+	c := Generate(3, Options{Items: 5000, Attributes: 100, AttrsPerItem: 4, RecordRate: 0.3})
+	m := training.Model{CurveFor: func(s propset.Set) training.Curve {
+		return training.DefaultCurve(0.15 * float64(s.Len()))
+	}}
+	in, err := c.DeriveWorkload(4, WorkloadOptions{Queries: 50, MaxLen: 2}, m.Cost, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(in, core.Options{Seed: 1})
+	if res.Covered == 0 {
+		t.Fatal("no queries covered")
+	}
+	var sel []propset.Set
+	for _, cl := range res.Solution.Classifiers() {
+		sel = append(sel, cl.Props)
+	}
+	trained := TrainSelection(m, sel)
+	for _, tc := range trained {
+		if tc.Acc < 0.95-1e-9 {
+			t.Fatalf("deployed classifier below the bar: %v", tc.Acc)
+		}
+	}
+	var growths, precisions []float64
+	for _, q := range res.Solution.CoveredQueries() {
+		r := c.Evaluate(11, q.Props, trained)
+		if r.BaselineSize == 0 {
+			continue
+		}
+		growths = append(growths, r.GrowthPct)
+		precisions = append(precisions, r.Precision)
+	}
+	if len(growths) == 0 {
+		t.Skip("no covered query with a nonzero baseline in this draw")
+	}
+	var gSum, pSum float64
+	for i := range growths {
+		gSum += growths[i]
+		pSum += precisions[i]
+	}
+	gAvg, pAvg := gSum/float64(len(growths)), pSum/float64(len(precisions))
+	t.Logf("avg growth %.0f%%, avg precision %.2f over %d queries", gAvg, pAvg, len(growths))
+	if gAvg < 100 {
+		t.Fatalf("average result-set growth %.0f%% too small (paper: >200%%)", gAvg)
+	}
+	if pAvg < 0.85 {
+		t.Fatalf("average precision %.2f too low (paper: ≥0.90)", pAvg)
+	}
+	if math.IsNaN(gAvg) || math.IsNaN(pAvg) {
+		t.Fatal("NaN metrics")
+	}
+}

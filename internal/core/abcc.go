@@ -1,0 +1,303 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/knapsack"
+	"repro/internal/mc3"
+	"repro/internal/model"
+	"repro/internal/propset"
+	"repro/internal/qk"
+)
+
+// Options tunes the A^BCC solver. The zero value gives the defaults used
+// in the experimental study.
+type Options struct {
+	// Seed drives all randomness (QK bipartitions) deterministically.
+	// Default 1.
+	Seed int64
+	// Epsilon is the knapsack FPTAS precision for the BCC(1) subproblem.
+	// Default 0.05.
+	Epsilon float64
+	// MaxIterations caps the residual-problem loop (lines 4–6 of
+	// Algorithm 1). Default 16.
+	MaxIterations int
+	// DisablePruning skips step 1 of Algorithm 1 (both the
+	// replaceable-classifier rule and the leverage-score rule). Used by
+	// the Figure 3e/3f ablation.
+	DisablePruning bool
+	// DisableMC3 skips the MC3 local-search improvement (line 3). Used by
+	// ablation benchmarks.
+	DisableMC3 bool
+	// LeverageKeep is the fraction of QK-graph weight the leverage-score
+	// pruning must preserve; the lowest-score nodes carrying at most
+	// (1 − LeverageKeep) of the total incident weight are dropped.
+	// Default 0.95.
+	LeverageKeep float64
+	// MixedPhase additionally evaluates split-budget candidates in every
+	// phase (knapsack-then-QK and QK-then-knapsack on half the round
+	// budget each). Slightly better on some workloads, roughly 2–4×
+	// slower; off by default.
+	MixedPhase bool
+	// DisableGreedyFloor skips the final best-of comparison against the
+	// IG1 greedy (used by ablation benchmarks). With the floor enabled
+	// (default), A^BCC never returns less utility than IG1.
+	DisableGreedyFloor bool
+	// QK tunes the inner Quadratic Knapsack solver.
+	QK qk.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 16
+	}
+	if o.LeverageKeep == 0 {
+		o.LeverageKeep = 0.95
+	}
+	if o.QK.Seed == 0 {
+		o.QK.Seed = o.Seed
+	}
+	return o
+}
+
+// Result reports a solver run: the solution plus accounting useful to the
+// experiment harness.
+type Result struct {
+	Solution *model.Solution
+	// Utility is the total utility of the covered queries.
+	Utility float64
+	// Cost is the total construction cost of the selected classifiers.
+	Cost float64
+	// Covered is the number of covered queries.
+	Covered int
+	// Iterations is the number of residual-loop rounds executed (A^BCC)
+	// or selection steps (baselines).
+	Iterations int
+	// Pruned is the number of candidate classifiers removed by
+	// preprocessing (A^BCC only).
+	Pruned int
+	// Duration is the wall-clock solve time.
+	Duration time.Duration
+}
+
+func resultFrom(t *cover.Tracker, iterations, pruned int, start time.Time) Result {
+	return Result{
+		Solution:   t.Solution(),
+		Utility:    t.Utility(),
+		Cost:       t.Cost(),
+		Covered:    t.CoveredCount(),
+		Iterations: iterations,
+		Pruned:     pruned,
+		Duration:   time.Since(start),
+	}
+}
+
+// Solve runs A^BCC (Algorithm 1) on the instance: prune candidate
+// classifiers, solve the BCC(1) and BCC(2) subproblems with half the
+// budget, improve cost-wise with MC3, then iterate on residual problems
+// with the full remaining budget until no further utility is gained.
+func Solve(in *model.Instance, opts Options) Result {
+	start := time.Now()
+	opts = opts.withDefaults()
+	t := cover.New(in)
+
+	// Free classifiers are always selected (paper §4.1 preprocessing).
+	for _, c := range in.Classifiers() {
+		if c.Cost == 0 {
+			t.Add(c.Props)
+		}
+	}
+
+	var allowed map[string]bool
+	pruned := 0
+	if !opts.DisablePruning {
+		allowed, pruned = pruneClassifiers(t, opts)
+	}
+
+	iterations := 0
+	// Line 2: half the budget for the first round.
+	phase(t, allowed, t.Remaining()/2+t.Cost(), opts)
+	iterations++
+	if !opts.DisableMC3 {
+		mc3Improve(t)
+	}
+	iterations += improveLoop(t, allowed, opts)
+
+	if !opts.DisableGreedyFloor {
+		// Greedy floor, refined: seed a second pipeline with the IG1
+		// solution, reclaim cost with MC3 and spend the freed budget on
+		// further residual rounds. A^BCC therefore never trails the
+		// adaptive per-query greedy, and usually improves on it
+		// (documented in DESIGN.md).
+		t2 := cover.New(in)
+		ig1Fill(t2)
+		if !opts.DisableMC3 {
+			mc3Improve(t2)
+		}
+		iterations += improveLoop(t2, allowed, opts)
+		if t2.Utility() > t.Utility() ||
+			(t2.Utility() == t.Utility() && t2.Cost() < t.Cost()) {
+			t = t2
+		}
+	}
+	return resultFrom(t, iterations, pruned, start)
+}
+
+// improveLoop is lines 4–6 of Algorithm 1 plus the leftover-budget
+// completion: residual rounds with the full remaining budget until neither
+// the phase gains utility nor the MC3 local search frees budget, followed
+// by an IG1-style fill of any stranded budget. It returns the number of
+// rounds executed.
+func improveLoop(t *cover.Tracker, allowed map[string]bool, opts Options) int {
+	in := t.Instance()
+	iterations := 0
+	for iterations < opts.MaxIterations {
+		gained := phase(t, allowed, in.Budget(), opts)
+		costBefore := t.Cost()
+		if !opts.DisableMC3 {
+			mc3Improve(t)
+		}
+		iterations++
+		if !gained && t.Cost() >= costBefore-1e-9 {
+			break
+		}
+	}
+	ig1Fill(t)
+	if !opts.DisableMC3 {
+		mc3Improve(t)
+		ig1Fill(t)
+	}
+	return iterations
+}
+
+// phase solves BCC(1) (knapsack) and BCC(2) (QK) on the residual problem
+// with the given absolute cost ceiling, applies the better of the two
+// candidate selections, and reports whether utility increased.
+func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Options) bool {
+	budget := ceiling - t.Cost()
+	if budget <= 0 {
+		return false
+	}
+	sp := buildSubproblems(t, allowed)
+
+	// BCC(1): knapsack over 1-covers.
+	kres := knapsack.Solve(sp.items, budget, opts.Epsilon)
+	var kadd []propset.Set
+	for _, i := range kres.Chosen {
+		kadd = append(kadd, sp.itemSets[i])
+	}
+
+	// BCC(2): Quadratic Knapsack over 2-covers (plus the vStar-encoded
+	// 1-cover bonuses; see subproblems).
+	var qadd []propset.Set
+	if sp.graph.NumEdges() > 0 {
+		qres := qk.SolveHeuristic(sp.graph, budget, opts.QK)
+		qadd = sp.qkNodes(qres.Nodes)
+	}
+
+	// Mixed candidates: give one subproblem half the round budget, then
+	// let the other spend what is left on the updated residual. The
+	// pick-the-better rule of Observation 4.2 holds a fortiori, and the
+	// finer allocation captures workloads whose optimum needs both 1- and
+	// 2-covers in the same round.
+	mix := func(first []propset.Set) []propset.Set {
+		c := t.Clone()
+		halfCeil := t.Cost() + budget/2
+		var add []propset.Set
+		for _, s := range first {
+			if c.Cost()+t.Instance().Cost(s) > halfCeil+1e-9 {
+				continue
+			}
+			c.Add(s)
+			add = append(add, s)
+		}
+		sp2 := buildSubproblems(c, allowed)
+		k2 := knapsack.Solve(sp2.items, ceiling-c.Cost(), opts.Epsilon)
+		for _, i := range k2.Chosen {
+			c.Add(sp2.itemSets[i])
+			add = append(add, sp2.itemSets[i])
+		}
+		if sp2.graph.NumEdges() > 0 {
+			q2 := qk.SolveHeuristic(sp2.graph, ceiling-c.Cost(), opts.QK)
+			for _, probe := range sp2.qkNodes(q2.Nodes) {
+				if c.Cost()+t.Instance().Cost(probe) > ceiling+1e-9 {
+					continue
+				}
+				c.Add(probe)
+				add = append(add, probe)
+			}
+		}
+		return add
+	}
+	var mixK, mixQ []propset.Set
+	if opts.MixedPhase && len(kadd) > 0 && len(qadd) > 0 {
+		mixK = mix(kadd)
+		mixQ = mix(qadd)
+	}
+
+	// Apply the best candidate by true utility gain.
+	bestGain, bestAdd := 0.0, []propset.Set(nil)
+	for _, add := range [][]propset.Set{kadd, qadd, mixK, mixQ} {
+		if len(add) == 0 {
+			continue
+		}
+		c := t.Clone()
+		for _, s := range add {
+			c.Add(s)
+		}
+		if c.Cost() > ceiling+1e-9 {
+			continue
+		}
+		if gain := c.Utility() - t.Utility(); gain > bestGain {
+			bestGain, bestAdd = gain, add
+		}
+	}
+	if bestAdd == nil {
+		return false
+	}
+	for _, s := range bestAdd {
+		t.Add(s)
+	}
+	return bestGain > 0
+}
+
+// mc3Improve re-covers the currently covered query set at minimum cost via
+// the MC3 algorithm of [23] and adopts the result if it is strictly
+// cheaper (line 3 of Algorithm 1 — a local-search step; the MC3 output is
+// discarded when not an improvement).
+func mc3Improve(t *cover.Tracker) {
+	covered := t.CoveredQueries()
+	if len(covered) == 0 {
+		return
+	}
+	in := t.Instance()
+	out := mc3.Solve(mc3.Input{
+		Queries: covered,
+		Cost:    func(s propset.Set) float64 { return in.Cost(s) },
+	})
+	if len(out.Uncovered) > 0 || out.Cost >= t.Cost()-1e-9 {
+		return
+	}
+	// Keep free classifiers in the selection (they cost nothing and may
+	// still help residual rounds).
+	sel := out.Classifiers
+	for _, c := range in.Classifiers() {
+		if c.Cost == 0 {
+			sel = append(sel, c.Props)
+		}
+	}
+	old := t.Clone()
+	t.Reset(sel)
+	if t.Utility() < old.Utility()-1e-9 || t.Cost() > old.Cost()+1e-9 {
+		// MC3 result unexpectedly worse (it optimizes cost for the covered
+		// set only); roll back.
+		t.CopyFrom(old)
+	}
+}

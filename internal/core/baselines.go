@@ -1,0 +1,235 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// SolveRand is the RAND baseline: repeatedly select one uniformly random
+// classifier among those whose selection does not exceed the budget, until
+// none fits. (A classifier that has become unaffordable can never become
+// affordable again, so rejected candidates are discarded permanently.)
+func SolveRand(in *model.Instance, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := cover.New(in)
+	pool := make([]propset.Set, 0, len(in.Classifiers()))
+	for _, c := range in.Classifiers() {
+		pool = append(pool, c.Props)
+	}
+	steps := 0
+	for len(pool) > 0 {
+		i := rng.Intn(len(pool))
+		c := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if t.Has(c) || in.Cost(c) > t.Remaining()+1e-9 {
+			continue
+		}
+		t.Add(c)
+		steps++
+	}
+	return resultFrom(t, steps, 0, start)
+}
+
+// SolveIG1 is the IG1 baseline: an iterative greedy that, in each round,
+// computes for every uncovered query the least costly classifier set that
+// covers it (counting only not-yet-selected classifiers) and selects the
+// set with the best utility-to-cost ratio that fits the remaining budget.
+func SolveIG1(in *model.Instance) Result {
+	start := time.Now()
+	t := cover.New(in)
+	steps := ig1Fill(t)
+	return resultFrom(t, steps, 0, start)
+}
+
+// ig1Fill runs the IG1 selection loop on an existing tracker until no
+// further query cover fits the remaining budget, returning the number of
+// covers selected. It is both the IG1 baseline and the leftover-budget
+// completion pass of A^BCC. Query scores live in a lazily revalidated
+// max-heap and are refreshed only for the queries a selected classifier
+// can affect.
+func ig1Fill(t *cover.Tracker) int {
+	in := t.Instance()
+	h := &entryHeap{}
+	heap.Init(h)
+	score := make([]float64, in.NumQueries())
+	covSets := make([][]propset.Set, in.NumQueries())
+	covCost := make([]float64, in.NumQueries())
+
+	refresh := func(qi int) {
+		if t.Covered(qi) {
+			score[qi] = 0
+			return
+		}
+		cost, sets := t.MinCoverCost(qi, nil)
+		covCost[qi], covSets[qi] = cost, sets
+		u := in.Queries()[qi].Utility
+		switch {
+		case math.IsInf(cost, 1):
+			score[qi] = 0
+		case cost == 0:
+			score[qi] = math.Inf(1)
+		default:
+			score[qi] = u / cost
+		}
+		if score[qi] > 0 {
+			heap.Push(h, qEntry{qi, score[qi]})
+		}
+	}
+	for qi := range in.Queries() {
+		refresh(qi)
+	}
+
+	steps := 0
+	for h.Len() > 0 {
+		e := heap.Pop(h).(qEntry)
+		qi := e.qi
+		if t.Covered(qi) || score[qi] == 0 {
+			continue
+		}
+		if e.score > score[qi]+1e-12 || e.score < score[qi]-1e-12 {
+			// Stale entry; re-push current value.
+			heap.Push(h, qEntry{qi, score[qi]})
+			continue
+		}
+		if covCost[qi] > t.Remaining()+1e-9 {
+			score[qi] = 0 // cover may get cheaper later; it will be refreshed
+			continue
+		}
+		// Select the whole cover set.
+		touched := map[int]bool{}
+		for _, c := range covSets[qi] {
+			for _, q2 := range t.RelevantQueries(c) {
+				touched[q2] = true
+			}
+			t.Add(c)
+		}
+		steps++
+		for q2 := range touched {
+			refresh(q2)
+		}
+	}
+	return steps
+}
+
+// SolveIG2 is the IG2 baseline (the greedy Set Cover of [23] adapted to
+// the budgeted setting): in each round select the single classifier
+// maximizing the ratio between the summed utilities of the uncovered
+// queries containing it and its cost, subject to the remaining budget.
+func SolveIG2(in *model.Instance) Result {
+	start := time.Now()
+	t := cover.New(in)
+	// util[c] = Σ utilities of uncovered queries containing classifier c.
+	util := make(map[string]float64)
+	for _, q := range in.Queries() {
+		u := q.Utility
+		q.Props.Subsets(func(sub propset.Set) {
+			util[sub.Key()] += u
+		})
+	}
+	classifiers := in.Classifiers()
+	scoreOf := func(ci int) float64 {
+		c := classifiers[ci]
+		u := util[c.Props.Key()]
+		if u <= 0 {
+			return 0
+		}
+		if c.Cost == 0 {
+			return math.Inf(1)
+		}
+		return u / c.Cost
+	}
+	h := &centryHeap{}
+	heap.Init(h)
+	for ci := range classifiers {
+		if s := scoreOf(ci); s > 0 {
+			heap.Push(h, cEntry{ci, s})
+		}
+	}
+	steps := 0
+	for h.Len() > 0 {
+		e := heap.Pop(h).(cEntry)
+		c := classifiers[e.ci]
+		if t.Has(c.Props) {
+			continue
+		}
+		s := scoreOf(e.ci)
+		if s == 0 {
+			continue
+		}
+		if e.score > s+1e-12 {
+			heap.Push(h, cEntry{e.ci, s})
+			continue
+		}
+		if c.Cost > t.Remaining()+1e-9 {
+			continue // permanently unaffordable
+		}
+		// Select and update utilities of classifiers sharing newly covered
+		// queries.
+		rel := t.RelevantQueries(c.Props)
+		before := make([]bool, len(rel))
+		for i, qi := range rel {
+			before[i] = t.Covered(qi)
+		}
+		t.Add(c.Props)
+		steps++
+		for i, qi := range rel {
+			if t.Covered(qi) && !before[i] {
+				u := in.Queries()[qi].Utility
+				in.Queries()[qi].Props.Subsets(func(sub propset.Set) {
+					util[sub.Key()] -= u
+				})
+			}
+		}
+	}
+	return resultFrom(t, steps, 0, start)
+}
+
+type qEntry struct {
+	qi    int
+	score float64
+}
+
+type entryHeap []qEntry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].score > h[j].score }
+func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) {
+	*h = append(*h, x.(qEntry))
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type cEntry struct {
+	ci    int
+	score float64
+}
+
+type centryHeap []cEntry
+
+func (h centryHeap) Len() int           { return len(h) }
+func (h centryHeap) Less(i, j int) bool { return h[i].score > h[j].score }
+func (h centryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *centryHeap) Push(x interface{}) {
+	*h = append(*h, x.(cEntry))
+}
+func (h *centryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/model"
+)
+
+// BruteForce finds the exact optimum by depth-first search over the
+// candidate classifier set with a simple utility bound (current utility
+// plus all still-uncovered utility must beat the incumbent). It is the
+// reference the paper compares against on small instances (Figure 3d) and
+// refuses instances with more than maxBruteClassifiers candidates.
+const maxBruteClassifiers = 26
+
+func BruteForce(in *model.Instance) (Result, error) {
+	start := time.Now()
+	cls := in.Classifiers()
+	if len(cls) > maxBruteClassifiers {
+		return Result{}, fmt.Errorf("core: BruteForce limited to %d classifiers, instance has %d",
+			maxBruteClassifiers, len(cls))
+	}
+	t := cover.New(in)
+	// Free classifiers are always in.
+	for _, c := range cls {
+		if c.Cost == 0 {
+			t.Add(c.Props)
+		}
+	}
+	best := t.Clone()
+
+	var rec func(idx int, cur *cover.Tracker)
+	rec = func(idx int, cur *cover.Tracker) {
+		if cur.Utility() > best.Utility() {
+			best = cur.Clone()
+		}
+		if idx >= len(cls) {
+			return
+		}
+		// Bound: remaining uncovered utility.
+		var potential float64
+		for qi, q := range in.Queries() {
+			if !cur.Covered(qi) {
+				potential += q.Utility
+			}
+		}
+		if cur.Utility()+potential <= best.Utility() {
+			return
+		}
+		// Branch: skip idx.
+		rec(idx+1, cur)
+		// Branch: take idx if affordable and new.
+		c := cls[idx]
+		if c.Cost > 0 && c.Cost <= cur.Remaining()+1e-9 && !cur.Has(c.Props) {
+			next := cur.Clone()
+			next.Add(c.Props)
+			rec(idx+1, next)
+		}
+	}
+	rec(0, t)
+	return resultFrom(best, 0, 0, start), nil
+}

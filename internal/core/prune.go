@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/propset"
+	"repro/internal/wgraph"
+)
+
+// pruneClassifiers implements step 1 of Algorithm 1: two pruning rules
+// that shrink the candidate classifier set at a provably small cost.
+//
+// Rule R1 removes every classifier of length r > 1 that can be replaced by
+// shorter classifiers (its singletons) whose total cost is at most r times
+// its own cost; for uniform costs this collapses the solution space to
+// singleton classifiers, as the paper notes. Rule R2 ranks the BCC(2)
+// QK-graph nodes by weighted leverage scores (spectral, via power
+// iteration with deflation) and drops the low-score tail carrying at most
+// a (1 − LeverageKeep) fraction of the total edge weight — a bounded
+// additive utility error.
+//
+// Both rules respect the budget-protection exception: a classifier is
+// never pruned if that would push some query's cheapest cover above the
+// budget while it was affordable before.
+//
+// The returned map marks the allowed classifier keys; the int is the
+// number of pruned candidates.
+func pruneClassifiers(t *cover.Tracker, opts Options) (map[string]bool, int) {
+	in := t.Instance()
+	allowed := make(map[string]bool, len(in.Classifiers()))
+	for _, c := range in.Classifiers() {
+		allowed[c.Props.Key()] = true
+	}
+
+	// R1: replaceable long classifiers.
+	for _, c := range in.Classifiers() {
+		r := c.Props.Len()
+		if r <= 1 || c.Cost == 0 {
+			continue
+		}
+		sum := 0.0
+		feasible := true
+		for _, p := range c.Props {
+			sc := in.Cost(propset.New(p))
+			if math.IsInf(sc, 1) {
+				feasible = false
+				break
+			}
+			sum += sc
+		}
+		if feasible && sum <= float64(r)*c.Cost+1e-9 {
+			allowed[c.Props.Key()] = false
+		}
+	}
+	protectCoverability(t, allowed)
+
+	// R2: leverage-score pruning of the QK graph.
+	sp := buildSubproblems(t, allowed)
+	if g := sp.graph; g.NumNodes() >= 32 && g.NumEdges() > 0 {
+		scores := leverageScores(g, 3, 40)
+		order := make([]int, g.NumNodes())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+		dropBudget := (1 - opts.LeverageKeep) * g.TotalWeight()
+		var droppedWeight float64
+		for _, v := range order {
+			w := g.WeightedDegree(v)
+			if droppedWeight+w > dropBudget {
+				break
+			}
+			droppedWeight += w
+			allowed[sp.nodeSets[v].Key()] = false
+		}
+		protectCoverability(t, allowed)
+	}
+
+	pruned := 0
+	for _, ok := range allowed {
+		if !ok {
+			pruned++
+		}
+	}
+	return allowed, pruned
+}
+
+// protectCoverability restores pruned classifiers for any query whose
+// cheapest cover became unaffordable under the pruned set while being
+// affordable with the full set.
+func protectCoverability(t *cover.Tracker, allowed map[string]bool) {
+	in := t.Instance()
+	budget := in.Budget()
+	for qi := range in.Queries() {
+		if t.Covered(qi) {
+			continue
+		}
+		cost, _ := t.MinCoverCost(qi, allowed)
+		if cost <= budget {
+			continue
+		}
+		full, _ := t.MinCoverCost(qi, nil)
+		if full > budget {
+			continue // uncoverable either way
+		}
+		in.Queries()[qi].Props.Subsets(func(sub propset.Set) {
+			k := sub.Key()
+			if _, exists := allowed[k]; exists {
+				allowed[k] = true
+			} else if !math.IsInf(in.Cost(sub), 1) {
+				allowed[k] = true
+			}
+		})
+	}
+}
+
+// leverageScores approximates weighted leverage scores of the adjacency
+// matrix: score(v) = Σ_j |λ_j| · u_j[v]², over the top k eigenpairs
+// obtained by power iteration with deflation.
+func leverageScores(g *wgraph.Graph, k, iters int) []float64 {
+	n := g.NumNodes()
+	scores := make([]float64, n)
+	var basis [][]float64
+	var lambdas []float64
+	for j := 0; j < k; j++ {
+		x := make([]float64, n)
+		for i := range x {
+			// Deterministic pseudo-random start.
+			x[i] = math.Sin(float64(i*(j+3) + 1))
+		}
+		orthonormalize(x, basis)
+		y := make([]float64, n)
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			for i := range y {
+				y[i] = 0
+			}
+			for _, e := range g.Edges() {
+				y[e.U] += e.W * x[e.V]
+				y[e.V] += e.W * x[e.U]
+			}
+			orthonormalize(y, basis)
+			norm := vecNorm(y)
+			if norm < 1e-15 {
+				lambda = 0
+				break
+			}
+			lambda = norm
+			for i := range x {
+				x[i] = y[i] / norm
+			}
+		}
+		if lambda == 0 {
+			break
+		}
+		basis = append(basis, append([]float64(nil), x...))
+		lambdas = append(lambdas, lambda)
+	}
+	for j, u := range basis {
+		for v := 0; v < n; v++ {
+			scores[v] += lambdas[j] * u[v] * u[v]
+		}
+	}
+	return scores
+}
+
+func orthonormalize(x []float64, basis [][]float64) {
+	for _, b := range basis {
+		var dot float64
+		for i := range x {
+			dot += x[i] * b[i]
+		}
+		for i := range x {
+			x[i] -= dot * b[i]
+		}
+	}
+}
+
+func vecNorm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

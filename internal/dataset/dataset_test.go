@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/propset"
+)
+
+func TestBestBuyMarginals(t *testing.T) {
+	in := BestBuy(1, 100)
+	// Roughly 1000 queries (deduplication may shave a few).
+	if in.NumQueries() < 900 || in.NumQueries() > 1000 {
+		t.Fatalf("BB queries = %d, want ≈1000", in.NumQueries())
+	}
+	if in.NumProperties() != 725 {
+		t.Fatalf("BB properties = %d, want 725", in.NumProperties())
+	}
+	var len1, len2, total int
+	var lenSum float64
+	for _, q := range in.Queries() {
+		total++
+		lenSum += float64(q.Length())
+		switch q.Length() {
+		case 1:
+			len1++
+			len2++
+		case 2:
+			len2++
+		}
+	}
+	if f := float64(len1) / float64(total); f < 0.60 || f > 0.70 {
+		t.Errorf("BB singleton fraction = %.2f, want ≈0.65", f)
+	}
+	if f := float64(len2) / float64(total); f < 0.95 {
+		t.Errorf("BB ≤2 fraction = %.2f, want ≥0.95", f)
+	}
+	if avg := lenSum / float64(total); avg < 1.3 || avg > 1.5 {
+		t.Errorf("BB average length = %.2f, want ≈1.4", avg)
+	}
+	// Uniform costs.
+	for _, c := range in.Classifiers() {
+		if c.Cost != 1 {
+			t.Fatalf("BB costs must be uniform, got %v", c.Cost)
+		}
+	}
+}
+
+func TestPrivateMarginals(t *testing.T) {
+	in := Private(1, 2000)
+	if in.NumQueries() < 4500 || in.NumQueries() > 5000 {
+		t.Fatalf("P queries = %d, want ≈5000", in.NumQueries())
+	}
+	// The paper quotes 2K distinct properties alongside 55% singleton
+	// queries out of 5K — jointly impossible for distinct queries, so the
+	// simulator uses ≈2.9K properties (documented in DESIGN.md).
+	if in.NumProperties() < 2500 || in.NumProperties() > 3000 {
+		t.Fatalf("P properties = %d, want ≈2900", in.NumProperties())
+	}
+	var len1, len12, total, maxLen int
+	for _, q := range in.Queries() {
+		total++
+		if q.Length() == 1 {
+			len1++
+		}
+		if q.Length() <= 2 {
+			len12++
+		}
+		if q.Length() > maxLen {
+			maxLen = q.Length()
+		}
+		if q.Utility < 1 || q.Utility > 50 {
+			t.Fatalf("P utility %v out of [1,50]", q.Utility)
+		}
+	}
+	if f := float64(len1) / float64(total); f < 0.48 || f > 0.62 {
+		t.Errorf("P singleton fraction = %.2f, want ≈0.55", f)
+	}
+	if f := float64(len12) / float64(total); f < 0.94 {
+		t.Errorf("P ≤2 fraction = %.2f, want ≥0.95", f)
+	}
+	if maxLen > 5 {
+		t.Errorf("P max length = %d, want ≤5", maxLen)
+	}
+	// Costs in [0, 50] with a single-digit mean.
+	var costSum float64
+	var costCt int
+	for _, c := range in.Classifiers() {
+		if c.Cost < 0 || c.Cost > 50 {
+			t.Fatalf("P cost %v out of range", c.Cost)
+		}
+		costSum += c.Cost
+		costCt++
+	}
+	if mean := costSum / float64(costCt); mean < 4 || mean > 14 {
+		t.Errorf("P mean cost = %.1f, want ≈8", mean)
+	}
+}
+
+func TestPrivatePopularSubqueryCorrelation(t *testing.T) {
+	// §6.2: popular queries tend to have popular subqueries — a large
+	// fraction of length-2 queries should have at least one of their
+	// singletons present in the workload too.
+	in := Private(1, 2000)
+	present := map[string]bool{}
+	for _, q := range in.Queries() {
+		present[q.Props.Key()] = true
+	}
+	withSub, l2 := 0, 0
+	for _, q := range in.Queries() {
+		if q.Length() != 2 {
+			continue
+		}
+		l2++
+		found := false
+		q.Props.Subsets(func(sub propset.Set) {
+			if sub.Len() == 1 && present[sub.Key()] {
+				found = true
+			}
+		})
+		if found {
+			withSub++
+		}
+	}
+	if l2 == 0 {
+		t.Fatal("no length-2 queries")
+	}
+	if f := float64(withSub) / float64(l2); f < 0.3 {
+		t.Errorf("only %.0f%% of pair queries have a singleton subquery; want ≥30%%", f*100)
+	}
+}
+
+func TestSyntheticProcess(t *testing.T) {
+	in := Synthetic(1, 5000, 5000)
+	if in.NumQueries() < 4900 {
+		t.Fatalf("S queries = %d, want ≈5000 (minor dedup ok)", in.NumQueries())
+	}
+	var counts [8]int
+	total := 0
+	for _, q := range in.Queries() {
+		counts[q.Length()]++
+		total++
+		if q.Utility < 1 || q.Utility > 50 {
+			t.Fatalf("S utility %v out of [1,50]", q.Utility)
+		}
+	}
+	// Length i with probability ~2^-i: ≈50% singletons, ≈25% pairs.
+	if f := float64(counts[1]) / float64(total); f < 0.45 || f > 0.55 {
+		t.Errorf("S singleton fraction = %.2f, want ≈0.5", f)
+	}
+	if f := float64(counts[2]) / float64(total); f < 0.20 || f > 0.30 {
+		t.Errorf("S pair fraction = %.2f, want ≈0.25", f)
+	}
+	if counts[7] != 0 && counts[6] == 0 {
+		t.Error("S lengths must cap at 6")
+	}
+	for _, c := range in.Classifiers() {
+		if c.Cost < 0 || c.Cost > 50 || c.Cost != math.Trunc(c.Cost) {
+			t.Fatalf("S cost %v not an integer in [0,50]", c.Cost)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Synthetic(7, 500, 100)
+	b := Synthetic(7, 500, 100)
+	if a.NumQueries() != b.NumQueries() || a.TotalUtility() != b.TotalUtility() {
+		t.Fatal("Synthetic not deterministic in seed")
+	}
+	c := Synthetic(8, 500, 100)
+	if a.TotalUtility() == c.TotalUtility() && a.NumProperties() == c.NumProperties() {
+		t.Log("warning: different seeds produced identical aggregate stats")
+	}
+}
+
+func TestPrivateSubsetSmall(t *testing.T) {
+	in := PrivateSubset(3, 20, 22)
+	if len(in.Classifiers()) > 22 {
+		t.Fatalf("subset CL = %d, want ≤ 22", len(in.Classifiers()))
+	}
+	if in.NumQueries() == 0 {
+		t.Fatal("empty subset")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := PrivateSubset(5, 15, 20)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQueries() != in.NumQueries() {
+		t.Fatalf("round trip queries: %d vs %d", back.NumQueries(), in.NumQueries())
+	}
+	if back.Budget() != in.Budget() {
+		t.Fatalf("round trip budget: %v vs %v", back.Budget(), in.Budget())
+	}
+	if math.Abs(back.TotalUtility()-in.TotalUtility()) > 1e-9 {
+		t.Fatalf("round trip utility: %v vs %v", back.TotalUtility(), in.TotalUtility())
+	}
+	// Costs of all classifiers must survive.
+	for _, c := range in.Classifiers() {
+		names := make([]string, c.Props.Len())
+		for i, id := range c.Props {
+			names[i] = in.Universe().Name(id)
+		}
+		rtProps := back.Universe().SetOf(names...)
+		if got := back.Cost(rtProps); math.Abs(got-c.Cost) > 1e-9 {
+			t.Fatalf("cost of %v: %v vs %v", names, got, c.Cost)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`{"budget": 5, "queries": []}`)); err == nil {
+		t.Fatal("instance without queries accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	in := BestBuy(1, 100)
+	s := Describe(in)
+	if s.Queries != in.NumQueries() || s.Properties != 725 {
+		t.Fatalf("basic counts wrong: %+v", s)
+	}
+	if s.MeanCost != 1 || s.MinCost != 1 || s.MaxCost != 1 {
+		t.Fatalf("BB costs are uniform 1: %+v", s)
+	}
+	if s.AvgLength < 1.3 || s.AvgLength > 1.5 {
+		t.Fatalf("AvgLength = %v", s.AvgLength)
+	}
+	var share float64
+	for _, f := range s.LengthShare {
+		share += f
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Fatalf("length shares sum to %v", share)
+	}
+	str := s.String()
+	for _, want := range []string{"queries over", "lengths:", "costs:", "utilities:"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String missing %q:\n%s", want, str)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Summary reports the marginal statistics of a workload — the numbers the
+// paper quotes when describing its datasets (Section 6.1).
+type Summary struct {
+	Queries      int
+	Properties   int
+	Classifiers  int
+	TotalUtility float64
+	// LengthShare[i] is the fraction of queries of length i (index 0
+	// unused).
+	LengthShare []float64
+	AvgLength   float64
+	// Cost statistics over the enumerated candidate classifiers.
+	MinCost, MaxCost, MeanCost float64
+	FreeClassifiers            int
+	// Utility statistics over queries.
+	MinUtility, MaxUtility, MeanUtility float64
+}
+
+// Describe computes a Summary for the instance.
+func Describe(in *model.Instance) Summary {
+	s := Summary{
+		Queries:      in.NumQueries(),
+		Properties:   in.NumProperties(),
+		Classifiers:  len(in.Classifiers()),
+		TotalUtility: in.TotalUtility(),
+		MinCost:      math.Inf(1),
+		MinUtility:   math.Inf(1),
+	}
+	maxLen := in.MaxQueryLength()
+	counts := make([]int, maxLen+1)
+	var lenSum float64
+	for _, q := range in.Queries() {
+		counts[q.Length()]++
+		lenSum += float64(q.Length())
+		if q.Utility < s.MinUtility {
+			s.MinUtility = q.Utility
+		}
+		if q.Utility > s.MaxUtility {
+			s.MaxUtility = q.Utility
+		}
+	}
+	s.AvgLength = lenSum / float64(s.Queries)
+	s.MeanUtility = s.TotalUtility / float64(s.Queries)
+	s.LengthShare = make([]float64, maxLen+1)
+	for l := 1; l <= maxLen; l++ {
+		s.LengthShare[l] = float64(counts[l]) / float64(s.Queries)
+	}
+	var costSum float64
+	for _, c := range in.Classifiers() {
+		if c.Cost == 0 {
+			s.FreeClassifiers++
+		}
+		if c.Cost < s.MinCost {
+			s.MinCost = c.Cost
+		}
+		if c.Cost > s.MaxCost {
+			s.MaxCost = c.Cost
+		}
+		costSum += c.Cost
+	}
+	if s.Classifiers > 0 {
+		s.MeanCost = costSum / float64(s.Classifiers)
+	} else {
+		s.MinCost = 0
+	}
+	return s
+}
+
+// String renders the summary in the style of the paper's dataset
+// descriptions.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d queries over %d properties (%d candidate classifiers), total utility %.0f\n",
+		s.Queries, s.Properties, s.Classifiers, s.TotalUtility)
+	var parts []string
+	for l := 1; l < len(s.LengthShare); l++ {
+		if s.LengthShare[l] > 0 {
+			parts = append(parts, fmt.Sprintf("len %d: %.1f%%", l, 100*s.LengthShare[l]))
+		}
+	}
+	fmt.Fprintf(&b, "lengths: %s (avg %.2f)\n", strings.Join(parts, ", "), s.AvgLength)
+	fmt.Fprintf(&b, "costs: [%.0f, %.0f] mean %.1f (%d already built)\n",
+		s.MinCost, s.MaxCost, s.MeanCost, s.FreeClassifiers)
+	fmt.Fprintf(&b, "utilities: [%.0f, %.0f] mean %.1f",
+		s.MinUtility, s.MaxUtility, s.MeanUtility)
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes into the JSON instance reader; it must
+// never panic, and accepted instances must be internally consistent.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Write(&seed, PrivateSubset(1, 10, 15))
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": ["a"], "utility": 1}]}`))
+	f.Add([]byte(`{"budget": -1, "queries": [{"props": ["a"], "utility": 1}]}`))
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": [], "utility": 1}]}`))
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": ["a"], "utility": -3}]}`))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(`{"budget": 1e308, "queries": [{"props": ["x","y"], "utility": 2}],
+	  "costs": [{"props": ["x"], "cost": 0, "inf": true}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if in.NumQueries() == 0 {
+			t.Fatal("accepted instance with no queries")
+		}
+		if in.Budget() < 0 {
+			t.Fatalf("accepted negative budget %v", in.Budget())
+		}
+		for _, q := range in.Queries() {
+			if q.Utility < 0 {
+				t.Fatalf("accepted negative utility %v", q.Utility)
+			}
+		}
+		for _, c := range in.Classifiers() {
+			if c.Cost < 0 {
+				t.Fatalf("accepted negative cost %v", c.Cost)
+			}
+		}
+		// Round trip must preserve query count.
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumQueries() != in.NumQueries() {
+			t.Fatalf("round trip query count %d != %d", back.NumQueries(), in.NumQueries())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// FileFormat is the on-disk JSON schema for BCC instances, usable with
+// cmd/bccsolve and cmd/bccgen. Costs may be "inf" to exclude a classifier.
+type FileFormat struct {
+	Budget  float64      `json:"budget"`
+	Queries []FileQuery  `json:"queries"`
+	Costs   []FileCost   `json:"costs,omitempty"`
+	Default *FileDefault `json:"default_cost,omitempty"`
+}
+
+// FileQuery is one query row.
+type FileQuery struct {
+	Props   []string `json:"props"`
+	Utility float64  `json:"utility"`
+}
+
+// FileCost prices one classifier; Inf marks it impractical.
+type FileCost struct {
+	Props []string `json:"props"`
+	Cost  float64  `json:"cost"`
+	Inf   bool     `json:"inf,omitempty"`
+}
+
+// FileDefault sets the cost of unpriced classifiers: Cost plus PerProp
+// times the classifier length.
+type FileDefault struct {
+	Cost    float64 `json:"cost"`
+	PerProp float64 `json:"per_prop"`
+}
+
+// Write serializes an instance to JSON. Only explicitly enumerable costs
+// (those of classifiers in CL) are written.
+func Write(w io.Writer, in *model.Instance) error {
+	ff := FileFormat{Budget: in.Budget()}
+	u := in.Universe()
+	names := func(s propset.Set) []string {
+		out := make([]string, s.Len())
+		for i, id := range s {
+			out[i] = u.Name(id)
+		}
+		return out
+	}
+	for _, q := range in.Queries() {
+		ff.Queries = append(ff.Queries, FileQuery{Props: names(q.Props), Utility: q.Utility})
+	}
+	for _, c := range in.Classifiers() {
+		ff.Costs = append(ff.Costs, FileCost{Props: names(c.Props), Cost: c.Cost})
+	}
+	sort.Slice(ff.Costs, func(i, j int) bool { return less(ff.Costs[i].Props, ff.Costs[j].Props) })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+func less(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Read parses a JSON instance.
+func Read(r io.Reader) (*model.Instance, error) {
+	var ff FileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decoding instance: %w", err)
+	}
+	b := model.NewBuilder()
+	for _, q := range ff.Queries {
+		b.AddQuery(q.Utility, q.Props...)
+	}
+	for _, c := range ff.Costs {
+		cost := c.Cost
+		if c.Inf {
+			cost = math.Inf(1)
+		}
+		b.SetCost(cost, c.Props...)
+	}
+	if d := ff.Default; d != nil {
+		b.SetDefaultCost(func(s propset.Set) float64 {
+			return d.Cost + d.PerProp*float64(s.Len())
+		})
+	}
+	return b.Instance(ff.Budget)
+}
+
+// ReadFile loads an instance from a JSON file.
+func ReadFile(path string) (*model.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile saves an instance to a JSON file.
+func WriteFile(path string, in *model.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, in)
+}

@@ -1,0 +1,228 @@
+package densest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wgraph"
+)
+
+// bruteRatio finds the optimal ratio by enumerating all non-empty subsets.
+func bruteRatio(g *wgraph.Graph) float64 {
+	n := g.NumNodes()
+	best := 0.0
+	var nodes []int
+	for mask := 1; mask < 1<<n; mask++ {
+		nodes = nodes[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				nodes = append(nodes, v)
+			}
+		}
+		r := ratio(g.InducedWeightOf(nodes), g.TotalCost(nodes))
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+func TestExactSimple(t *testing.T) {
+	// Triangle with cheap nodes vs a heavy but expensive pair.
+	g := wgraph.New(5)
+	for v := 0; v < 3; v++ {
+		g.SetCost(v, 1)
+	}
+	g.SetCost(3, 50)
+	g.SetCost(4, 50)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(3, 4, 30)
+	res := ExactGraph(g)
+	if math.Abs(res.Ratio-4) > 1e-9 { // triangle: 12/3 = 4 vs pair 30/100
+		t.Fatalf("Ratio = %v, want 4", res.Ratio)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(8)
+		g := wgraph.New(n)
+		for v := 0; v < n; v++ {
+			g.SetCost(v, float64(1+rng.Intn(9)))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.45 {
+					g.AddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		if g.NumEdges() == 0 {
+			continue
+		}
+		got := ExactGraph(g)
+		want := bruteRatio(g)
+		if math.Abs(got.Ratio-want) > 1e-6 {
+			t.Fatalf("trial %d: exact ratio %v != brute %v", trial, got.Ratio, want)
+		}
+	}
+}
+
+func TestExactWithZeroCostAnchor(t *testing.T) {
+	// ECC-style v* anchor: singleton query edges to a zero-cost vertex.
+	g := wgraph.New(3)
+	g.SetCost(0, 0) // v*
+	g.SetCost(1, 2)
+	g.SetCost(2, 10)
+	g.AddEdge(0, 1, 6) // singleton query of utility 6 for classifier 1
+	g.AddEdge(0, 2, 5)
+	res := ExactGraph(g)
+	if math.Abs(res.Ratio-3) > 1e-9 { // {v*, 1}: 6/2 = 3
+		t.Fatalf("Ratio = %v, want 3", res.Ratio)
+	}
+}
+
+func TestExactInfiniteRatio(t *testing.T) {
+	g := wgraph.New(2)
+	g.SetCost(0, 0)
+	g.SetCost(1, 0)
+	g.AddEdge(0, 1, 5)
+	res := ExactGraph(g)
+	if !math.IsInf(res.Ratio, 1) {
+		t.Fatalf("zero-cost positive-weight set must have ratio +Inf, got %v", res.Ratio)
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	res := ExactGraph(wgraph.New(0))
+	if res.Ratio != 0 {
+		t.Fatalf("empty graph ratio %v", res.Ratio)
+	}
+}
+
+func TestPeelGraphCase(t *testing.T) {
+	// Peeling on a plain graph (hyperedges of size 2) should find the
+	// clearly densest core.
+	h := Hypergraph{
+		NodeCost: []float64{1, 1, 1, 10},
+		Edges: []HEdge{
+			{Nodes: []int{0, 1}, W: 5},
+			{Nodes: []int{1, 2}, W: 5},
+			{Nodes: []int{0, 2}, W: 5},
+			{Nodes: []int{2, 3}, W: 1},
+		},
+	}
+	res := PeelHypergraph(h)
+	if math.Abs(res.Ratio-5) > 1e-9 { // triangle 15/3
+		t.Fatalf("Ratio = %v, want 5 (%v)", res.Ratio, res.Nodes)
+	}
+}
+
+func TestPeelHyperedges(t *testing.T) {
+	h := Hypergraph{
+		NodeCost: []float64{1, 1, 1, 5, 5, 5},
+		Edges: []HEdge{
+			{Nodes: []int{0, 1, 2}, W: 9},
+			{Nodes: []int{3, 4, 5}, W: 9},
+		},
+	}
+	res := PeelHypergraph(h)
+	if math.Abs(res.Ratio-3) > 1e-9 { // cheap triple: 9/3
+		t.Fatalf("Ratio = %v, want 3 (%v)", res.Ratio, res.Nodes)
+	}
+}
+
+func TestPeelWithinFactorOfExact(t *testing.T) {
+	// On graphs (r = 2), peeling must be within factor 2 of the exact
+	// ratio; typically much closer.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(8)
+		g := wgraph.New(n)
+		h := Hypergraph{NodeCost: make([]float64, n)}
+		for v := 0; v < n; v++ {
+			c := float64(1 + rng.Intn(9))
+			g.SetCost(v, c)
+			h.NodeCost[v] = c
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					w := float64(1 + rng.Intn(9))
+					g.AddEdge(u, v, w)
+					h.Edges = append(h.Edges, HEdge{Nodes: []int{u, v}, W: w})
+				}
+			}
+		}
+		if len(h.Edges) == 0 {
+			continue
+		}
+		peel := PeelHypergraph(h)
+		opt := bruteRatio(g)
+		if peel.Ratio < opt/2-1e-9 {
+			t.Fatalf("trial %d: peel ratio %v below half of optimal %v",
+				trial, peel.Ratio, opt)
+		}
+		if peel.Ratio > opt+1e-9 {
+			t.Fatalf("trial %d: peel ratio %v exceeds optimal %v (bug)",
+				trial, peel.Ratio, opt)
+		}
+	}
+}
+
+func TestPeelZeroCostNodeKeptLast(t *testing.T) {
+	h := Hypergraph{
+		NodeCost: []float64{0, 1},
+		Edges:    []HEdge{{Nodes: []int{0, 1}, W: 4}},
+	}
+	res := PeelHypergraph(h)
+	if math.Abs(res.Ratio-4) > 1e-9 {
+		t.Fatalf("Ratio = %v, want 4", res.Ratio)
+	}
+}
+
+func BenchmarkExactGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 150
+	g := wgraph.New(n)
+	for v := 0; v < n; v++ {
+		g.SetCost(v, float64(1+rng.Intn(20)))
+	}
+	for i := 0; i < 800; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdgeMerged(u, v, float64(1+rng.Intn(10)))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExactGraph(g)
+	}
+}
+
+func BenchmarkPeelHypergraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	h := Hypergraph{NodeCost: make([]float64, n)}
+	for v := 0; v < n; v++ {
+		h.NodeCost[v] = float64(1 + rng.Intn(20))
+	}
+	for i := 0; i < 10000; i++ {
+		sz := 2 + rng.Intn(2)
+		nodes := make([]int, sz)
+		for j := range nodes {
+			nodes[j] = rng.Intn(n)
+		}
+		h.Edges = append(h.Edges, HEdge{Nodes: nodes, W: float64(1 + rng.Intn(10))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PeelHypergraph(h)
+	}
+}

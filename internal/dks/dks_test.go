@@ -1,0 +1,249 @@
+package dks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wgraph"
+)
+
+// plantedGraph hides a dense clique of size k inside a sparse random graph.
+func plantedGraph(rng *rand.Rand, n, k int, noise float64) (*wgraph.Graph, []int) {
+	g := wgraph.New(n)
+	perm := rng.Perm(n)
+	clique := append([]int(nil), perm[:k]...)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(clique[i], clique[j], 1)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < noise {
+				g.AddEdgeMerged(u, v, 1)
+			}
+		}
+	}
+	return g, clique
+}
+
+func randomWeighted(rng *rand.Rand, n int, p float64) *wgraph.Graph {
+	g := wgraph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, 1+rng.Float64()*9)
+			}
+		}
+	}
+	return g
+}
+
+func TestSolveCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		g := randomWeighted(rng, 20, 0.3)
+		for k := 0; k <= 22; k++ {
+			got := Solve(g, k, Options{Seed: 7})
+			limit := k
+			if limit > 20 {
+				limit = 20
+			}
+			if len(got) > limit {
+				t.Fatalf("Solve returned %d nodes for k=%d", len(got), k)
+			}
+			seen := map[int]bool{}
+			for _, v := range got {
+				if seen[v] {
+					t.Fatalf("duplicate node %d in solution", v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSolveFindsPlantedClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, clique := plantedGraph(rng, 60, 8, 0.02)
+	got := Solve(g, 8, Options{Seed: 3})
+	gotW := g.InducedWeightOf(got)
+	wantW := g.InducedWeightOf(clique)
+	if gotW < wantW*0.9 {
+		t.Fatalf("planted clique: got weight %v, planted %v", gotW, wantW)
+	}
+}
+
+func TestSolveNearOptimalSmall(t *testing.T) {
+	// Portfolio should stay within the 65–80%-of-optimal band the paper
+	// quotes for the HkS heuristic; on these tiny instances it is usually
+	// exact, so check a conservative 80% floor.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(8)
+		g := randomWeighted(rng, n, 0.4)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		k := 2 + rng.Intn(4)
+		got := g.InducedWeightOf(Solve(g, k, Options{Seed: int64(trial + 1)}))
+		opt := g.InducedWeightOf(BruteForce(g, k))
+		if opt > 0 && got < 0.8*opt {
+			t.Fatalf("trial %d: heuristic %v < 0.8 × optimal %v (n=%d k=%d)",
+				trial, got, opt, n, k)
+		}
+	}
+}
+
+func TestGreedyPeelBasics(t *testing.T) {
+	// Two triangles bridged by one edge; peeling to 3 should keep the
+	// heavier triangle.
+	g := wgraph.New(6)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 5)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(2, 3, 0.5)
+	got := GreedyPeel(g, 3)
+	if w := g.InducedWeightOf(got); w != 15 {
+		t.Fatalf("peel weight = %v, want 15 (nodes %v)", w, got)
+	}
+}
+
+func TestGreedyExpandBasics(t *testing.T) {
+	g := wgraph.New(5)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 9)
+	g.AddEdge(3, 4, 1)
+	got := GreedyExpand(g, 3, -1)
+	if w := g.InducedWeightOf(got); w != 19 {
+		t.Fatalf("expand weight = %v, want 19 (nodes %v)", w, got)
+	}
+}
+
+func TestGreedyExpandDisconnectedFill(t *testing.T) {
+	g := wgraph.New(4)
+	g.AddEdge(0, 1, 1)
+	got := GreedyExpand(g, 4, 0)
+	if len(got) != 4 {
+		t.Fatalf("expand should fill to k across components, got %v", got)
+	}
+}
+
+func TestLocalSearchImproves(t *testing.T) {
+	// Start from a deliberately bad set; local search must find the
+	// heavy pair.
+	g := wgraph.New(6)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 5, 1)
+	out := LocalSearch(g, 2, []int{0, 2}, 10)
+	if w := g.InducedWeightOf(out); w != 100 {
+		t.Fatalf("local search ended at weight %v, want 100 (%v)", w, out)
+	}
+}
+
+func TestSpectralFindsDenseCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, clique := plantedGraph(rng, 40, 6, 0.01)
+	got := Spectral(g, 6, 80)
+	gotW := g.InducedWeightOf(got)
+	wantW := g.InducedWeightOf(clique)
+	if gotW < wantW*0.7 {
+		t.Fatalf("spectral weight %v too far below planted %v", gotW, wantW)
+	}
+}
+
+func TestBruteForceExactTriangle(t *testing.T) {
+	g := wgraph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(3, 4, 10)
+	got := BruteForce(g, 2)
+	if w := g.InducedWeightOf(got); w != 10 {
+		t.Fatalf("brute k=2 weight = %v, want 10", w)
+	}
+	// k=3: the heavy pair {3,4} plus any third node (weight 10) beats the
+	// unit triangle (weight 3).
+	got = BruteForce(g, 3)
+	if w := g.InducedWeightOf(got); w != 10 {
+		t.Fatalf("brute k=3 weight = %v, want 10", w)
+	}
+}
+
+func TestExactForestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(12)
+		g := wgraph.New(n)
+		// Random forest: each node i>0 connects to a random earlier node
+		// with probability 0.8 (otherwise it starts a new component).
+		for i := 1; i < n; i++ {
+			if rng.Float64() < 0.8 {
+				g.AddEdge(rng.Intn(i), i, 1+float64(rng.Intn(9)))
+			}
+		}
+		k := 1 + rng.Intn(n)
+		got, ok := ExactForest(g, k)
+		if !ok {
+			t.Fatalf("trial %d: forest not recognized", trial)
+		}
+		if len(got) > k {
+			t.Fatalf("trial %d: %d nodes exceed k=%d", trial, len(got), k)
+		}
+		gotW := g.InducedWeightOf(got)
+		optW := g.InducedWeightOf(BruteForce(g, k))
+		if math.Abs(gotW-optW) > 1e-9 {
+			t.Fatalf("trial %d: tree DP %v != brute %v (n=%d k=%d)",
+				trial, gotW, optW, n, k)
+		}
+	}
+}
+
+func TestExactForestRejectsCycle(t *testing.T) {
+	g := wgraph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	if _, ok := ExactForest(g, 2); ok {
+		t.Fatal("cycle accepted as forest")
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	g := wgraph.New(3)
+	if got := Solve(g, 2, Options{}); got != nil {
+		t.Fatalf("edgeless graph: got %v, want nil", got)
+	}
+	g.AddEdge(0, 1, 1)
+	if got := Solve(g, 0, Options{}); got != nil {
+		t.Fatalf("k=0: got %v", got)
+	}
+	if got := Solve(g, 5, Options{}); len(got) != 3 {
+		t.Fatalf("k≥n should return all nodes, got %v", got)
+	}
+}
+
+func BenchmarkSolvePortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomWeighted(rng, 400, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Solve(g, 40, Options{Seed: int64(i + 1)})
+	}
+}
+
+func BenchmarkGreedyPeel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomWeighted(rng, 1000, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyPeel(g, 100)
+	}
+}

@@ -1,0 +1,207 @@
+package dks
+
+import (
+	"math"
+
+	"repro/internal/wgraph"
+)
+
+// ExactForest solves HkS exactly when the graph is a forest (every
+// connected component acyclic), via the classic O(n·k²) tree dynamic
+// program the paper cites ([44]). It returns the chosen nodes and true, or
+// nil and false when the graph contains a cycle.
+func ExactForest(g *wgraph.Graph, k int) ([]int, bool) {
+	n := g.NumNodes()
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, isForest(g)
+	}
+	if !isForest(g) {
+		return nil, false
+	}
+	if k <= 0 {
+		return []int{}, true
+	}
+
+	negInf := math.Inf(-1)
+	type table struct {
+		// val[b][j]: best induced weight using exactly j chosen nodes in
+		// the subtree, with the root chosen iff b==1.
+		val [2][]float64
+	}
+	tables := make([]table, n)
+	parent := make([]int, n)
+	parentW := make([]float64, n)
+	children := make([][]int, n)
+	// split[v][ci][b][j] = (jPrev, jChild, bChild) for reconstruction.
+	type splitEntryW struct{ jPrev, jChild, bChild int }
+	splits := make([][][2][]splitEntryW, n)
+
+	visited := make([]bool, n)
+	var roots []int
+	var order []int // post-order
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		roots = append(roots, start)
+		parent[start] = -1
+		// Iterative DFS to build parent/children and post-order.
+		stack := []int{start}
+		visited[start] = true
+		var pre []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			pre = append(pre, u)
+			g.Neighbors(u, func(w int, wt float64, _ int) {
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = u
+					parentW[w] = wt
+					children[u] = append(children[u], w)
+					stack = append(stack, w)
+				}
+			})
+		}
+		for i := len(pre) - 1; i >= 0; i-- {
+			order = append(order, pre[i])
+		}
+	}
+
+	for _, v := range order {
+		var t table
+		t.val[0] = make([]float64, k+1)
+		t.val[1] = make([]float64, k+1)
+		for j := 0; j <= k; j++ {
+			t.val[0][j] = negInf
+			t.val[1][j] = negInf
+		}
+		t.val[0][0] = 0
+		if k >= 1 {
+			t.val[1][1] = 0
+		}
+		splits[v] = make([][2][]splitEntryW, len(children[v]))
+		for ci, c := range children[v] {
+			ct := tables[c]
+			var nt table
+			nt.val[0] = make([]float64, k+1)
+			nt.val[1] = make([]float64, k+1)
+			var sp [2][]splitEntryW
+			sp[0] = make([]splitEntryW, k+1)
+			sp[1] = make([]splitEntryW, k+1)
+			for b := 0; b <= 1; b++ {
+				for j := 0; j <= k; j++ {
+					nt.val[b][j] = negInf
+					sp[b][j] = splitEntryW{-1, -1, -1}
+					for jc := 0; jc <= j; jc++ {
+						if t.val[b][j-jc] == negInf {
+							continue
+						}
+						for bc := 0; bc <= 1; bc++ {
+							if ct.val[bc][jc] == negInf {
+								continue
+							}
+							cand := t.val[b][j-jc] + ct.val[bc][jc]
+							if b == 1 && bc == 1 {
+								cand += parentW[c]
+							}
+							if cand > nt.val[b][j] {
+								nt.val[b][j] = cand
+								sp[b][j] = splitEntryW{j - jc, jc, bc}
+							}
+						}
+					}
+				}
+			}
+			t = nt
+			splits[v][ci] = sp
+		}
+		tables[v] = t
+	}
+
+	// Roots behave like children of a virtual super-node with no edges:
+	// distribute k among them by one more knapsack merge.
+	best := make([]float64, k+1)
+	choice := make([][]struct{ jPrev, jRoot, bRoot int }, len(roots))
+	for j := range best {
+		best[j] = negInf
+	}
+	best[0] = 0
+	for ri, r := range roots {
+		nt := make([]float64, k+1)
+		ch := make([]struct{ jPrev, jRoot, bRoot int }, k+1)
+		for j := 0; j <= k; j++ {
+			nt[j] = negInf
+			ch[j] = struct{ jPrev, jRoot, bRoot int }{-1, -1, -1}
+			for jr := 0; jr <= j; jr++ {
+				if best[j-jr] == negInf {
+					continue
+				}
+				for br := 0; br <= 1; br++ {
+					if tables[r].val[br][jr] == negInf {
+						continue
+					}
+					if cand := best[j-jr] + tables[r].val[br][jr]; cand > nt[j] {
+						nt[j] = cand
+						ch[j] = struct{ jPrev, jRoot, bRoot int }{j - jr, jr, br}
+					}
+				}
+			}
+		}
+		best = nt
+		choice[ri] = ch
+	}
+	// Optimum allows fewer than k nodes (extra isolated picks are free, but
+	// exactly-j DP may be infeasible for some j; take the best j ≤ k).
+	bestJ, bestVal := 0, negInf
+	for j := 0; j <= k; j++ {
+		if best[j] > bestVal {
+			bestJ, bestVal = j, best[j]
+		}
+	}
+
+	// Reconstruct root allocations backwards.
+	var out []int
+	type nodeTask struct{ v, j, b int }
+	var tasks []nodeTask
+	j := bestJ
+	for ri := len(roots) - 1; ri >= 0; ri-- {
+		ch := choice[ri][j]
+		if ch.jPrev < 0 {
+			// This j was reached without this root contributing; skip.
+			continue
+		}
+		tasks = append(tasks, nodeTask{roots[ri], ch.jRoot, ch.bRoot})
+		j = ch.jPrev
+	}
+	for len(tasks) > 0 {
+		tk := tasks[len(tasks)-1]
+		tasks = tasks[:len(tasks)-1]
+		if tk.b == 1 {
+			out = append(out, tk.v)
+		}
+		jj, bb := tk.j, tk.b
+		for ci := len(children[tk.v]) - 1; ci >= 0; ci-- {
+			sp := splits[tk.v][ci][bb][jj]
+			if sp.jPrev < 0 {
+				continue
+			}
+			tasks = append(tasks, nodeTask{children[tk.v][ci], sp.jChild, sp.bChild})
+			jj = sp.jPrev
+		}
+	}
+	return out, true
+}
+
+func isForest(g *wgraph.Graph) bool {
+	for _, comp := range g.ConnectedComponents() {
+		if !g.IsTreeComponent(comp) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,489 @@
+// Package ecc implements the Effective Classifier Construction problem
+// (Definition 5.2 of the paper): find the classifier set maximizing the
+// ratio of covered utility to construction cost — "bang for the buck" when
+// the budget is flexible.
+//
+// Following Theorem 5.4, A^ECC reduces the problem to Densest Subgraph:
+// for l = 2, singleton classifiers become nodes (weight = cost), length-2
+// queries become edges (weight = utility), and singleton queries attach to
+// a zero-cost vertex v*; the DS optimum over this graph is compared with
+// the best single exact-match classifier, and the better ratio wins —
+// which is exact for l = 2. For l > 2 the construction generalizes to a
+// hypergraph of minimal covers solved by greedy peeling (the O(1)-
+// approximation the paper's experiments used).
+//
+// The RAND(E), IG1(E) and IG2(E) baselines run their BCC counterparts
+// without a budget until all queries are covered, returning the prefix of
+// selections with the best ratio observed.
+package ecc
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/densest"
+	"repro/internal/model"
+	"repro/internal/propset"
+	"repro/internal/wgraph"
+)
+
+// Result reports an ECC run.
+type Result struct {
+	Solution *model.Solution
+	Utility  float64
+	Cost     float64
+	// Ratio is Utility/Cost (+Inf when Cost is 0 and Utility > 0).
+	Ratio float64
+	// Duration is the wall-clock solve time.
+	Duration time.Duration
+}
+
+func ratio(u, c float64) float64 {
+	if c <= 0 {
+		if u > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return u / c
+}
+
+func resultOf(in *model.Instance, classifiers []propset.Set, start time.Time) Result {
+	s := model.NewSolution(in)
+	for _, c := range classifiers {
+		s.Add(c)
+	}
+	u, c := s.Utility(), s.Cost()
+	return Result{Solution: s, Utility: u, Cost: c, Ratio: ratio(u, c), Duration: time.Since(start)}
+}
+
+// maxMinimalCoversPerQuery caps hyperedge enumeration for long queries;
+// the constant bound exists because l = O(1) (see Theorem 5.4's proof).
+const maxMinimalCoversPerQuery = 256
+
+// Solve runs A^ECC on the instance (the budget field is ignored).
+func Solve(in *model.Instance) Result {
+	start := time.Now()
+
+	// Candidate 1: the best single exact-match classifier. A single
+	// classifier covers exactly the identical query.
+	bestSingle := Result{}
+	for _, q := range in.Queries() {
+		c := in.Cost(q.Props)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		if r := ratio(q.Utility, c); r > bestSingle.Ratio {
+			bestSingle = resultOf(in, []propset.Set{q.Props}, start)
+		}
+	}
+
+	// Candidate 2: densest subgraph over sub-classifiers.
+	var bestDS Result
+	if in.MaxQueryLength() <= 2 {
+		bestDS = solveGraphDS(in, start)
+	} else {
+		bestDS = solveHypergraphDS(in, start)
+	}
+
+	best := bestSingle
+	if bestDS.Ratio > best.Ratio {
+		best = bestDS
+	}
+	// Candidates 3 and 4 (l > 2 only, where the hypergraph peeling is just
+	// an r-approximation): the greedy best-ratio prefixes. For l ≤ 2 the DS
+	// candidate is provably optimal and the extra work is skipped.
+	if in.MaxQueryLength() > 2 {
+		if g := SolveIG2(in); g.Ratio > best.Ratio {
+			best = g
+		}
+		if g := SolveIG1(in); g.Ratio > best.Ratio {
+			best = g
+		}
+	}
+	best.Duration = time.Since(start)
+	return best
+}
+
+// solveGraphDS is the exact l ≤ 2 reduction: nodes are singleton
+// classifiers, edges are queries, v* anchors singletons.
+func solveGraphDS(in *model.Instance, start time.Time) Result {
+	// Index singleton classifiers with finite cost.
+	idx := map[propset.ID]int{}
+	var props []propset.ID
+	nodeOf := func(p propset.ID) int {
+		if i, ok := idx[p]; ok {
+			return i
+		}
+		i := len(props)
+		idx[p] = i
+		props = append(props, p)
+		return i
+	}
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	for _, q := range in.Queries() {
+		switch q.Props.Len() {
+		case 1:
+			if math.IsInf(in.Cost(q.Props), 1) {
+				continue
+			}
+			edges = append(edges, edge{u: nodeOf(q.Props[0]), v: -1, w: q.Utility})
+		case 2:
+			cx := in.Cost(propset.New(q.Props[0]))
+			cy := in.Cost(propset.New(q.Props[1]))
+			if math.IsInf(cx, 1) || math.IsInf(cy, 1) {
+				continue // only coverable by the pair classifier (candidate 1)
+			}
+			edges = append(edges, edge{u: nodeOf(q.Props[0]), v: nodeOf(q.Props[1]), w: q.Utility})
+		}
+	}
+	if len(edges) == 0 {
+		return Result{}
+	}
+	g := wgraph.New(len(props) + 1)
+	vStar := len(props)
+	g.SetCost(vStar, 0)
+	for i, p := range props {
+		g.SetCost(i, in.Cost(propset.New(p)))
+	}
+	for _, e := range edges {
+		v := e.v
+		if v < 0 {
+			v = vStar
+		}
+		g.AddEdgeMerged(e.u, v, e.w)
+	}
+	ds := densest.ExactGraph(g)
+	var sel []propset.Set
+	for _, v := range ds.Nodes {
+		if v != vStar {
+			sel = append(sel, propset.New(props[v]))
+		}
+	}
+	if len(sel) == 0 {
+		return Result{}
+	}
+	return resultOf(in, sel, start)
+}
+
+// solveHypergraphDS is the l > 2 generalization: vertices are classifiers
+// of length ≤ l−1, hyperedges are minimal covers of each query.
+func solveHypergraphDS(in *model.Instance, start time.Time) Result {
+	l := in.MaxQueryLength()
+	vIdx := map[string]int{}
+	var vSets []propset.Set
+	vertexOf := func(c propset.Set) int {
+		k := c.Key()
+		if i, ok := vIdx[k]; ok {
+			return i
+		}
+		i := len(vSets)
+		vIdx[k] = i
+		vSets = append(vSets, c.Clone())
+		return i
+	}
+
+	var h densest.Hypergraph
+	for _, q := range in.Queries() {
+		covers := minimalCovers(in, q.Props, l-1)
+		for _, cov := range covers {
+			nodes := make([]int, len(cov))
+			for i, c := range cov {
+				nodes[i] = vertexOf(c)
+			}
+			h.Edges = append(h.Edges, densest.HEdge{Nodes: nodes, W: q.Utility})
+		}
+	}
+	if len(h.Edges) == 0 {
+		return Result{}
+	}
+	h.NodeCost = make([]float64, len(vSets))
+	for i, c := range vSets {
+		h.NodeCost[i] = in.Cost(c)
+	}
+	ds := densest.PeelHypergraph(h)
+	var sel []propset.Set
+	for _, v := range ds.Nodes {
+		sel = append(sel, vSets[v])
+	}
+	if len(sel) == 0 {
+		return Result{}
+	}
+	return resultOf(in, sel, start)
+}
+
+// minimalCovers enumerates the minimal classifier sets covering q using
+// finite-cost classifiers of length ≤ maxPart, capped at
+// maxMinimalCoversPerQuery.
+func minimalCovers(in *model.Instance, q propset.Set, maxPart int) [][]propset.Set {
+	var parts []propset.Set
+	q.Subsets(func(sub propset.Set) {
+		if sub.Len() > maxPart {
+			return
+		}
+		if math.IsInf(in.Cost(sub), 1) {
+			return
+		}
+		parts = append(parts, sub.Clone())
+	})
+	var out [][]propset.Set
+	var cur []propset.Set
+	var rec func(uncovered propset.Set, startIdx int)
+	rec = func(uncovered propset.Set, startIdx int) {
+		if len(out) >= maxMinimalCoversPerQuery {
+			return
+		}
+		if uncovered.Empty() {
+			// Minimality: every part must contribute a unique property.
+			for i, c := range cur {
+				var rest propset.Set
+				for j, d := range cur {
+					if i != j {
+						rest = rest.Union(d)
+					}
+				}
+				if c.SubsetOf(rest) {
+					return // redundant part ⇒ not minimal
+				}
+			}
+			out = append(out, append([]propset.Set(nil), cur...))
+			return
+		}
+		// Branch over parts containing the first uncovered property.
+		p := uncovered[0]
+		for i := startIdx; i < len(parts); i++ {
+			if !parts[i].Contains(p) {
+				continue
+			}
+			cur = append(cur, parts[i])
+			rec(uncovered.Minus(parts[i]), 0)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(q, 0)
+	return dedupeCovers(out)
+}
+
+func dedupeCovers(covers [][]propset.Set) [][]propset.Set {
+	seen := map[string]bool{}
+	var out [][]propset.Set
+	for _, cov := range covers {
+		keys := make([]string, len(cov))
+		for i, c := range cov {
+			keys[i] = c.Key()
+		}
+		// Order-insensitive signature.
+		sortStrings(keys)
+		sig := ""
+		for _, k := range keys {
+			sig += k + "|"
+		}
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, cov)
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SolveRand is RAND(E): select random classifiers until every coverable
+// query is covered, returning the prefix with the best observed ratio.
+func SolveRand(in *model.Instance, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := cover.New(in)
+	pool := make([]propset.Set, 0, len(in.Classifiers()))
+	for _, c := range in.Classifiers() {
+		pool = append(pool, c.Props)
+	}
+	var order []propset.Set
+	bestLen, bestRatio := 0, 0.0
+	for len(pool) > 0 {
+		i := rng.Intn(len(pool))
+		c := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if t.Has(c) {
+			continue
+		}
+		t.Add(c)
+		order = append(order, c)
+		if r := ratio(t.Utility(), t.Cost()); r > bestRatio {
+			bestRatio, bestLen = r, len(order)
+		}
+	}
+	return resultOf(in, order[:bestLen], start)
+}
+
+// SolveIG1 is IG1(E): greedy per-query covers until everything coverable
+// is covered; output the best-ratio prefix. Query scores live in a lazily
+// revalidated max-heap (see gmc3.SolveIG1 for the identical pattern).
+func SolveIG1(in *model.Instance) Result {
+	start := time.Now()
+	t := cover.New(in)
+	h := &ratioHeap{}
+	heap.Init(h)
+	score := make([]float64, in.NumQueries())
+	covSets := make([][]propset.Set, in.NumQueries())
+
+	refresh := func(qi int) {
+		if t.Covered(qi) {
+			score[qi] = 0
+			return
+		}
+		cost, sets := t.MinCoverCost(qi, nil)
+		covSets[qi] = sets
+		u := in.Queries()[qi].Utility
+		switch {
+		case math.IsInf(cost, 1):
+			score[qi] = 0
+		case cost == 0:
+			score[qi] = math.Inf(1)
+		default:
+			score[qi] = u / cost
+		}
+		if score[qi] > 0 {
+			heap.Push(h, ratioEntry{qi, score[qi]})
+		}
+	}
+	for qi := range in.Queries() {
+		refresh(qi)
+	}
+
+	var order []propset.Set
+	bestLen, bestRatio := 0, 0.0
+	for h.Len() > 0 {
+		e := heap.Pop(h).(ratioEntry)
+		qi := e.i
+		if t.Covered(qi) || score[qi] == 0 {
+			continue
+		}
+		if e.score > score[qi]+1e-12 || e.score < score[qi]-1e-12 {
+			heap.Push(h, ratioEntry{qi, score[qi]})
+			continue
+		}
+		if len(covSets[qi]) == 0 {
+			score[qi] = 0
+			continue
+		}
+		touched := map[int]bool{}
+		for _, c := range covSets[qi] {
+			for _, q2 := range t.RelevantQueries(c) {
+				touched[q2] = true
+			}
+			if t.Add(c) {
+				order = append(order, c)
+			}
+		}
+		for q2 := range touched {
+			refresh(q2)
+		}
+		if r := ratio(t.Utility(), t.Cost()); r > bestRatio {
+			bestRatio, bestLen = r, len(order)
+		}
+	}
+	return resultOf(in, order[:bestLen], start)
+}
+
+// SolveIG2 is IG2(E): greedy single-classifier ratio selection until
+// everything coverable is covered; output the best-ratio prefix.
+func SolveIG2(in *model.Instance) Result {
+	start := time.Now()
+	t := cover.New(in)
+	util := make(map[string]float64)
+	for _, q := range in.Queries() {
+		u := q.Utility
+		q.Props.Subsets(func(sub propset.Set) {
+			util[sub.Key()] += u
+		})
+	}
+	classifiers := in.Classifiers()
+	scoreOf := func(ci int) float64 {
+		c := classifiers[ci]
+		u := util[c.Props.Key()]
+		if u <= 0 {
+			return 0
+		}
+		if c.Cost == 0 {
+			return math.Inf(1)
+		}
+		return u / c.Cost
+	}
+	h := &ratioHeap{}
+	heap.Init(h)
+	for ci := range classifiers {
+		if sc := scoreOf(ci); sc > 0 {
+			heap.Push(h, ratioEntry{ci, sc})
+		}
+	}
+	var order []propset.Set
+	bestLen, bestRatio := 0, 0.0
+	for h.Len() > 0 {
+		e := heap.Pop(h).(ratioEntry)
+		c := classifiers[e.i]
+		if t.Has(c.Props) {
+			continue
+		}
+		sc := scoreOf(e.i)
+		if sc == 0 {
+			continue
+		}
+		if e.score > sc+1e-12 {
+			heap.Push(h, ratioEntry{e.i, sc})
+			continue
+		}
+		rel := t.RelevantQueries(c.Props)
+		before := make([]bool, len(rel))
+		for i, qi := range rel {
+			before[i] = t.Covered(qi)
+		}
+		t.Add(c.Props)
+		order = append(order, c.Props)
+		for i, qi := range rel {
+			if t.Covered(qi) && !before[i] {
+				u := in.Queries()[qi].Utility
+				in.Queries()[qi].Props.Subsets(func(sub propset.Set) {
+					util[sub.Key()] -= u
+				})
+			}
+		}
+		if r := ratio(t.Utility(), t.Cost()); r > bestRatio {
+			bestRatio, bestLen = r, len(order)
+		}
+	}
+	return resultOf(in, order[:bestLen], start)
+}
+
+type ratioEntry struct {
+	i     int
+	score float64
+}
+
+type ratioHeap []ratioEntry
+
+func (h ratioHeap) Len() int            { return len(h) }
+func (h ratioHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h ratioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ratioHeap) Push(x interface{}) { *h = append(*h, x.(ratioEntry)) }
+func (h *ratioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,220 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+func TestSolveSimpleL2(t *testing.T) {
+	// Star of cheap singleton-covered queries beats an expensive pair.
+	b := model.NewBuilder()
+	b.AddQuery(10, "x", "y")
+	b.AddQuery(10, "x", "z")
+	b.SetCost(1, "x")
+	b.SetCost(1, "y")
+	b.SetCost(1, "z")
+	b.SetCost(50, "x", "y")
+	b.SetCost(50, "x", "z")
+	in := b.MustInstance(0)
+	res := Solve(in)
+	// {X,Y,Z} covers both queries: 20/3.
+	if math.Abs(res.Ratio-20.0/3) > 1e-9 {
+		t.Fatalf("Ratio = %v, want %v", res.Ratio, 20.0/3)
+	}
+}
+
+func TestSolvePrefersBestSingleClassifier(t *testing.T) {
+	// One cheap exact-match pair classifier dominates.
+	b := model.NewBuilder()
+	b.AddQuery(100, "a", "b")
+	b.SetCost(1, "a", "b")
+	b.SetCost(40, "a")
+	b.SetCost(40, "b")
+	in := b.MustInstance(0)
+	res := Solve(in)
+	if math.Abs(res.Ratio-100) > 1e-9 {
+		t.Fatalf("Ratio = %v, want 100 (classifier AB)", res.Ratio)
+	}
+}
+
+func TestSolveSingletonQueriesViaVStar(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddQuery(9, "a")
+	b.AddQuery(1, "b")
+	b.SetCost(3, "a")
+	b.SetCost(10, "b")
+	in := b.MustInstance(0)
+	res := Solve(in)
+	if math.Abs(res.Ratio-3) > 1e-9 { // {A}: 9/3
+		t.Fatalf("Ratio = %v, want 3", res.Ratio)
+	}
+}
+
+// bruteECC enumerates all classifier subsets for the exact best ratio.
+func bruteECC(in *model.Instance) float64 {
+	cls := in.Classifiers()
+	if len(cls) > 18 {
+		panic("bruteECC too large")
+	}
+	best := 0.0
+	for mask := 1; mask < 1<<len(cls); mask++ {
+		s := model.NewSolution(in)
+		for i, c := range cls {
+			if mask&(1<<i) != 0 {
+				s.Add(c.Props)
+			}
+		}
+		u, c := s.Utility(), s.Cost()
+		r := 0.0
+		if c > 0 {
+			r = u / c
+		} else if u > 0 {
+			r = math.Inf(1)
+		}
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+func TestSolveExactForL2(t *testing.T) {
+	// Theorem 5.4: ECC is solved exactly for l = 2.
+	rng := rand.New(rand.NewSource(1))
+	names := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		b := model.NewBuilder()
+		nq := 1 + rng.Intn(4)
+		for i := 0; i < nq; i++ {
+			if rng.Intn(3) == 0 {
+				b.AddQuery(1+float64(rng.Intn(9)), names[rng.Intn(4)])
+			} else {
+				x, y := rng.Intn(4), rng.Intn(4)
+				if x == y {
+					y = (y + 1) % 4
+				}
+				b.AddQuery(1+float64(rng.Intn(9)), names[x], names[y])
+			}
+		}
+		seed := rng.Int63()
+		b.SetDefaultCost(func(s propset.Set) float64 {
+			h := seed
+			for _, id := range s {
+				h = h*31 + int64(id) + 11
+			}
+			return 1 + float64((h%6+6)%6)
+		})
+		in := b.MustInstance(0)
+		got := Solve(in)
+		want := bruteECC(in)
+		if math.Abs(got.Ratio-want) > 1e-6 {
+			t.Fatalf("trial %d: A^ECC ratio %v != optimal %v", trial, got.Ratio, want)
+		}
+	}
+}
+
+func TestSolveHypergraphL3(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddQuery(30, "a", "b", "c")
+	b.AddQuery(10, "a", "b")
+	b.SetDefaultCost(func(s propset.Set) float64 { return float64(s.Len()) * 2 })
+	in := b.MustInstance(0)
+	res := Solve(in)
+	opt := bruteECC(in)
+	if res.Ratio > opt+1e-9 {
+		t.Fatalf("ratio %v exceeds optimal %v (accounting bug)", res.Ratio, opt)
+	}
+	if res.Ratio < opt/3-1e-9 { // peeling is r-approx with r=3
+		t.Fatalf("ratio %v below 1/3 of optimal %v", res.Ratio, opt)
+	}
+}
+
+func randomInstance(rng *rand.Rand, nProps, nQueries, maxLen int) *model.Instance {
+	b := model.NewBuilder()
+	u := b.Universe()
+	names := make([]string, nProps)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	for i := 0; i < nQueries; i++ {
+		ln := 1 + rng.Intn(maxLen)
+		ids := make([]propset.ID, ln)
+		for j := range ids {
+			ids[j] = u.Intern(names[rng.Intn(nProps)])
+		}
+		b.AddQuerySet(propset.New(ids...), 1+float64(rng.Intn(20)))
+	}
+	seed := rng.Int63()
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		h := seed
+		for _, id := range s {
+			h = h*31 + int64(id) + 7
+		}
+		return 1 + float64((h%7+7)%7)
+	})
+	return b.MustInstance(0)
+}
+
+func TestBaselinesProduceValidRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(rng, 8, 15, 3)
+		for name, res := range map[string]Result{
+			"RAND(E)": SolveRand(in, int64(trial+1)),
+			"IG1(E)":  SolveIG1(in),
+			"IG2(E)":  SolveIG2(in),
+		} {
+			if res.Solution == nil {
+				t.Fatalf("%s returned nil solution", name)
+			}
+			u, c := res.Solution.Utility(), res.Solution.Cost()
+			if math.Abs(u-res.Utility) > 1e-6 || math.Abs(c-res.Cost) > 1e-6 {
+				t.Fatalf("%s: accounting mismatch", name)
+			}
+		}
+	}
+}
+
+func TestAECCBeatsBaselinesOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ours, rnd, ig1, ig2 float64
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(rng, 10, 20, 2)
+		ours += Solve(in).Ratio
+		rnd += SolveRand(in, int64(trial+1)).Ratio
+		ig1 += SolveIG1(in).Ratio
+		ig2 += SolveIG2(in).Ratio
+	}
+	// A^ECC is exact for l=2, so it must dominate every baseline.
+	if ours < rnd-1e-9 || ours < ig1-1e-9 || ours < ig2-1e-9 {
+		t.Fatalf("A^ECC %.2f below a baseline: RAND %.2f IG1 %.2f IG2 %.2f",
+			ours, rnd, ig1, ig2)
+	}
+}
+
+func TestMinimalCoversEnumeration(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddQuery(1, "x", "y", "z")
+	in := b.MustInstance(0)
+	q := in.Universe().SetOf("x", "y", "z")
+	covers := minimalCovers(in, q, 2)
+	// Paper (proof of Theorem 5.4): 7 minimal covers of xyz from
+	// classifiers of length ≤ 2.
+	if len(covers) != 7 {
+		t.Fatalf("minimal covers of xyz = %d, want 7: %v", len(covers), covers)
+	}
+	for _, cov := range covers {
+		var acc propset.Set
+		for _, c := range cov {
+			acc = acc.Union(c)
+		}
+		if !acc.Equal(q) {
+			t.Fatalf("cover %v does not cover %v", cov, q)
+		}
+	}
+}

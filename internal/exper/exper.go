@@ -1,0 +1,533 @@
+// Package exper is the experiment harness: one runner per table/figure of
+// the paper's evaluation section (Section 6), each producing the rows the
+// paper plots. cmd/bccbench prints them; bench_test.go wraps them in
+// testing.B benchmarks; EXPERIMENTS.md records the outcomes.
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+	"repro/internal/gmc3"
+	"repro/internal/model"
+	"repro/internal/propset"
+	"repro/internal/training"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func dur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// Scale selects experiment sizes: Small runs in seconds (CI, go test
+// -bench), Full matches the paper's dimensions (offline, cmd/bccbench
+// -full).
+type Scale int
+
+const (
+	// Small is the CI-friendly preset.
+	Small Scale = iota
+	// Full matches the paper's experiment dimensions.
+	Full
+)
+
+// utilityVsBudget runs the four BCC algorithms over the instance factory
+// at each budget — the common shape of Figures 3a–3c.
+func utilityVsBudget(title string, mk func(budget float64) *model.Instance, budgets []float64, seed int64) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"budget", "RAND", "IG1", "IG2", "A^BCC", "A^BCC time"},
+	}
+	for _, b := range budgets {
+		in := mk(b)
+		randRes := core.SolveRand(in, seed)
+		ig1 := core.SolveIG1(in)
+		ig2 := core.SolveIG2(in)
+		abcc := core.Solve(in, core.Options{Seed: seed})
+		t.Rows = append(t.Rows, []string{
+			f0(b), f0(randRes.Utility), f0(ig1.Utility), f0(ig2.Utility),
+			f0(abcc.Utility), dur(abcc.Duration),
+		})
+	}
+	return t
+}
+
+// Fig3aBestBuy reproduces Figure 3a: utility by budget over the BestBuy
+// workload for RAND, IG1, IG2 and A^BCC.
+func Fig3aBestBuy(scale Scale, seed int64) Table {
+	budgets := []float64{25, 50, 100, 200}
+	if scale == Full {
+		budgets = []float64{25, 50, 100, 200, 400, 700}
+	}
+	return utilityVsBudget("Fig 3a — BestBuy: utility vs budget",
+		func(b float64) *model.Instance { return dataset.BestBuy(seed, b) }, budgets, seed)
+}
+
+// Fig3bPrivate reproduces Figure 3b over the Private workload. The paper's
+// real quarterly budget for this dataset is ≈2000.
+func Fig3bPrivate(scale Scale, seed int64) Table {
+	budgets := []float64{250, 500, 1000, 2000}
+	if scale == Full {
+		budgets = []float64{250, 500, 1000, 2000, 4000, 8000}
+	}
+	return utilityVsBudget("Fig 3b — Private: utility vs budget",
+		func(b float64) *model.Instance { return dataset.Private(seed, b) }, budgets, seed)
+}
+
+// Fig3cSynthetic reproduces Figure 3c over the Synthetic workload.
+func Fig3cSynthetic(scale Scale, seed int64) Table {
+	n, budgets := 10000, []float64{1000, 2500, 5000}
+	if scale == Full {
+		n, budgets = 100000, []float64{1000, 2500, 5000, 10000, 20000}
+	}
+	return utilityVsBudget(fmt.Sprintf("Fig 3c — Synthetic (%d queries): utility vs budget", n),
+		func(b float64) *model.Instance { return dataset.Synthetic(seed, n, b) }, budgets, seed)
+}
+
+// Fig3dBruteGap reproduces Figure 3d: A^BCC versus exhaustive search on
+// small Private subdomains; the paper reports losses below 20%.
+func Fig3dBruteGap(scale Scale, seed int64) Table {
+	t := Table{
+		Title:   "Fig 3d — A^BCC vs brute force on small Private subsets",
+		Columns: []string{"subset", "budget", "A^BCC", "OPT", "ratio"},
+	}
+	subsets := 4
+	if scale == Full {
+		subsets = 10
+	}
+	for i := 0; i < subsets; i++ {
+		in := dataset.PrivateSubset(seed+int64(i), 25, 22)
+		abcc := core.Solve(in, core.Options{Seed: seed})
+		opt, err := core.BruteForce(in)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("subset %d skipped: %v", i, err))
+			continue
+		}
+		ratio := 1.0
+		if opt.Utility > 0 {
+			ratio = abcc.Utility / opt.Utility
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("#%d (%dq)", i, in.NumQueries()), f0(in.Budget()),
+			f0(abcc.Utility), f0(opt.Utility), f2(ratio),
+		})
+	}
+	return t
+}
+
+// Fig3ePreprocessingTime reproduces Figure 3e: A^BCC runtime with and
+// without the preprocessing step over growing Synthetic workloads, at the
+// fixed budget of 5000 the paper uses.
+func Fig3ePreprocessingTime(scale Scale, seed int64) Table {
+	sizes := []int{10000, 25000}
+	noPreCap := 50000
+	if scale == Full {
+		sizes = []int{10000, 50000, 100000, 250000, 500000, 1000000}
+		noPreCap = 100000 // beyond this the paper's no-preprocessing run did not terminate
+	}
+	t := Table{
+		Title:   "Fig 3e — preprocessing ablation: runtime vs #queries (budget 5000)",
+		Columns: []string{"queries", "with preprocessing", "without preprocessing"},
+		Notes:   []string{"paper: without preprocessing did not terminate above 50K queries"},
+	}
+	for _, n := range sizes {
+		in := dataset.Synthetic(seed, n, 5000)
+		with := core.Solve(in, core.Options{Seed: seed})
+		noPre := "skipped"
+		if n <= noPreCap {
+			res := core.Solve(in, core.Options{Seed: seed, DisablePruning: true})
+			noPre = dur(res.Duration)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), dur(with.Duration), noPre})
+	}
+	return t
+}
+
+// Fig3fPreprocessingUtility reproduces Figure 3f: solution quality with
+// and without preprocessing (the paper reports a negligible gap).
+func Fig3fPreprocessingUtility(scale Scale, seed int64) Table {
+	sizes := []int{10000, 25000}
+	if scale == Full {
+		sizes = []int{10000, 50000, 100000}
+	}
+	t := Table{
+		Title:   "Fig 3f — preprocessing ablation: utility vs #queries (budget 5000)",
+		Columns: []string{"queries", "with preprocessing", "without preprocessing", "ratio"},
+	}
+	for _, n := range sizes {
+		in := dataset.Synthetic(seed, n, 5000)
+		with := core.Solve(in, core.Options{Seed: seed})
+		without := core.Solve(in, core.Options{Seed: seed, DisablePruning: true})
+		ratio := 1.0
+		if without.Utility > 0 {
+			ratio = with.Utility / without.Utility
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), f0(with.Utility), f0(without.Utility), f2(ratio),
+		})
+	}
+	return t
+}
+
+// budgetVsTarget runs the four GMC3 algorithms at each utility target —
+// the shape of Figures 4a–4c (lower cost is better).
+func budgetVsTarget(title string, in *model.Instance, fractions []float64, seed int64) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"target", "RAND(G)", "IG1(G)", "IG2(G)", "A^GMC3", "A^GMC3 time"},
+	}
+	total := in.TotalUtility()
+	for _, f := range fractions {
+		target := total * f
+		randRes := gmc3.SolveRand(in, target, seed)
+		ig1 := gmc3.SolveIG1(in, target)
+		ig2 := gmc3.SolveIG2(in, target)
+		ours := gmc3.Solve(in, target, gmc3.Options{Seed: seed})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", f*100), f0(randRes.Cost), f0(ig1.Cost), f0(ig2.Cost),
+			f0(ours.Cost), dur(ours.Duration),
+		})
+	}
+	return t
+}
+
+// Fig4aGMC3BestBuy reproduces Figure 4a: budget used per utility target on
+// BestBuy.
+func Fig4aGMC3BestBuy(scale Scale, seed int64) Table {
+	fr := []float64{0.25, 0.5, 0.75}
+	if scale == Full {
+		fr = []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	}
+	return budgetVsTarget("Fig 4a — GMC3 on BestBuy: cost vs utility target",
+		dataset.BestBuy(seed, 0), fr, seed)
+}
+
+// Fig4bGMC3Private reproduces Figure 4b on the Private workload.
+func Fig4bGMC3Private(scale Scale, seed int64) Table {
+	fr := []float64{0.25, 0.5}
+	if scale == Full {
+		fr = []float64{0.1, 0.25, 0.5, 0.75}
+	}
+	return budgetVsTarget("Fig 4b — GMC3 on Private: cost vs utility target",
+		dataset.Private(seed, 0), fr, seed)
+}
+
+// Fig4cGMC3Synthetic reproduces Figure 4c on the Synthetic workload.
+func Fig4cGMC3Synthetic(scale Scale, seed int64) Table {
+	n := 5000
+	fr := []float64{0.25, 0.5}
+	if scale == Full {
+		n = 100000
+		fr = []float64{0.1, 0.25, 0.5}
+	}
+	return budgetVsTarget(
+		fmt.Sprintf("Fig 4c — GMC3 on Synthetic (%d queries): cost vs utility target", n),
+		dataset.Synthetic(seed, n, 0), fr, seed)
+}
+
+// Fig4dGMC3Time reproduces Figure 4d: A^GMC3 runtimes on Synthetic for a
+// fixed utility target (the paper uses 150K over 100K queries; the Small
+// preset scales both down proportionally).
+func Fig4dGMC3Time(scale Scale, seed int64) Table {
+	sizes := []int{2000, 5000, 10000}
+	targetFrac := 0.12 // ≈150K/1.27M, the paper's proportion
+	if scale == Full {
+		sizes = []int{25000, 50000, 100000}
+	}
+	t := Table{
+		Title:   "Fig 4d — A^GMC3 runtime vs #queries (target ≈12% of total utility)",
+		Columns: []string{"queries", "A^GMC3 time", "IG1(G) time", "IG2(G) time"},
+	}
+	for _, n := range sizes {
+		in := dataset.Synthetic(seed, n, 0)
+		target := in.TotalUtility() * targetFrac
+		ours := gmc3.Solve(in, target, gmc3.Options{Seed: seed})
+		ig1 := gmc3.SolveIG1(in, target)
+		ig2 := gmc3.SolveIG2(in, target)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), dur(ours.Duration), dur(ig1.Duration), dur(ig2.Duration),
+		})
+	}
+	return t
+}
+
+// eccTable runs the four ECC algorithms on one instance — the shape of
+// Figures 4e/4f (higher ratio is better).
+func eccTable(title string, in *model.Instance, seed int64) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"algorithm", "ratio", "utility", "cost", "time"},
+	}
+	add := func(name string, r ecc.Result) {
+		t.Rows = append(t.Rows, []string{name, f2(r.Ratio), f0(r.Utility), f0(r.Cost), dur(r.Duration)})
+	}
+	add("RAND(E)", ecc.SolveRand(in, seed))
+	add("IG1(E)", ecc.SolveIG1(in))
+	add("IG2(E)", ecc.SolveIG2(in))
+	add("A^ECC", ecc.Solve(in))
+	return t
+}
+
+// Fig4eECCPrivate reproduces Figure 4e: best utility-to-cost ratios on the
+// Private workload. Already-built (zero-cost) classifiers are re-priced at
+// 1: with a free classifier in range, the optimal ratio is trivially
+// infinite and the comparison degenerates.
+func Fig4eECCPrivate(scale Scale, seed int64) Table {
+	return eccTable("Fig 4e — ECC on Private: best utility/cost ratio",
+		dataset.PrivateAllPaid(seed, 0), seed)
+}
+
+// Fig4fECCSynthetic reproduces Figure 4f on the Synthetic workload. The
+// cost–utility-correlated variant is used: under the paper's plain uniform
+// process some single query has utility ≈50 and cost ≈1 and the ECC
+// optimum degenerates to that one classifier, whereas the paper reports
+// aggregate solutions (total cost ≈900) — implying the real estimates were
+// correlated, as analyst estimates are.
+func Fig4fECCSynthetic(scale Scale, seed int64) Table {
+	n := 5000
+	if scale == Full {
+		n = 100000
+	}
+	pool := 500 // preserves the paper's ≈18 queries-per-property density
+	if scale == Full {
+		pool = 10000
+	}
+	t := eccTable(fmt.Sprintf("Fig 4f — ECC on Synthetic-correlated (%d queries): best utility/cost ratio", n),
+		dataset.SyntheticCorrelatedPool(seed, n, pool, 0), seed)
+	t.Notes = append(t.Notes,
+		"uncorrelated uniform costs degenerate ECC to one cheap classifier; see DESIGN.md")
+	return t
+}
+
+// InsightDiminishingReturns reproduces the §6.2 analysis on the Private
+// workload: the budget needed for 50/65/75% of the total utility compared
+// to the MC3 full-coverage budget, and the utility split by query length
+// at the "real" quarterly budget.
+func InsightDiminishingReturns(scale Scale, seed int64) Table {
+	in0 := dataset.Private(seed, 0)
+	total := in0.TotalUtility()
+	fullCost := gmc3.Solve(in0, total, gmc3.Options{Seed: seed}).Cost
+
+	t := Table{
+		Title:   "§6.2 — diminishing returns on Private",
+		Columns: []string{"utility fraction", "budget needed", "share of full budget"},
+		Notes: []string{fmt.Sprintf("full-coverage (MC3) budget ≈ %.0f, total utility %.0f",
+			fullCost, total)},
+	}
+	for _, f := range []float64{0.5, 0.65, 0.75} {
+		res := gmc3.Solve(in0, total*f, gmc3.Options{Seed: seed})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", f*100), f0(res.Cost), f2(res.Cost / fullCost),
+		})
+	}
+
+	// Utility split by covered query length at the "real" budget ≈ 2000.
+	in := dataset.Private(seed, 2000)
+	res := core.Solve(in, core.Options{Seed: seed})
+	byLen := map[int]float64{}
+	for _, q := range res.Solution.CoveredQueries() {
+		byLen[q.Length()] += q.Utility
+	}
+	var covered float64
+	for _, u := range byLen {
+		covered += u
+	}
+	if covered > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"at budget 2000: %.0f%% of covered utility from singletons, %.0f%% from length-2, %.0f%% longer",
+			100*byLen[1]/covered, 100*byLen[2]/covered,
+			100*(covered-byLen[1]-byLen[2])/covered))
+	}
+	return t
+}
+
+// InsightCostNoise reproduces the §6.2 "preliminary end-to-end" analysis:
+// the company's cost estimates were on average ~6% below actual costs,
+// which the paper argues is theoretically equivalent to shrinking the
+// budget by 6% — with a bounded utility loss. We measure exactly that on
+// the Private workload: A^BCC at the nominal budget versus at budgets
+// reduced by 6% and 12%, plus the realized utility when the plan chosen
+// under estimated costs is re-priced with +6% actual costs and trimmed to
+// fit.
+func InsightCostNoise(scale Scale, seed int64) Table {
+	const budget = 2000
+	in := dataset.Private(seed, budget)
+	t := Table{
+		Title:   "§6.2 — robustness to cost underestimation (Private, budget 2000)",
+		Columns: []string{"scenario", "utility", "share of nominal"},
+	}
+	nominal := core.Solve(in, core.Options{Seed: seed})
+	add := func(name string, u float64) {
+		t.Rows = append(t.Rows, []string{name, f0(u), f2(u / nominal.Utility)})
+	}
+	add("nominal budget", nominal.Utility)
+	for _, shrink := range []float64{0.06, 0.12} {
+		res := core.Solve(in.WithBudget(budget*(1-shrink)), core.Options{Seed: seed})
+		add(fmt.Sprintf("budget −%.0f%%", shrink*100), res.Utility)
+	}
+	// Plan under estimates, pay actual (+6%) costs: drop the weakest
+	// classifiers until the plan fits the nominal budget again.
+	if nominal.Solution.Cost()*1.06 > budget {
+		sol := nominal.Solution.Clone()
+		for _, c := range sol.Classifiers() {
+			if sol.Cost()*1.06 <= budget {
+				break
+			}
+			sol.Remove(c.Props)
+		}
+		add("plan repriced +6%, trimmed to budget", sol.Utility())
+	}
+	t.Notes = append(t.Notes,
+		"paper: estimates ~6% low on average; a small multiplicative budget change costs only a slightly larger utility fraction")
+	return t
+}
+
+// InsightEndToEnd reproduces the paper's §6.2 "preliminary end-to-end
+// results" on a simulated catalog: derive the workload from attribute
+// popularity, solve BCC, train the selected classifiers to the 95%
+// deployment bar, and measure the covered queries' result-set growth and
+// precision against the metadata-only baseline (paper: growth >200% on
+// every sampled query, precision ≥90%).
+func InsightEndToEnd(scale Scale, seed int64) Table {
+	items, queries := 5000, 50
+	if scale == Full {
+		items, queries = 50000, 400
+	}
+	cat := catalog.Generate(seed, catalog.Options{
+		Items: items, Attributes: 100, AttrsPerItem: 4, RecordRate: 0.3,
+	})
+	m := training.Model{CurveFor: func(s propset.Set) training.Curve {
+		return training.DefaultCurve(0.15 * float64(s.Len()))
+	}}
+	in, err := cat.DeriveWorkload(seed+1, catalog.WorkloadOptions{Queries: queries, MaxLen: 2}, m.Cost, 120)
+	t := Table{
+		Title:   "§6.2 — end-to-end: result-set growth of covered queries",
+		Columns: []string{"metric", "value"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, "workload derivation failed: "+err.Error())
+		return t
+	}
+	res := core.Solve(in, core.Options{Seed: seed})
+	var sel []propset.Set
+	for _, cl := range res.Solution.Classifiers() {
+		sel = append(sel, cl.Props)
+	}
+	trained := catalog.TrainSelection(m, sel)
+	var gSum, pSum, rSum float64
+	n := 0
+	over200 := 0
+	for _, q := range res.Solution.CoveredQueries() {
+		r := cat.Evaluate(seed+11, q.Props, trained)
+		if r.BaselineSize == 0 {
+			continue
+		}
+		n++
+		gSum += r.GrowthPct
+		pSum += r.Precision
+		rSum += r.Recall
+		if r.GrowthPct > 200 {
+			over200++
+		}
+	}
+	if n == 0 {
+		t.Notes = append(t.Notes, "no covered query had a nonzero baseline")
+		return t
+	}
+	t.Rows = append(t.Rows,
+		[]string{"covered queries evaluated", fmt.Sprintf("%d", n)},
+		[]string{"avg result-set growth", fmt.Sprintf("%.0f%%", gSum/float64(n))},
+		[]string{"queries with >200% growth", fmt.Sprintf("%d/%d", over200, n)},
+		[]string{"avg precision", f2(pSum / float64(n))},
+		[]string{"avg recall", f2(rSum / float64(n))},
+	)
+	t.Notes = append(t.Notes, "paper: growth >200% on all 20 sampled queries, precision ≥90%")
+	return t
+}
+
+// All runs every experiment at the given scale and returns the tables in
+// paper order.
+func All(scale Scale, seed int64) []Table {
+	var out []Table
+	for _, id := range Order() {
+		run, _ := ByName(id)
+		out = append(out, run(scale, seed))
+	}
+	return out
+}
+
+// Order lists the experiment ids in paper order.
+func Order() []string {
+	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "4a", "4b", "4c", "4d", "4e", "4f", "insights", "noise", "endtoend"}
+}
+
+// ByName resolves an experiment id ("3a", "4d", "insights") to its runner.
+func ByName(name string) (func(Scale, int64) Table, bool) {
+	m := map[string]func(Scale, int64) Table{
+		"3a":       Fig3aBestBuy,
+		"3b":       Fig3bPrivate,
+		"3c":       Fig3cSynthetic,
+		"3d":       Fig3dBruteGap,
+		"3e":       Fig3ePreprocessingTime,
+		"3f":       Fig3fPreprocessingUtility,
+		"4a":       Fig4aGMC3BestBuy,
+		"4b":       Fig4bGMC3Private,
+		"4c":       Fig4cGMC3Synthetic,
+		"4d":       Fig4dGMC3Time,
+		"4e":       Fig4eECCPrivate,
+		"4f":       Fig4fECCSynthetic,
+		"insights": InsightDiminishingReturns,
+		"noise":    InsightCostNoise,
+		"endtoend": InsightEndToEnd,
+	}
+	f, ok := m[name]
+	return f, ok
+}

@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Fatalf("missing note: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, 2 rows, note
+		t.Fatalf("want 5 lines, got %d: %q", len(lines), out)
+	}
+}
+
+// parse extracts a numeric cell.
+func cell(t *testing.T, tb Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig3aRankingShape(t *testing.T) {
+	// The paper's headline shape on BestBuy: A^BCC first, IG2 ≥ IG1,
+	// RAND last, and utility monotone in budget.
+	tb := Fig3aBestBuy(Small, 1)
+	if len(tb.Rows) < 3 {
+		t.Fatalf("too few rows: %v", tb.Rows)
+	}
+	prevABCC := 0.0
+	for r := range tb.Rows {
+		randU := cell(t, tb, r, 1)
+		ig1 := cell(t, tb, r, 2)
+		ig2 := cell(t, tb, r, 3)
+		abcc := cell(t, tb, r, 4)
+		if abcc < ig1-1e-9 || abcc < ig2-1e-9 || abcc < randU-1e-9 {
+			t.Errorf("row %d: A^BCC %v not first (RAND %v IG1 %v IG2 %v)",
+				r, abcc, randU, ig1, ig2)
+		}
+		if randU > abcc {
+			t.Errorf("row %d: RAND beats A^BCC", r)
+		}
+		if abcc < prevABCC-1e-9 {
+			t.Errorf("row %d: A^BCC utility decreased with budget", r)
+		}
+		prevABCC = abcc
+	}
+}
+
+func TestFig3dGapWithin20Pct(t *testing.T) {
+	tb := Fig3dBruteGap(Small, 1)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for r := range tb.Rows {
+		ratio := cell(t, tb, r, 4)
+		if ratio < 0.8-1e-9 {
+			t.Errorf("row %d: A^BCC/OPT = %v below the paper's 0.8 floor", r, ratio)
+		}
+		if ratio > 1+1e-9 {
+			t.Errorf("row %d: A^BCC beats brute force (%v) — accounting bug", r, ratio)
+		}
+	}
+}
+
+func TestByNameComplete(t *testing.T) {
+	for _, id := range Order() {
+		if _, ok := ByName(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown experiment resolved")
+	}
+}

@@ -1,0 +1,419 @@
+// Package gmc3 implements the Generalized MC3 problem (Definition 5.1 of
+// the paper): given queries, utilities, classifier costs and a target
+// utility T, find a classifier set of minimum cost whose covered queries
+// have total utility at least T.
+//
+// The proposed algorithm A^GMC3 (Theorem 5.3) wraps the BCC solver: guess
+// a budget B, repeatedly run A^BCC on the residual query set with budget B
+// and commit its selection, until the accumulated utility reaches T; an
+// outer binary search (seeded by the MC3 full-coverage cost, as in §6.3)
+// finds the budget guess minimizing the final cost. The package also
+// provides the RAND(G), IG1(G) and IG2(G) baselines: identical to their
+// BCC counterparts except that the stopping condition is reaching the
+// utility target rather than exhausting a budget.
+package gmc3
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/mc3"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// Options tunes A^GMC3.
+type Options struct {
+	// Seed drives all randomness. Default 1.
+	Seed int64
+	// BinarySearchSteps is the number of outer budget-guess halvings.
+	// Default 8.
+	BinarySearchSteps int
+	// MaxInnerRounds caps the per-guess A^BCC repetitions. Default 8.
+	MaxInnerRounds int
+	// Core tunes the inner A^BCC solver.
+	Core core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BinarySearchSteps == 0 {
+		o.BinarySearchSteps = 8
+	}
+	if o.MaxInnerRounds == 0 {
+		o.MaxInnerRounds = 8
+	}
+	if o.Core.Seed == 0 {
+		o.Core.Seed = o.Seed
+	}
+	// The inner A^BCC runs many times across budget guesses; cheaper
+	// per-run settings trade a little per-guess quality for a much wider
+	// search, which is the better bargain inside the binary search.
+	if o.Core.MaxIterations == 0 {
+		o.Core.MaxIterations = 6
+	}
+	if o.Core.QK.Iterations == 0 {
+		o.Core.QK.Iterations = 4
+	}
+	return o
+}
+
+// Result reports a GMC3 run.
+type Result struct {
+	Solution *model.Solution
+	// Cost is the total construction cost — the GMC3 objective.
+	Cost float64
+	// Utility is the achieved covered utility.
+	Utility float64
+	// Achieved reports whether Utility ≥ the target.
+	Achieved bool
+	// Iterations counts inner A^BCC runs (A^GMC3) or selection steps
+	// (baselines).
+	Iterations int
+	// Duration is the wall-clock solve time.
+	Duration time.Duration
+}
+
+func resultFrom(t *cover.Tracker, target float64, iters int, start time.Time) Result {
+	return Result{
+		Solution:   t.Solution(),
+		Cost:       t.Cost(),
+		Utility:    t.Utility(),
+		Achieved:   t.Utility() >= target-1e-9,
+		Iterations: iters,
+		Duration:   time.Since(start),
+	}
+}
+
+// Solve runs A^GMC3 on the instance's queries with the given utility
+// target. The instance's own budget field is ignored.
+func Solve(in *model.Instance, target float64, opts Options) Result {
+	start := time.Now()
+	opts = opts.withDefaults()
+
+	// Upper bound: the MC3 full-coverage cost (covers every coverable
+	// query, hence reaches any achievable target).
+	var queries []propset.Set
+	for _, q := range in.Queries() {
+		queries = append(queries, q.Props)
+	}
+	full := mc3.Solve(mc3.Input{
+		Queries: queries,
+		Cost:    func(s propset.Set) float64 { return in.Cost(s) },
+	})
+	hi := full.Cost
+	if hi <= 0 {
+		hi = 1
+	}
+
+	best := Result{Cost: math.Inf(1)}
+	iters := 0
+	try := func(budget float64) Result {
+		t := cover.New(in)
+		rounds := 0
+		for t.Utility() < target-1e-9 && rounds < opts.MaxInnerRounds {
+			res := runResidualBCC(in, t, budget, opts)
+			rounds++
+			iters++
+			if res == 0 {
+				break // no progress at this budget
+			}
+		}
+		if t.Utility() >= target-1e-9 {
+			trimToTarget(t, target)
+		}
+		return resultFrom(t, target, rounds, start)
+	}
+
+	// The full-coverage budget always succeeds (when the target is
+	// achievable at all).
+	if r := try(hi); r.Achieved && r.Cost < best.Cost {
+		best = r
+	}
+	// Binary search for the cheapest successful budget guess.
+	lo, hiB := 0.0, hi
+	for step := 0; step < opts.BinarySearchSteps; step++ {
+		mid := (lo + hiB) / 2
+		if mid <= 0 {
+			break
+		}
+		r := try(mid)
+		if r.Achieved {
+			if r.Cost < best.Cost {
+				best = r
+			}
+			hiB = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Greedy floors: trim the IG1(G)/IG2(G) solutions to the target and
+	// adopt whichever is cheapest. As with A^BCC's floor (DESIGN.md), this
+	// keeps A^GMC3 from trailing the adaptive greedies by slivers on
+	// unstructured workloads.
+	for _, seed := range []Result{SolveIG1(in, target), SolveIG2(in, target)} {
+		if !seed.Achieved {
+			continue
+		}
+		t := cover.New(in)
+		for _, c := range seed.Solution.Classifiers() {
+			t.Add(c.Props)
+		}
+		trimToTarget(t, target)
+		if r := resultFrom(t, target, iters, start); r.Achieved && r.Cost < best.Cost {
+			best = r
+		}
+	}
+	if math.IsInf(best.Cost, 1) {
+		// Target unreachable: return the full-coverage solution.
+		t := cover.New(in)
+		for _, c := range full.Classifiers {
+			t.Add(c)
+		}
+		best = resultFrom(t, target, iters, start)
+	}
+	best.Iterations = iters
+	best.Duration = time.Since(start)
+	return best
+}
+
+// trimToTarget reverse-deletes selected classifiers (costliest first) as
+// long as the covered utility stays at or above the target, removing the
+// budget-guess overshoot that A^BCC's utility-maximizing inner runs incur.
+// Each trial removal is incremental (only the affected queries are
+// re-evaluated, and rolled back by re-adding on failure).
+func trimToTarget(t *cover.Tracker, target float64) {
+	sel := t.SelectedSets()
+	in := t.Instance()
+	// Costliest first.
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0 && in.Cost(sel[j]) > in.Cost(sel[j-1]); j-- {
+			sel[j], sel[j-1] = sel[j-1], sel[j]
+		}
+	}
+	for _, c := range sel {
+		if in.Cost(c) == 0 {
+			continue
+		}
+		t.Remove(c)
+		if t.Utility() < target-1e-9 {
+			t.Add(c)
+		}
+	}
+}
+
+// runResidualBCC runs A^BCC with the given budget on the instance
+// restricted to the queries not yet covered by t, committing the resulting
+// selection into t. It returns the utility gained.
+func runResidualBCC(in *model.Instance, t *cover.Tracker, budget float64, opts Options) float64 {
+	b := model.NewBuilderWithUniverse(in.Universe())
+	any := false
+	for qi, q := range in.Queries() {
+		if !t.Covered(qi) {
+			b.AddQuerySet(q.Props, q.Utility)
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	// Costs: already-selected classifiers are free in the residual.
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		if t.Has(s) {
+			return 0
+		}
+		return in.Cost(s)
+	})
+	sub, err := b.Instance(budget)
+	if err != nil {
+		return 0
+	}
+	res := core.Solve(sub, opts.Core)
+	before := t.Utility()
+	for _, c := range res.Solution.Classifiers() {
+		t.Add(c.Props)
+	}
+	return t.Utility() - before
+}
+
+// SolveRand is RAND(G): select uniformly random classifiers until the
+// target utility is reached (or no candidates remain).
+func SolveRand(in *model.Instance, target float64, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := cover.New(in)
+	pool := make([]propset.Set, 0, len(in.Classifiers()))
+	for _, c := range in.Classifiers() {
+		pool = append(pool, c.Props)
+	}
+	steps := 0
+	for len(pool) > 0 && t.Utility() < target-1e-9 {
+		i := rng.Intn(len(pool))
+		c := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if t.Has(c) {
+			continue
+		}
+		t.Add(c)
+		steps++
+	}
+	return resultFrom(t, target, steps, start)
+}
+
+// SolveIG1 is IG1(G): repeatedly select the cheapest cover of the query
+// with the best utility-to-cost ratio, until the target is reached. Query
+// scores are kept in a lazily revalidated max-heap and refreshed only for
+// the queries a selected classifier can affect.
+func SolveIG1(in *model.Instance, target float64) Result {
+	start := time.Now()
+	t := cover.New(in)
+	h := &scoreHeap{}
+	heap.Init(h)
+	score := make([]float64, in.NumQueries())
+	covSets := make([][]propset.Set, in.NumQueries())
+
+	refresh := func(qi int) {
+		if t.Covered(qi) {
+			score[qi] = 0
+			return
+		}
+		cost, sets := t.MinCoverCost(qi, nil)
+		covSets[qi] = sets
+		u := in.Queries()[qi].Utility
+		switch {
+		case math.IsInf(cost, 1):
+			score[qi] = 0
+		case cost == 0:
+			score[qi] = math.Inf(1)
+		default:
+			score[qi] = u / cost
+		}
+		if score[qi] > 0 {
+			heap.Push(h, scoreEntry{qi, score[qi]})
+		}
+	}
+	for qi := range in.Queries() {
+		refresh(qi)
+	}
+
+	steps := 0
+	for h.Len() > 0 && t.Utility() < target-1e-9 {
+		e := heap.Pop(h).(scoreEntry)
+		qi := e.ci
+		if t.Covered(qi) || score[qi] == 0 {
+			continue
+		}
+		if e.score > score[qi]+1e-12 || e.score < score[qi]-1e-12 {
+			heap.Push(h, scoreEntry{qi, score[qi]})
+			continue
+		}
+		touched := map[int]bool{}
+		for _, c := range covSets[qi] {
+			for _, q2 := range t.RelevantQueries(c) {
+				touched[q2] = true
+			}
+			t.Add(c)
+		}
+		if len(covSets[qi]) == 0 {
+			score[qi] = 0
+			continue
+		}
+		steps++
+		for q2 := range touched {
+			refresh(q2)
+		}
+	}
+	return resultFrom(t, target, steps, start)
+}
+
+// SolveIG2 is IG2(G): repeatedly select the single classifier with the
+// best (uncovered-utility containing it) / cost ratio, until the target is
+// reached.
+func SolveIG2(in *model.Instance, target float64) Result {
+	start := time.Now()
+	t := cover.New(in)
+	util := make(map[string]float64)
+	for _, q := range in.Queries() {
+		u := q.Utility
+		q.Props.Subsets(func(sub propset.Set) {
+			util[sub.Key()] += u
+		})
+	}
+	classifiers := in.Classifiers()
+	scoreOf := func(ci int) float64 {
+		c := classifiers[ci]
+		u := util[c.Props.Key()]
+		if u <= 0 {
+			return 0
+		}
+		if c.Cost == 0 {
+			return math.Inf(1)
+		}
+		return u / c.Cost
+	}
+	h := &scoreHeap{}
+	heap.Init(h)
+	for ci := range classifiers {
+		if s := scoreOf(ci); s > 0 {
+			heap.Push(h, scoreEntry{ci, s})
+		}
+	}
+	steps := 0
+	for h.Len() > 0 && t.Utility() < target-1e-9 {
+		e := heap.Pop(h).(scoreEntry)
+		c := classifiers[e.ci]
+		if t.Has(c.Props) {
+			continue
+		}
+		s := scoreOf(e.ci)
+		if s == 0 {
+			continue
+		}
+		if e.score > s+1e-12 {
+			heap.Push(h, scoreEntry{e.ci, s})
+			continue
+		}
+		rel := t.RelevantQueries(c.Props)
+		before := make([]bool, len(rel))
+		for i, qi := range rel {
+			before[i] = t.Covered(qi)
+		}
+		t.Add(c.Props)
+		steps++
+		for i, qi := range rel {
+			if t.Covered(qi) && !before[i] {
+				u := in.Queries()[qi].Utility
+				in.Queries()[qi].Props.Subsets(func(sub propset.Set) {
+					util[sub.Key()] -= u
+				})
+			}
+		}
+	}
+	return resultFrom(t, target, steps, start)
+}
+
+type scoreEntry struct {
+	ci    int
+	score float64
+}
+
+type scoreHeap []scoreEntry
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(scoreEntry)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

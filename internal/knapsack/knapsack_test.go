@@ -1,0 +1,213 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestExactSmall(t *testing.T) {
+	items := []Item{
+		{Value: 60, Weight: 10},
+		{Value: 100, Weight: 20},
+		{Value: 120, Weight: 30},
+	}
+	res := SolveExactInt(items, 50)
+	if !almostEq(res.Value, 220) {
+		t.Fatalf("Value = %v, want 220", res.Value)
+	}
+	if res.Weight > 50 {
+		t.Fatalf("Weight = %v exceeds capacity", res.Weight)
+	}
+}
+
+func TestExactZeroCapacity(t *testing.T) {
+	items := []Item{{Value: 5, Weight: 1}, {Value: 3, Weight: 0}}
+	res := SolveExactInt(items, 0)
+	// Only the zero-weight item fits.
+	if !almostEq(res.Value, 3) {
+		t.Fatalf("Value = %v, want 3", res.Value)
+	}
+}
+
+func TestExactNoItems(t *testing.T) {
+	res := SolveExactInt(nil, 10)
+	if res.Value != 0 || len(res.Chosen) != 0 {
+		t.Fatalf("empty input gave %+v", res)
+	}
+}
+
+func TestNegativeCapacity(t *testing.T) {
+	res := SolveExactInt([]Item{{Value: 1, Weight: 1}}, -1)
+	if res.Value != 0 {
+		t.Fatalf("negative capacity gave %+v", res)
+	}
+}
+
+func TestGreedyTakesBestSingle(t *testing.T) {
+	// Classic greedy trap: many light low-value items vs one heavy jackpot.
+	items := []Item{
+		{Value: 1, Weight: 1}, {Value: 1, Weight: 1},
+		{Value: 100, Weight: 100},
+	}
+	res := SolveGreedy(items, 100)
+	if !almostEq(res.Value, 100) {
+		t.Fatalf("greedy Value = %v, want 100 (best single)", res.Value)
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		items := randomItems(rng, 30)
+		cap := rng.Float64() * 50
+		res := SolveGreedy(items, cap)
+		if res.Weight > cap+1e-6 {
+			t.Fatalf("greedy exceeded capacity: %v > %v", res.Weight, cap)
+		}
+		checkAccounting(t, items, res)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Value:  float64(rng.Intn(30)),
+				Weight: float64(rng.Intn(15)),
+			}
+		}
+		cap := rng.Intn(40)
+		got := SolveExactInt(items, cap)
+		want := BruteForce(items, float64(cap))
+		if !almostEq(got.Value, want.Value) {
+			t.Fatalf("trial %d: exact=%v brute=%v items=%v cap=%d",
+				trial, got.Value, want.Value, items, cap)
+		}
+		checkAccounting(t, items, got)
+	}
+}
+
+func TestFPTASWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const eps = 0.1
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Value:  rng.Float64() * 100,
+				Weight: rng.Float64() * 20,
+			}
+		}
+		cap := rng.Float64() * 60
+		got := SolveFPTAS(items, cap, eps)
+		opt := BruteForce(items, cap)
+		if got.Weight > cap+1e-6 {
+			t.Fatalf("FPTAS exceeded capacity: %v > %v", got.Weight, cap)
+		}
+		if got.Value < opt.Value*(1-eps)-1e-9 {
+			t.Fatalf("trial %d: FPTAS value %v below (1-eps)*OPT %v",
+				trial, got.Value, opt.Value*(1-eps))
+		}
+		checkAccounting(t, items, got)
+	}
+}
+
+func TestFPTASZeroValueItemsIgnored(t *testing.T) {
+	items := []Item{{Value: 0, Weight: 1}, {Value: 5, Weight: 2}}
+	res := SolveFPTAS(items, 10, 0.1)
+	if len(res.Chosen) != 1 || res.Chosen[0] != 1 {
+		t.Fatalf("Chosen = %v, want [1]", res.Chosen)
+	}
+}
+
+func TestSolveAutoExactPath(t *testing.T) {
+	items := []Item{{Value: 10, Weight: 3}, {Value: 7, Weight: 4}, {Value: 4, Weight: 2}}
+	res := Solve(items, 6, 0.05)
+	// Optimal: items 0+3 → wait, weights 3+2=5 value 14.
+	if !almostEq(res.Value, 14) {
+		t.Fatalf("Solve = %v, want 14", res.Value)
+	}
+}
+
+func TestSolveAutoFractionalPath(t *testing.T) {
+	items := []Item{{Value: 10, Weight: 3.5}, {Value: 7, Weight: 4.25}, {Value: 4, Weight: 2}}
+	res := Solve(items, 6, 0.05)
+	if res.Weight > 6+1e-9 {
+		t.Fatalf("infeasible: %v", res.Weight)
+	}
+	if !almostEq(res.Value, 14) { // 10 + 4 at weight 5.5
+		t.Fatalf("Solve = %v, want 14", res.Value)
+	}
+}
+
+func TestLargeCapacityFallsBackToFPTAS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 100)
+	res := Solve(items, 1e9, 0.05) // DP table would be enormous
+	var total float64
+	for _, it := range items {
+		total += it.Value
+	}
+	if !almostEq(res.Value, total) {
+		t.Fatalf("everything fits: value %v, want %v", res.Value, total)
+	}
+}
+
+func checkAccounting(t *testing.T, items []Item, res Result) {
+	t.Helper()
+	var v, w float64
+	seen := map[int]bool{}
+	for _, i := range res.Chosen {
+		if seen[i] {
+			t.Fatalf("item %d chosen twice", i)
+		}
+		seen[i] = true
+		v += items[i].Value
+		w += items[i].Weight
+	}
+	if !almostEq(v, res.Value) || !almostEq(w, res.Weight) {
+		t.Fatalf("accounting mismatch: sum (%v,%v) vs reported (%v,%v)",
+			v, w, res.Value, res.Weight)
+	}
+}
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Value:  rng.Float64() * 50,
+			Weight: rng.Float64() * 10,
+		}
+	}
+	return items
+}
+
+func BenchmarkExact1000x5000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]Item, 1000)
+	for i := range items {
+		items[i] = Item{Value: float64(1 + rng.Intn(50)), Weight: float64(1 + rng.Intn(50))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SolveExactInt(items, 5000)
+	}
+}
+
+func BenchmarkFPTAS500(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	items := randomItems(rng, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SolveFPTAS(items, 100, 0.05)
+	}
+}

@@ -1,0 +1,153 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on
+// floating-point capacities, together with minimum-cut extraction.
+//
+// It is the substrate for two exact solvers in this repository: the
+// project-selection min-cut that solves MC3 exactly for l ≤ 2, and the
+// parametric min-cut that solves the densest-subgraph step of the ECC
+// algorithm exactly.
+package maxflow
+
+import "math"
+
+type edge struct {
+	to   int
+	cap  float64
+	flow float64
+}
+
+// Graph is a flow network under construction. Nodes are integers in
+// [0, n). The zero value is not usable; create graphs with New.
+type Graph struct {
+	n     int
+	edges []edge // paired: edges[i] and edges[i^1] are residual twins
+	head  [][]int
+
+	// Infinite capacities are replaced by a finite surrogate exceeding any
+	// possible flow; recorded here so MinCut can still treat them as
+	// uncuttable.
+	finiteSum float64
+	infEdges  []int
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// NumNodes reports the number of nodes in the network.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and returns its
+// edge index (usable with Flow). Capacities may be math.Inf(1); negative or
+// NaN capacities are treated as zero.
+func (g *Graph) AddEdge(u, v int, capacity float64) int {
+	if capacity < 0 || math.IsNaN(capacity) {
+		capacity = 0
+	}
+	id := len(g.edges)
+	inf := math.IsInf(capacity, 1)
+	if inf {
+		g.infEdges = append(g.infEdges, id)
+		capacity = 0 // patched in MaxFlow once finiteSum is known
+	} else {
+		g.finiteSum += capacity
+	}
+	g.edges = append(g.edges, edge{to: v, cap: capacity})
+	g.edges = append(g.edges, edge{to: u, cap: 0})
+	g.head[u] = append(g.head[u], id)
+	g.head[v] = append(g.head[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed through the edge with the given
+// index (as returned by AddEdge).
+func (g *Graph) Flow(edgeID int) float64 { return g.edges[edgeID].flow }
+
+// MaxFlow computes the maximum s→t flow. It may be called once per graph.
+func (g *Graph) MaxFlow(s, t int) float64 {
+	// Patch infinite edges with a surrogate above any feasible flow.
+	surrogate := g.finiteSum*float64(g.n+2) + 1
+	for _, id := range g.infEdges {
+		g.edges[id].cap = surrogate
+	}
+	const eps = 1e-12
+	var total float64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for {
+		// BFS layering.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.head[u] {
+				e := &g.edges[id]
+				if e.cap-e.flow > eps && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if level[t] < 0 {
+			break
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.Inf(1), level, iter)
+			if f <= eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Graph) dfs(u, t int, limit float64, level, iter []int) float64 {
+	if u == t {
+		return limit
+	}
+	const eps = 1e-12
+	for ; iter[u] < len(g.head[u]); iter[u]++ {
+		id := g.head[u][iter[u]]
+		e := &g.edges[id]
+		if e.cap-e.flow <= eps || level[e.to] != level[u]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, math.Min(limit, e.cap-e.flow), level, iter)
+		if d > eps {
+			g.edges[id].flow += d
+			g.edges[id^1].flow -= d
+			return d
+		}
+	}
+	return 0
+}
+
+// MinCut returns, after MaxFlow has run, the source side of a minimum cut:
+// sourceSide[v] is true iff v is reachable from s in the residual network.
+func (g *Graph) MinCut(s int) []bool {
+	const eps = 1e-12
+	side := make([]bool, g.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.head[u] {
+			e := g.edges[id]
+			if e.cap-e.flow > eps && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}

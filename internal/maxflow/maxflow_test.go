@@ -1,0 +1,190 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("MaxFlow = %v, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 6 {
+		t.Fatalf("MaxFlow = %v, want 6", got)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example with a cross edge.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("MaxFlow = %v, want 23", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(2, 3, 7)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("MaxFlow = %v, want 0", got)
+	}
+}
+
+func TestInfiniteEdges(t *testing.T) {
+	// s -∞-> a -2-> t : flow limited by the finite bottleneck.
+	g := New(3)
+	g.AddEdge(0, 1, math.Inf(1))
+	g.AddEdge(1, 2, 2)
+	if got := g.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("MaxFlow = %v, want 2", got)
+	}
+}
+
+func TestMinCutSides(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1) // bottleneck
+	g.AddEdge(2, 3, 10)
+	g.MaxFlow(0, 3)
+	side := g.MinCut(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("MinCut sides = %v, want [true true false false]", side)
+	}
+}
+
+func TestMinCutAvoidsInfiniteEdges(t *testing.T) {
+	// The only finite cut is the source edge.
+	g := New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, math.Inf(1))
+	g.MaxFlow(0, 2)
+	side := g.MinCut(0)
+	if side[1] || side[2] {
+		t.Fatalf("cut must separate at the finite edge, got %v", side)
+	}
+}
+
+func TestFlowAccessor(t *testing.T) {
+	g := New(3)
+	e0 := g.AddEdge(0, 1, 5)
+	e1 := g.AddEdge(1, 2, 3)
+	g.MaxFlow(0, 2)
+	if g.Flow(e0) != 3 || g.Flow(e1) != 3 {
+		t.Fatalf("edge flows = %v, %v, want 3, 3", g.Flow(e0), g.Flow(e1))
+	}
+}
+
+func TestNegativeCapacityTreatedAsZero(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, -5)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Fatalf("MaxFlow = %v, want 0", got)
+	}
+}
+
+// bruteMinCut computes min s-t cut by enumerating all node bipartitions.
+func bruteMinCut(n int, caps [][]float64, s, t int) float64 {
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var cut float64
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if caps[u][v] > 0 && mask&(1<<u) != 0 && mask&(1<<v) == 0 {
+					cut += caps[u][v]
+				}
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMaxFlowEqualsBruteMinCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		caps := make([][]float64, n)
+		for i := range caps {
+			caps[i] = make([]float64, n)
+		}
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					c := float64(rng.Intn(10))
+					caps[u][v] = c
+					g.AddEdge(u, v, c)
+				}
+			}
+		}
+		flow := g.MaxFlow(0, n-1)
+		cut := bruteMinCut(n, caps, 0, n-1)
+		if math.Abs(flow-cut) > 1e-6 {
+			t.Fatalf("trial %d: flow %v != min cut %v (n=%d)", trial, flow, cut, n)
+		}
+		// Cut extraction must match the cut value.
+		side := g.MinCut(0)
+		var cutVal float64
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if caps[u][v] > 0 && side[u] && !side[v] {
+					cutVal += caps[u][v]
+				}
+			}
+		}
+		if math.Abs(cutVal-flow) > 1e-6 {
+			t.Fatalf("trial %d: extracted cut %v != flow %v", trial, cutVal, flow)
+		}
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	const side = 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := side*side + 2
+		g := New(n)
+		id := func(r, c int) int { return r*side + c + 1 }
+		for r := 0; r < side; r++ {
+			g.AddEdge(0, id(r, 0), 10)
+			g.AddEdge(id(r, side-1), n-1, 10)
+			for c := 0; c+1 < side; c++ {
+				g.AddEdge(id(r, c), id(r, c+1), 5)
+				if r+1 < side {
+					g.AddEdge(id(r, c), id(r+1, c), 5)
+				}
+			}
+		}
+		b.StartTimer()
+		_ = g.MaxFlow(0, n-1)
+	}
+}

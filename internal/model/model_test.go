@@ -1,0 +1,357 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/propset"
+)
+
+// fig1Instance builds the shared input of Figure 1 in the paper:
+// Q = {xyz, xz, xy}, U(xyz)=8, U(xz)=1, U(xy)=2,
+// C(X)=5, C(Y)=C(Z)=C(XYZ)=3, C(XZ)=4, C(YZ)=0, C(XY)=∞.
+func fig1Instance(t testing.TB, budget float64) *Instance {
+	t.Helper()
+	b := NewBuilder()
+	b.AddQuery(8, "x", "y", "z")
+	b.AddQuery(1, "x", "z")
+	b.AddQuery(2, "x", "y")
+	b.SetCost(5, "x")
+	b.SetCost(3, "y")
+	b.SetCost(3, "z")
+	b.SetCost(3, "x", "y", "z")
+	b.SetCost(4, "x", "z")
+	b.SetCost(0, "y", "z")
+	b.SetCost(math.Inf(1), "x", "y")
+	return b.MustInstance(budget)
+}
+
+func set(in *Instance, names ...string) propset.Set {
+	return in.Universe().SetOf(names...)
+}
+
+func TestBuilderBasics(t *testing.T) {
+	in := fig1Instance(t, 3)
+	if in.NumQueries() != 3 {
+		t.Fatalf("NumQueries = %d, want 3", in.NumQueries())
+	}
+	if in.NumProperties() != 3 {
+		t.Fatalf("NumProperties = %d, want 3", in.NumProperties())
+	}
+	if in.MaxQueryLength() != 3 {
+		t.Fatalf("MaxQueryLength = %d, want 3", in.MaxQueryLength())
+	}
+	if got := in.TotalUtility(); got != 11 {
+		t.Fatalf("TotalUtility = %v, want 11", got)
+	}
+}
+
+func TestClassifierEnumerationExcludesInfinite(t *testing.T) {
+	in := fig1Instance(t, 3)
+	// CL without XY (infinite) has 6 members: X, Y, Z, XZ, YZ, XYZ.
+	if got := len(in.Classifiers()); got != 6 {
+		t.Fatalf("|CL| = %d, want 6 (got %v)", got, in.Classifiers())
+	}
+	if _, ok := in.ClassifierIndex(set(in, "x", "y")); ok {
+		t.Fatal("infinite-cost classifier XY should be excluded from CL")
+	}
+	if math.IsInf(in.Cost(set(in, "x", "y")), 1) != true {
+		t.Fatal("Cost(XY) should be +Inf")
+	}
+}
+
+func TestClassifierEnumerationOnlyQuerySubsets(t *testing.T) {
+	// Paper §2.1: P = {x,y,z}, Q = {xy, xz} ⇒ CL = {X, Y, Z, XY, XZ};
+	// YZ must not appear since no query contains both y and z.
+	b := NewBuilder()
+	b.AddQuery(1, "x", "y")
+	b.AddQuery(1, "x", "z")
+	in := b.MustInstance(10)
+	if got := len(in.Classifiers()); got != 5 {
+		t.Fatalf("|CL| = %d, want 5: %v", got, in.Classifiers())
+	}
+	yz := in.Universe().SetOf("y", "z")
+	if _, ok := in.ClassifierIndex(yz); ok {
+		t.Fatal("YZ should not be in CL")
+	}
+}
+
+func TestDuplicateQueriesAccumulateUtility(t *testing.T) {
+	b := NewBuilder()
+	b.AddQuery(3, "a", "b")
+	b.AddQuery(4, "b", "a") // same conjunction
+	in := b.MustInstance(1)
+	if in.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d, want 1", in.NumQueries())
+	}
+	if u := in.Queries()[0].Utility; u != 7 {
+		t.Fatalf("utility = %v, want 7", u)
+	}
+}
+
+func TestDefaultCostUniform(t *testing.T) {
+	b := NewBuilder()
+	b.AddQuery(1, "a", "b")
+	in := b.MustInstance(5)
+	for _, c := range in.Classifiers() {
+		if c.Cost != 1 {
+			t.Fatalf("default cost = %v, want 1", c.Cost)
+		}
+	}
+}
+
+func TestDefaultCostFunc(t *testing.T) {
+	b := NewBuilder()
+	b.AddQuery(1, "a", "b")
+	b.SetDefaultCost(func(s propset.Set) float64 { return float64(s.Len()) * 2 })
+	in := b.MustInstance(5)
+	ab := in.Universe().SetOf("a", "b")
+	if got := in.Cost(ab); got != 4 {
+		t.Fatalf("Cost(AB) = %v, want 4", got)
+	}
+	a := in.Universe().SetOf("a")
+	if got := in.Cost(a); got != 2 {
+		t.Fatalf("Cost(A) = %v, want 2", got)
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Instance(1); err == nil {
+		t.Fatal("empty instance should fail")
+	}
+	b.AddQuery(1, "a")
+	if _, err := b.Instance(-1); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+	b2 := NewBuilder()
+	b2.AddQuery(-5, "a")
+	if _, err := b2.Instance(1); err == nil {
+		t.Fatal("negative utility should fail")
+	}
+	b3 := NewBuilder()
+	b3.AddQuery(1, "a")
+	b3.SetCost(-2, "a")
+	if _, err := b3.Instance(1); err == nil {
+		t.Fatal("negative cost should fail")
+	}
+}
+
+func TestCoverageSemantics(t *testing.T) {
+	in := fig1Instance(t, 4)
+	s := NewSolution(in)
+	xyz := set(in, "x", "y", "z")
+	xz := set(in, "x", "z")
+	xy := set(in, "x", "y")
+
+	if s.Covers(xyz) || s.Covers(xz) || s.Covers(xy) {
+		t.Fatal("empty solution covers nothing")
+	}
+	// Paper Example 2.1 (B=4): {YZ, XZ} covers xyz and xz but not xy.
+	s.Add(set(in, "y", "z"))
+	s.Add(set(in, "x", "z"))
+	if !s.Covers(xyz) {
+		t.Error("YZ+XZ should cover xyz")
+	}
+	if !s.Covers(xz) {
+		t.Error("XZ should cover xz")
+	}
+	if s.Covers(xy) {
+		t.Error("YZ+XZ must not cover xy")
+	}
+	if got := s.Utility(); got != 9 {
+		t.Errorf("Utility = %v, want 9", got)
+	}
+	if got := s.Cost(); got != 4 {
+		t.Errorf("Cost = %v, want 4", got)
+	}
+	if !s.Feasible() {
+		t.Error("solution of cost 4 must be feasible at budget 4")
+	}
+}
+
+func TestCoverageIsExact(t *testing.T) {
+	// A classifier strictly containing the query does NOT cover it: the
+	// union must equal the query exactly.
+	b := NewBuilder()
+	b.AddQuery(1, "a")
+	b.AddQuery(1, "a", "b")
+	in := b.MustInstance(10)
+	s := NewSolution(in)
+	s.Add(in.Universe().SetOf("a", "b"))
+	if s.Covers(in.Universe().SetOf("a")) {
+		t.Fatal("AB must not cover the singleton query a")
+	}
+	if !s.Covers(in.Universe().SetOf("a", "b")) {
+		t.Fatal("AB must cover ab")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	in := fig1Instance(t, 11)
+	s := NewSolution(in)
+	xyz := set(in, "x", "y", "z")
+	if got := s.Residual(xyz); !got.Equal(xyz) {
+		t.Fatalf("Residual of empty solution = %v, want %v", got, xyz)
+	}
+	s.Add(set(in, "y", "z"))
+	if got := s.Residual(xyz); !got.Equal(set(in, "x")) {
+		t.Fatalf("Residual after YZ = %v, want {x}", got)
+	}
+	s.Add(set(in, "x"))
+	if got := s.Residual(xyz); !got.Empty() {
+		t.Fatalf("Residual after YZ+X = %v, want empty", got)
+	}
+}
+
+func TestFigure1OptimaAreFeasibleAndValued(t *testing.T) {
+	// Golden values from Figure 1 of the paper.
+	cases := []struct {
+		budget  float64
+		picks   [][]string
+		utility float64
+	}{
+		{3, [][]string{{"y", "z"}, {"x", "y", "z"}}, 8},
+		{4, [][]string{{"y", "z"}, {"x", "z"}}, 9},
+		{11, [][]string{{"y", "z"}, {"x"}, {"y"}, {"z"}}, 11},
+	}
+	for _, c := range cases {
+		in := fig1Instance(t, c.budget)
+		s := NewSolution(in)
+		for _, p := range c.picks {
+			s.Add(in.Universe().SetOf(p...))
+		}
+		if !s.Feasible() {
+			t.Errorf("B=%v: depicted solution infeasible (cost %v)", c.budget, s.Cost())
+		}
+		if got := s.Utility(); got != c.utility {
+			t.Errorf("B=%v: utility = %v, want %v", c.budget, got, c.utility)
+		}
+	}
+}
+
+func TestSolutionAddRemoveClone(t *testing.T) {
+	in := fig1Instance(t, 11)
+	s := NewSolution(in)
+	x := set(in, "x")
+	if !s.Add(x) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(x) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Size() != 1 || !s.Has(x) {
+		t.Fatal("Add bookkeeping broken")
+	}
+	cl := s.Clone()
+	s.Remove(x)
+	if s.Has(x) {
+		t.Fatal("Remove did not remove")
+	}
+	if !cl.Has(x) {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestAddClassifierOverridesCost(t *testing.T) {
+	in := fig1Instance(t, 11)
+	s := NewSolution(in)
+	s.AddClassifier(Classifier{Props: set(in, "x"), Cost: 0})
+	if got := s.Cost(); got != 0 {
+		t.Fatalf("Cost = %v, want 0 (override)", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	in := fig1Instance(t, 11)
+	a := NewSolution(in)
+	a.Add(set(in, "x"))
+	b := NewSolution(in)
+	b.Add(set(in, "y"))
+	b.Add(set(in, "x"))
+	a.Merge(b)
+	if a.Size() != 2 {
+		t.Fatalf("merged size = %d, want 2", a.Size())
+	}
+}
+
+func TestWithBudget(t *testing.T) {
+	in := fig1Instance(t, 3)
+	in2 := in.WithBudget(7)
+	if in.Budget() != 3 || in2.Budget() != 7 {
+		t.Fatal("WithBudget broken")
+	}
+	if in2.NumQueries() != in.NumQueries() {
+		t.Fatal("WithBudget must preserve queries")
+	}
+}
+
+func TestCoverageMonotoneUnderAdd(t *testing.T) {
+	// Property: adding a classifier never uncovers a covered query.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 6, 8, 3)
+		s := NewSolution(in)
+		covered := make(map[string]bool)
+		cls := in.Classifiers()
+		for step := 0; step < len(cls); step++ {
+			c := cls[rng.Intn(len(cls))]
+			s.Add(c.Props)
+			for _, q := range in.Queries() {
+				k := q.Props.Key()
+				now := s.Covers(q.Props)
+				if covered[k] && !now {
+					t.Fatalf("query %v became uncovered after adding %v", q.Props, c.Props)
+				}
+				covered[k] = now
+			}
+		}
+		// Full CL must cover everything.
+		for _, q := range in.Queries() {
+			s2 := NewSolution(in)
+			for _, c := range cls {
+				s2.Add(c.Props)
+			}
+			if !s2.Covers(q.Props) {
+				t.Fatalf("full CL fails to cover %v", q.Props)
+			}
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand, nProps, nQueries, maxLen int) *Instance {
+	b := NewBuilder()
+	u := b.Universe()
+	names := make([]string, nProps)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	for i := 0; i < nQueries; i++ {
+		ln := 1 + rng.Intn(maxLen)
+		ids := make([]propset.ID, ln)
+		for j := range ids {
+			ids[j] = u.Intern(names[rng.Intn(nProps)])
+		}
+		b.AddQuerySet(propset.New(ids...), 1+float64(rng.Intn(10)))
+	}
+	b.SetDefaultCost(func(s propset.Set) float64 { return 1 + float64(rng.Intn(5)) })
+	return b.MustInstance(10)
+}
+
+func BenchmarkCoverageCheck(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInstance(rng, 20, 100, 4)
+	s := NewSolution(in)
+	for _, c := range in.Classifiers() {
+		if rng.Intn(2) == 0 {
+			s.Add(c.Props)
+		}
+	}
+	qs := in.Queries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Covers(qs[i%len(qs)].Props)
+	}
+}

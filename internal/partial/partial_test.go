@@ -1,0 +1,211 @@
+package partial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+func randomInstance(rng *rand.Rand, nProps, nQueries, maxLen int, budget float64) *model.Instance {
+	b := model.NewBuilder()
+	u := b.Universe()
+	names := make([]string, nProps)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	for i := 0; i < nQueries; i++ {
+		ln := 1 + rng.Intn(maxLen)
+		ids := make([]propset.ID, ln)
+		for j := range ids {
+			ids[j] = u.Intern(names[rng.Intn(nProps)])
+		}
+		b.AddQuerySet(propset.New(ids...), 1+float64(rng.Intn(9)))
+	}
+	seed := rng.Int63()
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		h := seed
+		for _, id := range s {
+			h = h*31 + int64(id) + 7
+		}
+		return 1 + float64((h%5+5)%5)
+	})
+	return b.MustInstance(budget)
+}
+
+func TestGainCurves(t *testing.T) {
+	for name, g := range map[string]Gain{
+		"Threshold": Threshold, "Linear": Linear, "Sqrt": Sqrt, "AllButOne": AllButOne,
+	} {
+		if got := g(0, 3); got != 0 {
+			t.Errorf("%s(0,3) = %v, want 0", name, got)
+		}
+		if got := g(3, 3); got != 1 {
+			t.Errorf("%s(3,3) = %v, want 1", name, got)
+		}
+		prev := 0.0
+		for k := 0; k <= 3; k++ {
+			v := g(k, 3)
+			if v < prev-1e-12 {
+				t.Errorf("%s not monotone at %d", name, k)
+			}
+			prev = v
+		}
+	}
+	if Linear(1, 2) != 0.5 {
+		t.Error("Linear(1,2) != 0.5")
+	}
+	if math.Abs(Sqrt(1, 4)-0.5) > 1e-12 {
+		t.Error("Sqrt(1,4) != 0.5")
+	}
+	if AllButOne(2, 3) != 0.6 {
+		t.Error("AllButOne(2,3) != 0.6")
+	}
+}
+
+func TestThresholdMatchesBCCUtility(t *testing.T) {
+	// Under the Threshold gain the objective is exactly the BCC utility:
+	// any fixed selection must score identically in both models.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 6, 10, 3, 10)
+		st := newState(in, Threshold)
+		sol := model.NewSolution(in)
+		cls := in.Classifiers()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			c := cls[rng.Intn(len(cls))]
+			st.add(c.Props)
+			sol.Add(c.Props)
+		}
+		if math.Abs(st.utility-sol.Utility()) > 1e-9 {
+			t.Fatalf("trial %d: partial-threshold %v != BCC %v",
+				trial, st.utility, sol.Utility())
+		}
+	}
+}
+
+func TestSolveThresholdComparableToABCC(t *testing.T) {
+	// The partial greedy with Threshold is just a BCC heuristic; it must
+	// stay within a reasonable factor of A^BCC (and never beat brute
+	// force, checked elsewhere).
+	rng := rand.New(rand.NewSource(2))
+	var ours, abcc float64
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 8, 15, 3, 12)
+		ours += Solve(in, Threshold).Utility
+		abcc += core.Solve(in, core.Options{Seed: int64(trial + 1)}).Utility
+	}
+	if ours > abcc+1e-9 {
+		t.Logf("partial-threshold greedy (%v) beat A^BCC (%v) in aggregate — fine but unusual", ours, abcc)
+	}
+	if ours < 0.5*abcc {
+		t.Fatalf("partial greedy too weak: %v vs %v", ours, abcc)
+	}
+}
+
+func TestSolveFeasibleAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(rng, 8, 12, 3, float64(3+rng.Intn(12)))
+		for _, g := range []Gain{Threshold, Linear, Sqrt, AllButOne} {
+			res := Solve(in, g)
+			if res.Cost > in.Budget()+1e-9 {
+				t.Fatalf("budget exceeded: %v > %v", res.Cost, in.Budget())
+			}
+			// Recompute utility from scratch.
+			st := newState(in, g)
+			for _, c := range res.Solution.Classifiers() {
+				st.add(c.Props)
+			}
+			if math.Abs(st.utility-res.Utility) > 1e-9 {
+				t.Fatalf("reported %v != recomputed %v", res.Utility, st.utility)
+			}
+		}
+	}
+}
+
+func TestSolveNearOptimalSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, g := range []Gain{Linear, Sqrt} {
+		var tot, opt float64
+		for trial := 0; trial < 25; trial++ {
+			in := randomInstance(rng, 5, 6, 3, float64(2+rng.Intn(8)))
+			res := Solve(in, g)
+			ref, err := BruteForce(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Utility > ref.Utility+1e-9 {
+				t.Fatalf("greedy %v beats brute force %v", res.Utility, ref.Utility)
+			}
+			tot += res.Utility
+			opt += ref.Utility
+		}
+		// Submodular greedy guarantee is ½(1−1/e) ≈ 0.316; in practice it
+		// should be far closer.
+		if tot < 0.75*opt {
+			t.Fatalf("greedy aggregate %v below 0.75 × optimal %v", tot, opt)
+		}
+	}
+}
+
+func TestPartialBeatsThresholdOnPartialInstances(t *testing.T) {
+	// A query of length 3 with budget for only 2 conjuncts: Linear earns
+	// partial utility where Threshold earns none.
+	b := model.NewBuilder()
+	b.AddQuery(9, "a", "b", "c")
+	b.SetDefaultCost(func(s propset.Set) float64 { return float64(s.Len()) * 2 })
+	in := b.MustInstance(4)
+	lin := Solve(in, Linear)
+	thr := Solve(in, Threshold)
+	if lin.Utility <= thr.Utility {
+		t.Fatalf("Linear (%v) should beat Threshold (%v) here", lin.Utility, thr.Utility)
+	}
+	if lin.Utility != 6 { // 2 of 3 conjuncts → 9·(2/3)
+		t.Fatalf("Linear utility = %v, want 6", lin.Utility)
+	}
+}
+
+func TestRandBaselineFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 8, 12, 3, float64(rng.Intn(15)))
+		res := SolveRand(in, Linear, int64(trial+1))
+		if res.Cost > in.Budget()+1e-9 {
+			t.Fatalf("RAND exceeded budget")
+		}
+	}
+}
+
+func TestBruteForceRefusesLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := randomInstance(rng, 30, 60, 3, 10)
+	if _, err := BruteForce(in, Linear); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestNilGainDefaultsToThreshold(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddQuery(5, "a")
+	b.SetCost(1, "a")
+	in := b.MustInstance(2)
+	res := Solve(in, nil)
+	if res.Utility != 5 {
+		t.Fatalf("nil gain: utility %v, want 5", res.Utility)
+	}
+}
+
+func BenchmarkSolveLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInstance(rng, 100, 500, 4, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Solve(in, Linear)
+	}
+}

@@ -1,0 +1,294 @@
+package propset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	s := New(5, 1, 3, 1, 5, 5)
+	want := Set{1, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("New(5,1,3,1,5,5) = %v, want %v", s, want)
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if s := New(); !s.Empty() || s.Len() != 0 {
+		t.Fatalf("New() = %v, want empty", s)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 8, 16)
+	for _, id := range []ID{2, 4, 8, 16} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []ID{0, 1, 3, 5, 9, 17} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	cases := []struct {
+		s, t Set
+		want bool
+	}{
+		{New(), New(1, 2), true},
+		{New(1), New(1, 2), true},
+		{New(2), New(1, 2), true},
+		{New(1, 2), New(1, 2), true},
+		{New(1, 2, 3), New(1, 2), false},
+		{New(3), New(1, 2), false},
+		{New(1, 3), New(1, 2, 3, 4), true},
+		{New(1, 5), New(1, 2, 3, 4), false},
+	}
+	for _, c := range cases {
+		if got := c.s.SubsetOf(c.t); got != c.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	cases := []struct {
+		s, t, want Set
+	}{
+		{New(), New(), New()},
+		{New(1), New(), New(1)},
+		{New(), New(2), New(2)},
+		{New(1, 3), New(2, 3, 4), New(1, 2, 3, 4)},
+		{New(1, 2), New(1, 2), New(1, 2)},
+	}
+	for _, c := range cases {
+		if got := c.s.Union(c.t); !got.Equal(c.want) {
+			t.Errorf("%v.Union(%v) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestIntersectAndMinus(t *testing.T) {
+	s := New(1, 2, 3, 5)
+	u := New(2, 4, 5, 6)
+	if got := s.Intersect(u); !got.Equal(New(2, 5)) {
+		t.Errorf("Intersect = %v, want {2 5}", got)
+	}
+	if got := s.Minus(u); !got.Equal(New(1, 3)) {
+		t.Errorf("Minus = %v, want {1 3}", got)
+	}
+	if got := u.Minus(s); !got.Equal(New(4, 6)) {
+		t.Errorf("Minus = %v, want {4 6}", got)
+	}
+	if !s.Intersects(u) {
+		t.Error("Intersects = false, want true")
+	}
+	if s.Intersects(New(7, 8)) {
+		t.Error("Intersects({7 8}) = true, want false")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	seen := map[string]Set{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(5)
+		ids := make([]ID, n)
+		for j := range ids {
+			ids[j] = ID(rng.Intn(50))
+		}
+		s := New(ids...)
+		k := s.Key()
+		if prev, ok := seen[k]; ok {
+			if !prev.Equal(s) {
+				t.Fatalf("key collision: %v and %v share key", prev, s)
+			}
+		}
+		seen[k] = s
+	}
+}
+
+func TestSubsetsEnumeratesAll(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []string
+	s.Subsets(func(sub Set) { got = append(got, sub.String()) })
+	if len(got) != 7 {
+		t.Fatalf("Subsets produced %d subsets, want 7: %v", len(got), got)
+	}
+	sort.Strings(got)
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("duplicate subset %s", got[i])
+		}
+	}
+}
+
+func TestSubsetsOfSingleton(t *testing.T) {
+	count := 0
+	New(9).Subsets(func(sub Set) {
+		count++
+		if !sub.Equal(New(9)) {
+			t.Errorf("unexpected subset %v", sub)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("singleton has %d subsets, want 1", count)
+	}
+}
+
+func TestUniverseIntern(t *testing.T) {
+	u := NewUniverse()
+	a := u.Intern("wooden")
+	b := u.Intern("table")
+	if a == b {
+		t.Fatal("distinct names interned to same ID")
+	}
+	if got := u.Intern("wooden"); got != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", got, a)
+	}
+	if u.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", u.Size())
+	}
+	if u.Name(a) != "wooden" || u.Name(b) != "table" {
+		t.Fatal("Name mismatch")
+	}
+	if id, ok := u.Lookup("table"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := u.Lookup("metal"); ok {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+}
+
+func TestUniverseSetOfAndFormat(t *testing.T) {
+	u := NewUniverse()
+	s := u.SetOf("round", "wooden", "table")
+	if s.Len() != 3 {
+		t.Fatalf("SetOf produced %v", s)
+	}
+	str := u.Format(s)
+	if str != "{round wooden table}" {
+		t.Fatalf("Format = %q", str)
+	}
+}
+
+func TestZeroUniverseUsable(t *testing.T) {
+	var u Universe
+	id := u.Intern("x")
+	if u.Name(id) != "x" {
+		t.Fatal("zero-value Universe not usable")
+	}
+}
+
+// Property-based tests.
+
+func randomSet(rng *rand.Rand, maxID, maxLen int) Set {
+	n := rng.Intn(maxLen + 1)
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(rng.Intn(maxID))
+	}
+	return New(ids...)
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		return sa.Union(sb).Equal(sb.Union(sa))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionSuperset(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		u := sa.Union(sb)
+		return sa.SubsetOf(u) && sb.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinusDisjoint(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		return !sa.Minus(sb).Intersects(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		in := sa.Intersect(sb)
+		return in.SubsetOf(sa) && in.SubsetOf(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPartition(t *testing.T) {
+	// Minus(b) ∪ Intersect(b) == s, always.
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		return sa.Minus(sb).Union(sa.Intersect(sb)).Equal(sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		return (sa.Key() == sb.Key()) == sa.Equal(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromBytes(b []uint8) Set {
+	ids := make([]ID, len(b))
+	for i, v := range b {
+		ids[i] = ID(v % 32)
+	}
+	return New(ids...)
+}
+
+func BenchmarkUnionSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomSet(rng, 1000, 5)
+	u := randomSet(rng, 1000, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Union(u)
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := randomSet(rng, 1000, 3)
+	u := randomSet(rng, 1000, 6).Union(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.SubsetOf(u)
+	}
+}

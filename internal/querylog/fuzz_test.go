@@ -1,0 +1,45 @@
+package querylog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the log parser; it must never
+// panic, and whatever it keeps must build a valid instance.
+func FuzzParse(f *testing.F) {
+	f.Add("wooden table\t10\n")
+	f.Add("a b c d e f g h\t1\n")
+	f.Add("#comment\n\n\t\t\n")
+	f.Add("query\t-1\n")
+	f.Add("query\tNaN\n")
+	f.Add("q1\t1e300\nq1\t1e300\n")
+	f.Add(strings.Repeat("term ", 50) + "\t3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, st, err := Parse(strings.NewReader(input), Options{})
+		if err != nil {
+			return // rejected inputs are fine
+		}
+		if st.Kept < 0 || st.Lines < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+		if st.Kept == 0 {
+			return
+		}
+		in, err := b.Instance(10)
+		if err != nil {
+			t.Fatalf("kept %d queries but Instance failed: %v", st.Kept, err)
+		}
+		if in.NumQueries() != st.Kept {
+			t.Fatalf("Kept=%d but instance has %d queries", st.Kept, in.NumQueries())
+		}
+		for _, q := range in.Queries() {
+			if q.Utility < 0 {
+				t.Fatalf("negative utility %v", q.Utility)
+			}
+			if q.Length() > 6 {
+				t.Fatalf("over-long query survived: %v", q.Props)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package querylog ingests raw search-query logs into BCC instances — the
+// pipeline step that precedes everything in the paper's setting: companies
+// start from a query log, derive the property conjunctions users filter
+// by, and use search frequency as the utility signal.
+//
+// The expected format is one query per line:
+//
+//	wooden table<TAB>1542
+//	running shoes<TAB>987
+//	table
+//
+// Terms are normalized (lower-cased, trimmed, deduplicated within a
+// query); a missing count defaults to 1; repeated lines accumulate.
+// Queries longer than MaxLength (default 6, matching the paper's
+// observation that longer filters are not worth classifier budget [27])
+// are dropped and reported.
+package querylog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// Options configures parsing.
+type Options struct {
+	// MaxLength drops queries with more conjuncts (default 6).
+	MaxLength int
+	// MinCount drops queries searched fewer times in total (default 1).
+	MinCount float64
+	// Stopwords are removed from every query before interning.
+	Stopwords []string
+	// Comment marks line prefixes to ignore (default "#").
+	Comment string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLength == 0 {
+		o.MaxLength = 6
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 1
+	}
+	if o.Comment == "" {
+		o.Comment = "#"
+	}
+	return o
+}
+
+// Stats reports what the parser kept and dropped.
+type Stats struct {
+	Lines        int
+	Kept         int // distinct queries kept
+	DroppedLong  int
+	DroppedEmpty int
+	DroppedRare  int
+	Properties   int
+}
+
+// Parse reads a query log and produces a Builder pre-loaded with the
+// queries (utilities = accumulated counts). Costs are left to the caller
+// (SetCost / SetDefaultCost) before calling Instance.
+func Parse(r io.Reader, opts Options) (*model.Builder, Stats, error) {
+	opts = opts.withDefaults()
+	stop := make(map[string]bool, len(opts.Stopwords))
+	for _, w := range opts.Stopwords {
+		stop[strings.ToLower(w)] = true
+	}
+
+	b := model.NewBuilder()
+	u := b.Universe()
+	counts := map[string]float64{}
+	sets := map[string]propset.Set{}
+	var st Stats
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		st.Lines++
+		if line == "" || strings.HasPrefix(line, opts.Comment) {
+			continue
+		}
+		text := line
+		count := 1.0
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			text = strings.TrimSpace(line[:i])
+			cs := strings.TrimSpace(line[i+1:])
+			if cs != "" {
+				v, err := strconv.ParseFloat(cs, 64)
+				if err != nil {
+					return nil, st, fmt.Errorf("querylog: line %d: bad count %q: %v", st.Lines, cs, err)
+				}
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, st, fmt.Errorf("querylog: line %d: invalid count %v", st.Lines, v)
+				}
+				count = v
+			}
+		}
+		var ids []propset.ID
+		for _, term := range strings.Fields(strings.ToLower(text)) {
+			term = strings.Trim(term, ".,;:!?\"'()[]")
+			if term == "" || stop[term] {
+				continue
+			}
+			ids = append(ids, u.Intern(term))
+		}
+		q := propset.New(ids...)
+		switch {
+		case q.Empty():
+			st.DroppedEmpty++
+			continue
+		case q.Len() > opts.MaxLength:
+			st.DroppedLong++
+			continue
+		}
+		k := q.Key()
+		counts[k] += count
+		sets[k] = q
+	}
+	if err := sc.Err(); err != nil {
+		return nil, st, fmt.Errorf("querylog: %w", err)
+	}
+
+	// Deterministic order: by count desc, then key.
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		if counts[k] < opts.MinCount {
+			st.DroppedRare++
+			continue
+		}
+		b.AddQuerySet(sets[k], counts[k])
+		st.Kept++
+	}
+	st.Properties = u.Size()
+	return b, st, nil
+}

@@ -1,0 +1,205 @@
+// Package reduction implements the formal problem reductions of the
+// paper's hardness analysis, as executable mappings with round-trip tests:
+//
+//   - Theorem 3.1: BCC with l = 1 ⇄ Knapsack (exact equivalence);
+//   - Theorem 3.3: the special case I_2 (all queries length 2, unit
+//     utilities, unit singleton costs, other classifiers excluded,
+//     integer budget) ⇄ Densest k-Subgraph;
+//   - Theorem 5.3: the uniform special case of GMC3 ⇄ Smallest p-Edge
+//     Subgraph (SpES), together with a greedy SpES heuristic.
+//
+// These mappings exist to validate the implementation against the theory —
+// the test suite solves both sides of each bijection independently and
+// asserts equal optima — and to document precisely how the paper's
+// complexity results connect to the code.
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/knapsack"
+	"repro/internal/model"
+	"repro/internal/propset"
+	"repro/internal/wgraph"
+)
+
+// KnapsackFromBCC1 maps a BCC instance with l = 1 to the equivalent
+// knapsack input (Theorem 3.1): each singleton query x becomes an item
+// with value U(x) and weight C(X); the capacity is the budget. It errors
+// if any query is longer than 1.
+func KnapsackFromBCC1(in *model.Instance) ([]knapsack.Item, float64, error) {
+	if in.MaxQueryLength() > 1 {
+		return nil, 0, fmt.Errorf("reduction: instance has l = %d, need 1", in.MaxQueryLength())
+	}
+	var items []knapsack.Item
+	for qi, q := range in.Queries() {
+		cost := in.Cost(q.Props)
+		if math.IsInf(cost, 1) {
+			continue // uncoverable query: no corresponding item
+		}
+		items = append(items, knapsack.Item{Value: q.Utility, Weight: cost, Payload: qi})
+	}
+	return items, in.Budget(), nil
+}
+
+// BCC1FromKnapsack is the reverse direction of Theorem 3.1: items become
+// singleton queries with matching utilities and classifier costs.
+func BCC1FromKnapsack(items []knapsack.Item, capacity float64) (*model.Instance, error) {
+	b := model.NewBuilder()
+	u := b.Universe()
+	for i, it := range items {
+		s := propset.New(u.Intern(fmt.Sprintf("item%d", i)))
+		b.AddQuerySet(s, it.Value)
+		b.SetCostSet(s, it.Weight)
+	}
+	return b.Instance(capacity)
+}
+
+// DkSFromI2 maps an I_2 instance (Theorem 3.3) to a DkS input: properties
+// become nodes, queries become edges, the budget becomes k. It validates
+// the I_2 restrictions (all queries length 2, unit utilities, unit
+// singleton costs, non-singleton classifiers excluded, integer budget).
+func DkSFromI2(in *model.Instance) (*wgraph.Graph, int, error) {
+	if in.Budget() != math.Trunc(in.Budget()) {
+		return nil, 0, fmt.Errorf("reduction: I_2 requires an integer budget, got %v", in.Budget())
+	}
+	n := in.NumProperties()
+	g := wgraph.New(n)
+	for v := 0; v < n; v++ {
+		g.SetCost(v, 1)
+	}
+	for _, q := range in.Queries() {
+		if q.Props.Len() != 2 {
+			return nil, 0, fmt.Errorf("reduction: I_2 requires all queries of length 2, got %v", q.Props)
+		}
+		if q.Utility != 1 {
+			return nil, 0, fmt.Errorf("reduction: I_2 requires unit utilities, got %v", q.Utility)
+		}
+		if c := in.Cost(q.Props); !math.IsInf(c, 1) {
+			return nil, 0, fmt.Errorf("reduction: I_2 requires pair classifiers excluded, %v costs %v", q.Props, c)
+		}
+		for _, p := range q.Props {
+			if c := in.Cost(propset.New(p)); c != 1 {
+				return nil, 0, fmt.Errorf("reduction: I_2 requires unit singleton costs, %v costs %v", p, c)
+			}
+		}
+		g.AddEdgeMerged(int(q.Props[0]), int(q.Props[1]), 1)
+	}
+	return g, int(in.Budget()), nil
+}
+
+// I2FromDkS is the reverse direction of Theorem 3.3: nodes become
+// properties (unit-cost singleton classifiers), edges become unit-utility
+// queries, k becomes the budget, and every non-singleton classifier is
+// priced +Inf.
+func I2FromDkS(g *wgraph.Graph, k int) (*model.Instance, error) {
+	b := model.NewBuilder()
+	u := b.Universe()
+	names := make([]string, g.NumNodes())
+	for v := range names {
+		names[v] = fmt.Sprintf("v%d", v)
+	}
+	for _, e := range g.Edges() {
+		b.AddQuery(1, names[e.U], names[e.V])
+	}
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		if s.Len() == 1 {
+			return 1
+		}
+		return math.Inf(1)
+	})
+	_ = u
+	return b.Instance(float64(k))
+}
+
+// SpESInstance is a Smallest p-Edge Subgraph input: find the fewest nodes
+// inducing at least P edges.
+type SpESInstance struct {
+	G *wgraph.Graph
+	P int
+}
+
+// SpESFromUniformGMC3 maps the uniform special case of GMC3 (Theorem
+// 5.3's hardness direction: all queries length 2, unit utilities, unit
+// singleton costs, pair classifiers excluded, integer target) to SpES.
+func SpESFromUniformGMC3(in *model.Instance, target float64) (SpESInstance, error) {
+	g, _, err := DkSFromI2(in.WithBudget(0))
+	if err != nil {
+		return SpESInstance{}, err
+	}
+	if target != math.Trunc(target) {
+		return SpESInstance{}, fmt.Errorf("reduction: SpES requires an integer target, got %v", target)
+	}
+	return SpESInstance{G: g, P: int(target)}, nil
+}
+
+// SolveSpESGreedy is a simple SpES heuristic: grow the node set by the
+// vertex closing the most new edges until P edges are induced (then prune
+// redundant nodes). Returns the chosen nodes, or ok=false when even the
+// full graph has fewer than P edges.
+func SolveSpESGreedy(inst SpESInstance) ([]int, bool) {
+	g := inst.G
+	n := g.NumNodes()
+	if countEdges(g, all(n)) < inst.P {
+		return nil, false
+	}
+	in := make([]bool, n)
+	var sel []int
+	edges := 0
+	for edges < inst.P {
+		best, bestGain := -1, -1
+		for v := 0; v < n; v++ {
+			if in[v] {
+				continue
+			}
+			gain := 0
+			g.Neighbors(v, func(u int, _ float64, _ int) {
+				if in[u] {
+					gain++
+				}
+			})
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		in[best] = true
+		sel = append(sel, best)
+		edges += bestGain
+	}
+	// Reverse-delete: drop nodes whose removal keeps ≥ P edges.
+	for i := 0; i < len(sel); i++ {
+		v := sel[i]
+		in[v] = false
+		if countEdgesIn(g, in) >= inst.P {
+			sel = append(sel[:i], sel[i+1:]...)
+			i--
+		} else {
+			in[v] = true
+		}
+	}
+	return sel, true
+}
+
+func all(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func countEdges(g *wgraph.Graph, in []bool) int { return countEdgesIn(g, in) }
+
+func countEdgesIn(g *wgraph.Graph, in []bool) int {
+	c := 0
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,220 @@
+// Package report renders solved BCC instances for human and machine
+// consumption: which classifiers to build, what each contributes, what
+// remains uncovered, and how the budget was spent. cmd/bccsolve's -plan
+// flag emits the JSON form; the text form targets analysts deciding
+// whether to adopt the plan.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// Plan is the serializable construction plan derived from a solution.
+type Plan struct {
+	Budget      float64       `json:"budget"`
+	SpentCost   float64       `json:"spent_cost"`
+	Utility     float64       `json:"utility"`
+	TotalU      float64       `json:"total_utility"`
+	NumCovered  int           `json:"covered_queries"`
+	NumQueries  int           `json:"total_queries"`
+	Classifiers []PlanEntry   `json:"classifiers"`
+	Uncovered   []PlanMissing `json:"top_uncovered,omitempty"`
+}
+
+// PlanEntry is one classifier to build.
+type PlanEntry struct {
+	Props []string `json:"props"`
+	Cost  float64  `json:"cost"`
+	// Supports lists the covered queries this classifier participates in
+	// (it is a subset of each).
+	Supports int `json:"supports_queries"`
+	// Exclusive is the utility of covered queries that would become
+	// uncovered if only this classifier were dropped.
+	Exclusive float64 `json:"exclusive_utility"`
+}
+
+// PlanMissing is an uncovered query worth surfacing.
+type PlanMissing struct {
+	Props   []string `json:"props"`
+	Utility float64  `json:"utility"`
+	// CheapestCover is the additional cost that would cover it (+Inf
+	// omitted).
+	CheapestCover float64 `json:"cheapest_cover,omitempty"`
+}
+
+// Build assembles a Plan from a solution. topMissing bounds the uncovered
+// list (0 keeps all).
+func Build(sol *model.Solution, topMissing int) Plan {
+	in := sol.Instance()
+	u := in.Universe()
+	names := func(s propset.Set) []string {
+		out := make([]string, s.Len())
+		for i, id := range s {
+			out[i] = u.Name(id)
+		}
+		return out
+	}
+
+	p := Plan{
+		Budget:     in.Budget(),
+		SpentCost:  sol.Cost(),
+		Utility:    sol.Utility(),
+		TotalU:     in.TotalUtility(),
+		NumQueries: in.NumQueries(),
+	}
+
+	covered := sol.CoveredQueries()
+	p.NumCovered = len(covered)
+
+	// Per-classifier accounting.
+	for _, c := range sol.Classifiers() {
+		entry := PlanEntry{Props: names(c.Props), Cost: c.Cost}
+		// Supports: covered queries that contain this classifier.
+		for _, q := range covered {
+			if c.Props.SubsetOf(q.Props) {
+				entry.Supports++
+			}
+		}
+		// Exclusive utility: drop it and see what uncovers.
+		probe := sol.Clone()
+		probe.Remove(c.Props)
+		entry.Exclusive = sol.Utility() - probe.Utility()
+		p.Classifiers = append(p.Classifiers, entry)
+	}
+	sort.Slice(p.Classifiers, func(i, j int) bool {
+		if p.Classifiers[i].Exclusive != p.Classifiers[j].Exclusive {
+			return p.Classifiers[i].Exclusive > p.Classifiers[j].Exclusive
+		}
+		return strings.Join(p.Classifiers[i].Props, " ") < strings.Join(p.Classifiers[j].Props, " ")
+	})
+
+	// Top uncovered queries by utility.
+	var missing []model.Query
+	for _, q := range in.Queries() {
+		if !sol.Covers(q.Props) {
+			missing = append(missing, q)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Utility > missing[j].Utility })
+	if topMissing > 0 && len(missing) > topMissing {
+		missing = missing[:topMissing]
+	}
+	for _, q := range missing {
+		m := PlanMissing{Props: names(q.Props), Utility: q.Utility}
+		if cost := cheapestCoverCost(sol, q.Props); cost >= 0 {
+			m.CheapestCover = cost
+		}
+		p.Uncovered = append(p.Uncovered, m)
+	}
+	return p
+}
+
+// cheapestCoverCost computes the min additional cost to cover q given the
+// solution, or -1 if impossible.
+func cheapestCoverCost(sol *model.Solution, q propset.Set) float64 {
+	in := sol.Instance()
+	res := sol.Residual(q)
+	if res.Empty() {
+		return 0
+	}
+	pos := map[propset.ID]uint{}
+	for i, p := range res {
+		pos[p] = uint(i)
+	}
+	full := (1 << uint(res.Len())) - 1
+	const unset = -1.0
+	dp := make([]float64, full+1)
+	for i := 1; i <= full; i++ {
+		dp[i] = unset
+	}
+	var cands []struct {
+		mask int
+		cost float64
+	}
+	q.Subsets(func(sub propset.Set) {
+		if sol.Has(sub) {
+			return
+		}
+		cost := in.Cost(sub)
+		if math.IsInf(cost, 1) || math.IsNaN(cost) || cost < 0 {
+			return
+		}
+		mask := 0
+		for _, p := range sub {
+			if b, ok := pos[p]; ok {
+				mask |= 1 << b
+			}
+		}
+		if mask != 0 {
+			cands = append(cands, struct {
+				mask int
+				cost float64
+			}{mask, cost})
+		}
+	})
+	for m := 0; m <= full; m++ {
+		if dp[m] == unset {
+			continue
+		}
+		for _, cd := range cands {
+			nm := m | cd.mask
+			if nm == m {
+				continue
+			}
+			if c := dp[m] + cd.cost; dp[nm] == unset || c < dp[nm] {
+				dp[nm] = c
+			}
+		}
+	}
+	if dp[full] == unset {
+		return -1
+	}
+	return dp[full]
+}
+
+// WriteJSON emits the plan as indented JSON.
+func (p Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteText emits a human-readable plan summary.
+func (p Plan) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Construction plan: %d classifiers, cost %.2f of budget %.2f\n",
+		len(p.Classifiers), p.SpentCost, p.Budget)
+	fmt.Fprintf(&b, "Covers %d/%d queries for utility %.2f of %.2f (%.1f%%)\n",
+		p.NumCovered, p.NumQueries, p.Utility, p.TotalU, pct(p.Utility, p.TotalU))
+	for _, c := range p.Classifiers {
+		fmt.Fprintf(&b, "  build {%s}  cost %-7.2f supports %-4d exclusive utility %.2f\n",
+			strings.Join(c.Props, " "), c.Cost, c.Supports, c.Exclusive)
+	}
+	if len(p.Uncovered) > 0 {
+		fmt.Fprintf(&b, "Top uncovered queries:\n")
+		for _, m := range p.Uncovered {
+			line := fmt.Sprintf("  {%s}  utility %.2f", strings.Join(m.Props, " "), m.Utility)
+			if m.CheapestCover > 0 {
+				line += fmt.Sprintf("  (coverable for %.2f more)", m.CheapestCover)
+			}
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * a / b
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func demoSolution(t *testing.T) *model.Solution {
+	t.Helper()
+	in := buildDemo(t)
+	res := core.Solve(in, core.Options{})
+	return res.Solution
+}
+
+func buildDemo(t *testing.T) *model.Instance {
+	t.Helper()
+	b := model.NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	b.AddQuery(3, "round", "table")
+	b.AddQuery(5, "running", "shoes")
+	b.SetCost(4, "wooden")
+	b.SetCost(2, "table")
+	b.SetCost(3, "round")
+	b.SetCost(6, "running", "shoes")
+	b.SetCost(math.Inf(1), "wooden", "table")
+	b.SetCost(5, "round", "table")
+	b.SetCost(9, "running")
+	b.SetCost(9, "shoes")
+	return b.MustInstance(9)
+}
+
+func TestBuildPlanAccounting(t *testing.T) {
+	sol := demoSolution(t)
+	p := Build(sol, 5)
+	if p.Budget != 9 {
+		t.Fatalf("Budget = %v", p.Budget)
+	}
+	if math.Abs(p.SpentCost-sol.Cost()) > 1e-9 {
+		t.Fatalf("SpentCost %v != %v", p.SpentCost, sol.Cost())
+	}
+	if math.Abs(p.Utility-sol.Utility()) > 1e-9 {
+		t.Fatalf("Utility %v != %v", p.Utility, sol.Utility())
+	}
+	if p.NumQueries != 3 {
+		t.Fatalf("NumQueries = %d", p.NumQueries)
+	}
+	if len(p.Classifiers) != sol.Size() {
+		t.Fatalf("Classifiers = %d, want %d", len(p.Classifiers), sol.Size())
+	}
+	// Exclusive utilities cannot exceed total utility.
+	for _, c := range p.Classifiers {
+		if c.Exclusive < 0 || c.Exclusive > p.Utility+1e-9 {
+			t.Fatalf("bad exclusive utility %v", c.Exclusive)
+		}
+	}
+	// Covered + uncovered must partition the queries.
+	if p.NumCovered+len(p.Uncovered) != p.NumQueries {
+		t.Fatalf("partition broken: %d covered + %d uncovered != %d",
+			p.NumCovered, len(p.Uncovered), p.NumQueries)
+	}
+}
+
+func TestPlanUncoveredCheapestCover(t *testing.T) {
+	sol := demoSolution(t)
+	p := Build(sol, 5)
+	for _, m := range p.Uncovered {
+		if m.CheapestCover < 0 {
+			t.Fatalf("negative cheapest cover for %v", m.Props)
+		}
+	}
+	// The demo optimum covers the two table queries; "running shoes"
+	// remains, coverable for its classifier cost 6.
+	found := false
+	for _, m := range p.Uncovered {
+		if strings.Contains(strings.Join(m.Props, " "), "running") {
+			found = true
+			if m.CheapestCover != 6 {
+				t.Fatalf("running shoes cheapest cover = %v, want 6", m.CheapestCover)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected 'running shoes' among uncovered")
+	}
+}
+
+func TestTopMissingBound(t *testing.T) {
+	b := model.NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.AddQuery(float64(i+1), "p"+string(rune('a'+i)))
+	}
+	in := b.MustInstance(0) // nothing affordable
+	sol := model.NewSolution(in)
+	p := Build(sol, 3)
+	if len(p.Uncovered) != 3 {
+		t.Fatalf("topMissing not applied: %d", len(p.Uncovered))
+	}
+	// Must be the highest-utility ones, descending.
+	if p.Uncovered[0].Utility != 10 || p.Uncovered[2].Utility != 8 {
+		t.Fatalf("wrong top uncovered: %+v", p.Uncovered)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	sol := demoSolution(t)
+	p := Build(sol, 0)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Utility != p.Utility || len(back.Classifiers) != len(p.Classifiers) {
+		t.Fatal("JSON round trip lost data")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	sol := demoSolution(t)
+	p := Build(sol, 2)
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Construction plan", "build {", "Top uncovered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

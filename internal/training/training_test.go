@@ -1,0 +1,110 @@
+package training
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/propset"
+)
+
+func TestCurveShape(t *testing.T) {
+	c := Curve{Ceiling: 0.98, Tau: 200}
+	if got := c.Accuracy(0); got != 0.5 {
+		t.Fatalf("Accuracy(0) = %v, want 0.5 (coin flip)", got)
+	}
+	prev := 0.5
+	for n := 50.0; n <= 5000; n += 50 {
+		a := c.Accuracy(n)
+		if a < prev {
+			t.Fatalf("accuracy not monotone at n=%v", n)
+		}
+		if a > c.Ceiling+1e-12 {
+			t.Fatalf("accuracy %v exceeds ceiling", a)
+		}
+		prev = a
+	}
+	// Saturation.
+	if a := c.Accuracy(1e9); math.Abs(a-c.Ceiling) > 1e-6 {
+		t.Fatalf("accuracy at huge n = %v, want ≈ ceiling", a)
+	}
+}
+
+func TestExamplesForInvertsAccuracy(t *testing.T) {
+	f := func(ceilSeed, tauSeed, targetSeed uint8) bool {
+		c := Curve{
+			Ceiling: 0.96 + 0.039*float64(ceilSeed)/255,
+			Tau:     100 + 10*float64(tauSeed),
+		}
+		target := 0.6 + 0.35*float64(targetSeed)/255
+		if target >= c.Ceiling {
+			return math.IsInf(c.ExamplesFor(target), 1)
+		}
+		n := c.ExamplesFor(target)
+		return math.Abs(c.Accuracy(n)-target) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExamplesForEdgeCases(t *testing.T) {
+	c := Curve{Ceiling: 0.9, Tau: 100}
+	if got := c.ExamplesFor(0.5); got != 0 {
+		t.Fatalf("target 0.5 needs %v examples, want 0", got)
+	}
+	if !math.IsInf(c.ExamplesFor(0.95), 1) {
+		t.Fatal("target above ceiling must be impossible")
+	}
+}
+
+func TestModelCostAndTrain(t *testing.T) {
+	m := Model{
+		TargetAccuracy: 0.95,
+		ExampleCost:    0.01,
+		CurveFor: func(s propset.Set) Curve {
+			return DefaultCurve(float64(s.Len()-1) / 5)
+		},
+	}
+	u := propset.NewUniverse()
+	easy := u.SetOf("a")
+	hard := u.SetOf("a", "b", "c", "d", "e", "f")
+	ce, ch := m.Cost(easy), m.Cost(hard)
+	if ce <= 0 || ch <= 0 {
+		t.Fatalf("costs must be positive: %v %v", ce, ch)
+	}
+	if ch <= ce {
+		t.Fatalf("harder classifier must cost more: easy %v hard %v", ce, ch)
+	}
+	// Spending the estimated cost reaches the bar.
+	if acc := m.Train(easy, ce); acc < 0.95-1e-9 {
+		t.Fatalf("training at estimated cost reached only %v", acc)
+	}
+	// Spending nothing leaves a coin flip.
+	if acc := m.Train(easy, 0); acc != 0.5 {
+		t.Fatalf("zero spend accuracy = %v", acc)
+	}
+}
+
+func TestModelDefaults(t *testing.T) {
+	m := Model{CurveFor: func(propset.Set) Curve { return DefaultCurve(0.5) }}
+	u := propset.NewUniverse()
+	c := m.Cost(u.SetOf("x"))
+	if math.IsInf(c, 1) || c <= 0 {
+		t.Fatalf("default-target cost = %v", c)
+	}
+}
+
+func TestDefaultCurveClamps(t *testing.T) {
+	lo := DefaultCurve(-3)
+	hi := DefaultCurve(7)
+	if lo.Ceiling != DefaultCurve(0).Ceiling || hi.Tau != DefaultCurve(1).Tau {
+		t.Fatal("difficulty clamping broken")
+	}
+	// Every default curve clears the 0.95 deployment bar.
+	for d := 0.0; d <= 1.0; d += 0.1 {
+		if DefaultCurve(d).Ceiling <= 0.95 {
+			t.Fatalf("difficulty %v ceiling %v below deployment bar", d, DefaultCurve(d).Ceiling)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package wgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func triangle() *Graph {
+	g := New(3)
+	g.SetCost(0, 1)
+	g.SetCost(1, 2)
+	g.SetCost(2, 3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 20)
+	g.AddEdge(0, 2, 30)
+	return g
+}
+
+func TestBasicAccounting(t *testing.T) {
+	g := triangle()
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("size = (%d,%d), want (3,3)", g.NumNodes(), g.NumEdges())
+	}
+	if g.TotalWeight() != 60 {
+		t.Fatalf("TotalWeight = %v, want 60", g.TotalWeight())
+	}
+	if g.MaxEdgeWeight() != 30 {
+		t.Fatalf("MaxEdgeWeight = %v, want 30", g.MaxEdgeWeight())
+	}
+	if got := g.TotalCost([]int{0, 2}); got != 4 {
+		t.Fatalf("TotalCost = %v, want 4", got)
+	}
+	if g.WeightedDegree(1) != 30 {
+		t.Fatalf("WeightedDegree(1) = %v, want 30", g.WeightedDegree(1))
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 5, 1)
+}
+
+func TestAddEdgeMerged(t *testing.T) {
+	g := New(3)
+	g.AddEdgeMerged(0, 1, 5)
+	g.AddEdgeMerged(1, 0, 7) // same undirected edge
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.EdgeWeight(0, 1) != 12 {
+		t.Fatalf("EdgeWeight = %v, want 12", g.EdgeWeight(0, 1))
+	}
+	if g.EdgeWeight(0, 2) != 0 {
+		t.Fatalf("EdgeWeight(0,2) = %v, want 0", g.EdgeWeight(0, 2))
+	}
+}
+
+func TestInducedWeight(t *testing.T) {
+	g := triangle()
+	in := []bool{true, true, false}
+	if got := g.InducedWeight(in); got != 10 {
+		t.Fatalf("InducedWeight = %v, want 10", got)
+	}
+	if got := g.InducedWeightOf([]int{0, 1, 2}); got != 60 {
+		t.Fatalf("InducedWeightOf = %v, want 60", got)
+	}
+	if got := g.WeightedDegreeInto(2, in); got != 50 {
+		t.Fatalf("WeightedDegreeInto = %v, want 50", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := triangle()
+	sub, oldToNew, newToOld := g.Subgraph([]bool{true, false, true})
+	if sub.NumNodes() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("subgraph size = (%d,%d), want (2,1)", sub.NumNodes(), sub.NumEdges())
+	}
+	if sub.TotalWeight() != 30 {
+		t.Fatalf("subgraph weight = %v, want 30", sub.TotalWeight())
+	}
+	if oldToNew[1] != -1 {
+		t.Fatal("dropped node should map to -1")
+	}
+	if g.Cost(newToOld[0]) != sub.Cost(0) {
+		t.Fatal("costs not preserved")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle()
+	c := g.Clone()
+	c.SetCost(0, 99)
+	c.AddEdge(0, 1, 1)
+	if g.Cost(0) == 99 || g.NumEdges() == c.NumEdges() {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[3] || !sizes[2] {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestIsTreeComponent(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if !g.IsTreeComponent([]int{0, 1, 2}) {
+		t.Fatal("path should be a tree")
+	}
+	g.AddEdge(0, 2, 1)
+	if g.IsTreeComponent([]int{0, 1, 2}) {
+		t.Fatal("triangle is not a tree")
+	}
+}
+
+func TestNeighborsIteration(t *testing.T) {
+	g := triangle()
+	var sum float64
+	seen := map[int]bool{}
+	g.Neighbors(0, func(v int, w float64, eid int) {
+		sum += w
+		seen[v] = true
+	})
+	if sum != 40 || !seen[1] || !seen[2] {
+		t.Fatalf("Neighbors(0): sum=%v seen=%v", sum, seen)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := triangle()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph failed: %v", err)
+	}
+}
+
+func TestInducedWeightConsistency(t *testing.T) {
+	// Property: InducedWeight(S) = (Σ_{v∈S} WeightedDegreeInto(v,S)) / 2.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		in := make([]bool, n)
+		for v := range in {
+			in[v] = rng.Intn(2) == 0
+		}
+		var half float64
+		for v := 0; v < n; v++ {
+			if in[v] {
+				half += g.WeightedDegreeInto(v, in)
+			}
+		}
+		if w := g.InducedWeight(in); w*2 != half {
+			t.Fatalf("trial %d: induced %v, half-sum %v", trial, w, half)
+		}
+	}
+}
+
+func BenchmarkInducedWeight(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	g := New(n)
+	for i := 0; i < 20000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, rng.Float64())
+		}
+	}
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = rng.Intn(2) == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.InducedWeight(in)
+	}
+}
