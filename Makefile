@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench figures figures-full cover fmt vet clean
+.PHONY: build test race bench figures figures-full cover fmt vet clean ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## ci: what .github/workflows/ci.yml runs — build, tests, vet, and the
+## race detector over the concurrent/guarded packages.
+ci:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -32,12 +32,14 @@
 package bcc
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ecc"
 	"repro/internal/gmc3"
+	"repro/internal/guard"
 	"repro/internal/model"
 	"repro/internal/overlap"
 	"repro/internal/partial"
@@ -86,8 +88,35 @@ func NewBuilder() *Builder { return model.NewBuilder() }
 // NewSolution returns an empty solution for the instance.
 func NewSolution(in *Instance) *Solution { return model.NewSolution(in) }
 
+// Status reports how a context-aware solver run ended.
+type Status = guard.Status
+
+// Statuses of a context-aware solver run. A non-Complete result still
+// holds the best budget-feasible solution found before the run stopped.
+const (
+	// Complete means the solver ran to its normal end.
+	Complete = guard.Complete
+	// DeadlineExceeded means the context deadline expired mid-solve.
+	DeadlineExceeded = guard.DeadlineExceeded
+	// Canceled means the context was canceled mid-solve.
+	Canceled = guard.Canceled
+	// Recovered means a panic inside the solver was contained and
+	// reported via Result.Err instead of crashing the caller.
+	Recovered = guard.Recovered
+)
+
 // Solve runs the paper's algorithm A^BCC on the instance.
 func Solve(in *Instance, opts Options) Result { return core.Solve(in, opts) }
+
+// SolveCtx runs A^BCC under a context. The solver is anytime: on deadline
+// expiry or cancellation it returns the best budget-feasible solution
+// found so far with Result.Status reporting why it stopped, and a short
+// remaining deadline degrades the configuration gracefully (mixed phase
+// off, fewer restarts, down to a pure greedy floor) instead of returning
+// nothing. Contained panics surface as Status Recovered plus Result.Err.
+func SolveCtx(ctx context.Context, in *Instance, opts Options) Result {
+	return core.SolveCtx(ctx, in, opts)
+}
 
 // SolveRand runs the RAND baseline: uniformly random affordable picks.
 func SolveRand(in *Instance, seed int64) Result { return core.SolveRand(in, seed) }
@@ -107,9 +136,21 @@ func SolveGMC3(in *Instance, target float64, opts GMC3Options) GMC3Result {
 	return gmc3.Solve(in, target, opts)
 }
 
+// SolveGMC3Ctx is SolveGMC3 under a context; see SolveCtx for the anytime
+// semantics.
+func SolveGMC3Ctx(ctx context.Context, in *Instance, target float64, opts GMC3Options) GMC3Result {
+	return gmc3.SolveCtx(ctx, in, target, opts)
+}
+
 // SolveECC finds the classifier set with the best utility-to-cost ratio
 // (Effective Classifier Construction; the budget field is ignored).
 func SolveECC(in *Instance) ECCResult { return ecc.Solve(in) }
+
+// SolveECCCtx is SolveECC under a context; see SolveCtx for the anytime
+// semantics.
+func SolveECCCtx(ctx context.Context, in *Instance) ECCResult {
+	return ecc.SolveCtx(ctx, in)
+}
 
 // BestBuy generates the simulated BestBuy evaluation workload (≈1000
 // electronics queries, uniform costs, frequency utilities).
@@ -152,6 +193,12 @@ var (
 // with k of its |q| conjuncts testable earns U(q)·g(k/|q|).
 func SolvePartial(in *Instance, g Gain) PartialResult { return partial.Solve(in, g) }
 
+// SolvePartialCtx is SolvePartial under a context; see SolveCtx for the
+// anytime semantics.
+func SolvePartialCtx(ctx context.Context, in *Instance, g Gain) PartialResult {
+	return partial.SolveCtx(ctx, in, g)
+}
+
 // Extension: overlapping construction costs (the paper's §8 future work).
 type (
 	// OverlapCostModel prices classifier sets with shared per-property
@@ -166,6 +213,12 @@ type (
 // ignored).
 func SolveOverlap(in *Instance, m OverlapCostModel) OverlapResult {
 	return overlap.SolveCoverGreedy(in, m)
+}
+
+// SolveOverlapCtx is SolveOverlap under a context; see SolveCtx for the
+// anytime semantics.
+func SolveOverlapCtx(ctx context.Context, in *Instance, m OverlapCostModel) OverlapResult {
+	return overlap.SolveCoverGreedyCtx(ctx, in, m)
 }
 
 // Query-log ingestion.

@@ -9,6 +9,7 @@
 package bcc
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -32,102 +33,102 @@ func lastCell(b *testing.B, t exper.Table, col int) float64 {
 
 func BenchmarkFig3aBestBuyUtility(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig3aBestBuy(exper.Small, benchSeed)
+		t := exper.Fig3aBestBuy(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
 	}
 }
 
 func BenchmarkFig3bPrivateUtility(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig3bPrivate(exper.Small, benchSeed)
+		t := exper.Fig3bPrivate(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
 	}
 }
 
 func BenchmarkFig3cSyntheticUtility(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig3cSynthetic(exper.Small, benchSeed)
+		t := exper.Fig3cSynthetic(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "abcc_utility")
 	}
 }
 
 func BenchmarkFig3dBruteForceGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig3dBruteGap(exper.Small, benchSeed)
+		t := exper.Fig3dBruteGap(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "abcc_over_opt")
 	}
 }
 
 func BenchmarkFig3ePreprocessingTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = exper.Fig3ePreprocessingTime(exper.Small, benchSeed)
+		_ = exper.Fig3ePreprocessingTime(context.Background(), exper.Small, benchSeed)
 	}
 }
 
 func BenchmarkFig3fPreprocessingUtility(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig3fPreprocessingUtility(exper.Small, benchSeed)
+		t := exper.Fig3fPreprocessingUtility(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 3), "with_over_without")
 	}
 }
 
 func BenchmarkFig4aGMC3BestBuy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig4aGMC3BestBuy(exper.Small, benchSeed)
+		t := exper.Fig4aGMC3BestBuy(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
 	}
 }
 
 func BenchmarkFig4bGMC3Private(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig4bGMC3Private(exper.Small, benchSeed)
+		t := exper.Fig4bGMC3Private(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
 	}
 }
 
 func BenchmarkFig4cGMC3Synthetic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig4cGMC3Synthetic(exper.Small, benchSeed)
+		t := exper.Fig4cGMC3Synthetic(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 4), "agmc3_cost")
 	}
 }
 
 func BenchmarkFig4dGMC3Time(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = exper.Fig4dGMC3Time(exper.Small, benchSeed)
+		_ = exper.Fig4dGMC3Time(context.Background(), exper.Small, benchSeed)
 	}
 }
 
 func BenchmarkFig4eECCPrivate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig4eECCPrivate(exper.Small, benchSeed)
+		t := exper.Fig4eECCPrivate(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 1), "aecc_ratio")
 	}
 }
 
 func BenchmarkFig4fECCSynthetic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.Fig4fECCSynthetic(exper.Small, benchSeed)
+		t := exper.Fig4fECCSynthetic(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 1), "aecc_ratio")
 	}
 }
 
 func BenchmarkInsightCostNoise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.InsightCostNoise(exper.Small, benchSeed)
+		t := exper.InsightCostNoise(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 2), "utility_share_at_cut_budget")
 	}
 }
 
 func BenchmarkInsightEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = exper.InsightEndToEnd(exper.Small, benchSeed)
+		_ = exper.InsightEndToEnd(context.Background(), exper.Small, benchSeed)
 	}
 }
 
 func BenchmarkInsightDiminishingReturns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := exper.InsightDiminishingReturns(exper.Small, benchSeed)
+		t := exper.InsightDiminishingReturns(context.Background(), exper.Small, benchSeed)
 		b.ReportMetric(lastCell(b, t, 2), "budget_share_for_75pct")
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,15 +21,23 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "", "experiment id (3a..3f, 4a..4f, insights); empty = all")
-		full = flag.Bool("full", false, "paper-scale dimensions (long-running)")
-		seed = flag.Int64("seed", 1, "workload seed")
+		fig     = flag.String("fig", "", "experiment id (3a..3f, 4a..4f, insights); empty = all")
+		full    = flag.Bool("full", false, "paper-scale dimensions (long-running)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		timeout = flag.Duration("timeout", 0, "overall deadline; completed rows are still printed (exit code 3 when truncated)")
 	)
 	flag.Parse()
 
 	scale := exper.Small
 	if *full {
 		scale = exper.Full
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	start := time.Now()
@@ -38,14 +47,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bccbench: unknown experiment %q\n", *fig)
 			os.Exit(2)
 		}
-		fmt.Print(run(scale, *seed).Format())
+		fmt.Print(run(ctx, scale, *seed).Format())
 	} else {
 		// Run and print one experiment at a time so progress is visible.
 		for _, id := range exper.Order() {
 			run, _ := exper.ByName(id)
-			fmt.Print(run(scale, *seed).Format())
+			fmt.Print(run(ctx, scale, *seed).Format())
 			fmt.Println()
+			if ctx.Err() != nil {
+				break
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "bccbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		fmt.Println("status=deadline")
+		os.Exit(3)
+	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		eccMode    = flag.Bool("ecc", false, "solve ECC (max utility/cost) instead of BCC")
 		verbose    = flag.Bool("v", false, "print the selected classifiers")
 		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
+		timeout    = flag.Duration("timeout", 0, "deadline for the solve; the best solution found so far is returned (exit code 3 when truncated)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -46,23 +48,34 @@ func main() {
 		in = in.WithBudget(*budget)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	status := bcc.Complete
+
 	var sol *bcc.Solution
 	switch {
 	case *eccMode:
-		res := bcc.SolveECC(in)
+		res := bcc.SolveECCCtx(ctx, in)
 		fmt.Printf("ECC: ratio=%.4f utility=%.2f cost=%.2f time=%v\n",
 			res.Ratio, res.Utility, res.Cost, res.Duration)
 		sol = res.Solution
+		status = res.Status
 	case *gmc3Target > 0:
-		res := bcc.SolveGMC3(in, *gmc3Target, bcc.GMC3Options{Seed: *seed})
+		res := bcc.SolveGMC3Ctx(ctx, in, *gmc3Target, bcc.GMC3Options{Seed: *seed})
 		fmt.Printf("GMC3: cost=%.2f utility=%.2f target=%.2f achieved=%v time=%v\n",
 			res.Cost, res.Utility, *gmc3Target, res.Achieved, res.Duration)
 		sol = res.Solution
+		status = res.Status
 	default:
 		var res bcc.Result
 		switch *algo {
 		case "abcc":
-			res = bcc.Solve(in, bcc.Options{Seed: *seed})
+			res = bcc.SolveCtx(ctx, in, bcc.Options{Seed: *seed})
+			status = res.Status
 		case "rand":
 			res = bcc.SolveRand(in, *seed)
 		case "ig1":
@@ -112,5 +125,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if status != bcc.Complete {
+		fmt.Printf("status=%s\n", status)
+		os.Exit(3)
 	}
 }

@@ -1,0 +1,134 @@
+package bcc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+func ctxTestInstance(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder()
+	b.AddQuery(8, "x", "y", "z")
+	b.AddQuery(4, "x", "z")
+	b.AddQuery(2, "x", "y")
+	b.AddQuery(1, "y")
+	b.SetCost(5, "x")
+	b.SetCost(3, "y")
+	b.SetCost(3, "z")
+	b.SetCost(4, "x", "z")
+	in, err := b.Instance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// Every context-aware façade entry point must honor an already-expired
+// deadline: return promptly with DeadlineExceeded and a non-nil (possibly
+// empty) solution.
+func TestCtxEntryPointsHonorExpiredDeadline(t *testing.T) {
+	in := ctxTestInstance(t)
+	ctx := expiredCtx(t)
+
+	check := func(name string, status Status, sol *Solution) {
+		t.Helper()
+		if status != DeadlineExceeded {
+			t.Errorf("%s: Status = %v, want DeadlineExceeded", name, status)
+		}
+		if sol == nil {
+			t.Errorf("%s: nil Solution on expired deadline", name)
+		}
+	}
+	r1 := SolveCtx(ctx, in, Options{})
+	check("SolveCtx", r1.Status, r1.Solution)
+	r2 := SolveGMC3Ctx(ctx, in, 5, GMC3Options{})
+	check("SolveGMC3Ctx", r2.Status, r2.Solution)
+	r3 := SolveECCCtx(ctx, in)
+	check("SolveECCCtx", r3.Status, r3.Solution)
+	r4 := SolvePartialCtx(ctx, in, GainLinear)
+	check("SolvePartialCtx", r4.Status, r4.Solution)
+	r5 := SolveOverlapCtx(ctx, in, OverlapCostModel{})
+	check("SolveOverlapCtx", r5.Status, r5.Solution)
+}
+
+func TestCtxEntryPointsCompleteWithBackground(t *testing.T) {
+	in := ctxTestInstance(t)
+	ctx := context.Background()
+
+	if r := SolveCtx(ctx, in, Options{}); r.Status != Complete || r.Err != nil {
+		t.Errorf("SolveCtx: status=%v err=%v", r.Status, r.Err)
+	}
+	if r := SolveGMC3Ctx(ctx, in, 5, GMC3Options{}); r.Status != Complete || r.Err != nil {
+		t.Errorf("SolveGMC3Ctx: status=%v err=%v", r.Status, r.Err)
+	}
+	if r := SolveECCCtx(ctx, in); r.Status != Complete || r.Err != nil {
+		t.Errorf("SolveECCCtx: status=%v err=%v", r.Status, r.Err)
+	}
+	if r := SolvePartialCtx(ctx, in, GainLinear); r.Status != Complete || r.Err != nil {
+		t.Errorf("SolvePartialCtx: status=%v err=%v", r.Status, r.Err)
+	}
+	if r := SolveOverlapCtx(ctx, in, OverlapCostModel{}); r.Status != Complete || r.Err != nil {
+		t.Errorf("SolveOverlapCtx: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+// Armed panics inside the extension solvers must surface as Recovered
+// results with a usable solution, never crash the caller. (The A^BCC-path
+// points are covered in internal/core; dks.solve in internal/dks.)
+func TestExtensionSolversContainArmedPanics(t *testing.T) {
+	in := ctxTestInstance(t)
+	ctx := context.Background()
+
+	check := func(name string, status Status, err error, sol *Solution) {
+		t.Helper()
+		if status != Recovered {
+			t.Errorf("%s: Status = %v, want Recovered", name, status)
+		}
+		if err == nil {
+			t.Errorf("%s: Err = nil on a recovered run", name)
+		}
+		if sol == nil {
+			t.Errorf("%s: nil Solution on a recovered run", name)
+		}
+	}
+
+	guard.Arm("gmc3.residual", guard.PanicFault("boom"))
+	r1 := SolveGMC3Ctx(ctx, in, 5, GMC3Options{})
+	guard.DisarmAll()
+	check("SolveGMC3Ctx", r1.Status, r1.Err, r1.Solution)
+
+	guard.Arm("ecc.solve", guard.PanicFault("boom"))
+	r2 := SolveECCCtx(ctx, in)
+	guard.DisarmAll()
+	check("SolveECCCtx", r2.Status, r2.Err, r2.Solution)
+
+	guard.Arm("partial.solve", guard.PanicFault("boom"))
+	r3 := SolvePartialCtx(ctx, in, GainLinear)
+	guard.DisarmAll()
+	check("SolvePartialCtx", r3.Status, r3.Err, r3.Solution)
+
+	guard.Arm("overlap.round", guard.PanicFault("boom"))
+	r4 := SolveOverlapCtx(ctx, in, OverlapCostModel{Label: func(PropID) float64 { return 1 }})
+	guard.DisarmAll()
+	check("SolveOverlapCtx", r4.Status, r4.Err, r4.Solution)
+}
+
+func TestSolveCtxMatchesSolve(t *testing.T) {
+	in := ctxTestInstance(t)
+	plain := Solve(in, Options{Seed: 1})
+	ctxRes := SolveCtx(context.Background(), in, Options{Seed: 1})
+	if plain.Utility != ctxRes.Utility || plain.Cost != ctxRes.Cost {
+		t.Errorf("SolveCtx(Background) diverged from Solve: utility %v/%v cost %v/%v",
+			ctxRes.Utility, plain.Utility, ctxRes.Cost, plain.Cost)
+	}
+}

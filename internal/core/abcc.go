@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/knapsack"
 	"repro/internal/mc3"
 	"repro/internal/model"
@@ -67,6 +69,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Graceful-degradation ladder: with this little deadline budget left the
+// solver cuts optional work (degradeLight) or skips straight to the IG1
+// greedy floor (degradeFloor). Thresholds are deliberately coarse — they
+// only fire on deadlines far below a normal solve, so generous deadlines
+// keep byte-identical results.
+const (
+	degradeLight = 250 * time.Millisecond
+	degradeFloor = 50 * time.Millisecond
+)
+
+// degradeForDeadline inspects the remaining deadline budget and returns
+// options trimmed to fit, plus whether only the greedy floor should run.
+func degradeForDeadline(g *guard.Guard, opts Options) (Options, bool) {
+	left, ok := g.Remaining()
+	if !ok || left >= degradeLight {
+		return opts, false
+	}
+	if left < degradeFloor {
+		return opts, true
+	}
+	// Light rung: drop the expensive extras, keep the core pipeline.
+	opts.MixedPhase = false
+	if opts.QK.Iterations == 0 || opts.QK.Iterations > 2 {
+		opts.QK.Iterations = 2
+	}
+	if opts.MaxIterations > 4 {
+		opts.MaxIterations = 4
+	}
+	return opts, false
+}
+
 // Result reports a solver run: the solution plus accounting useful to the
 // experiment harness.
 type Result struct {
@@ -85,6 +118,13 @@ type Result struct {
 	Pruned int
 	// Duration is the wall-clock solve time.
 	Duration time.Duration
+	// Status reports how the run ended: Complete, DeadlineExceeded,
+	// Canceled, or Recovered (a contained panic). On any non-Complete
+	// status the Solution is still the best feasible one found.
+	Status guard.Status
+	// Err is the context error or the contained panic when Status is not
+	// Complete.
+	Err error
 }
 
 func resultFrom(t *cover.Tracker, iterations, pruned int, start time.Time) Result {
@@ -104,10 +144,46 @@ func resultFrom(t *cover.Tracker, iterations, pruned int, start time.Time) Resul
 // budget, improve cost-wise with MC3, then iterate on residual problems
 // with the full remaining budget until no further utility is gained.
 func Solve(in *model.Instance, opts Options) Result {
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx is Solve under a context: on deadline expiry or cancellation
+// the solver stops at the next guard check and returns the best feasible
+// solution found so far, with Result.Status reporting why it stopped.
+// Panics anywhere in the solver stack are contained and reported as
+// Status Recovered. With a background context the result is identical to
+// Solve.
+func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result) {
 	start := time.Now()
 	opts = opts.withDefaults()
-	t := cover.New(in)
+	g := guard.New(ctx)
 
+	var t *cover.Tracker
+	iterations, pruned := 0, 0
+	finish := func() Result {
+		var r Result
+		if t != nil {
+			r = resultFrom(t, iterations, pruned, start)
+		} else {
+			r = Result{Solution: model.NewSolution(in), Duration: time.Since(start)}
+		}
+		r.Status = g.Status()
+		r.Err = g.Err()
+		return r
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finish()
+		}
+	}()
+	if g.Tripped() {
+		return finish()
+	}
+	var greedyOnly bool
+	opts, greedyOnly = degradeForDeadline(g, opts)
+
+	t = cover.New(in)
 	// Free classifiers are always selected (paper §4.1 preprocessing).
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
@@ -115,39 +191,45 @@ func Solve(in *model.Instance, opts Options) Result {
 		}
 	}
 
-	var allowed map[string]bool
-	pruned := 0
-	if !opts.DisablePruning {
-		allowed, pruned = pruneClassifiers(t, opts)
+	if greedyOnly {
+		// Bottom rung of the ladder: almost no deadline budget left, so
+		// skip the knapsack/QK machinery entirely — the IG1 greedy still
+		// yields a sane, feasible plan.
+		iterations += ig1Fill(g, t)
+		return finish()
 	}
 
-	iterations := 0
+	var allowed map[string]bool
+	if !opts.DisablePruning {
+		allowed, pruned = pruneClassifiers(g, t, opts)
+	}
+
 	// Line 2: half the budget for the first round.
-	phase(t, allowed, t.Remaining()/2+t.Cost(), opts)
+	phase(g, t, allowed, t.Remaining()/2+t.Cost(), opts)
 	iterations++
 	if !opts.DisableMC3 {
-		mc3Improve(t)
+		mc3Improve(g, t)
 	}
-	iterations += improveLoop(t, allowed, opts)
+	iterations += improveLoop(g, t, allowed, opts)
 
-	if !opts.DisableGreedyFloor {
+	if !opts.DisableGreedyFloor && !g.Tripped() {
 		// Greedy floor, refined: seed a second pipeline with the IG1
 		// solution, reclaim cost with MC3 and spend the freed budget on
 		// further residual rounds. A^BCC therefore never trails the
 		// adaptive per-query greedy, and usually improves on it
 		// (documented in DESIGN.md).
 		t2 := cover.New(in)
-		ig1Fill(t2)
+		ig1Fill(g, t2)
 		if !opts.DisableMC3 {
-			mc3Improve(t2)
+			mc3Improve(g, t2)
 		}
-		iterations += improveLoop(t2, allowed, opts)
+		iterations += improveLoop(g, t2, allowed, opts)
 		if t2.Utility() > t.Utility() ||
 			(t2.Utility() == t.Utility() && t2.Cost() < t.Cost()) {
 			t = t2
 		}
 	}
-	return resultFrom(t, iterations, pruned, start)
+	return finish()
 }
 
 // improveLoop is lines 4–6 of Algorithm 1 plus the leftover-budget
@@ -155,24 +237,24 @@ func Solve(in *model.Instance, opts Options) Result {
 // the phase gains utility nor the MC3 local search frees budget, followed
 // by an IG1-style fill of any stranded budget. It returns the number of
 // rounds executed.
-func improveLoop(t *cover.Tracker, allowed map[string]bool, opts Options) int {
+func improveLoop(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, opts Options) int {
 	in := t.Instance()
 	iterations := 0
-	for iterations < opts.MaxIterations {
-		gained := phase(t, allowed, in.Budget(), opts)
+	for iterations < opts.MaxIterations && !g.Tripped() {
+		gained := phase(g, t, allowed, in.Budget(), opts)
 		costBefore := t.Cost()
 		if !opts.DisableMC3 {
-			mc3Improve(t)
+			mc3Improve(g, t)
 		}
 		iterations++
 		if !gained && t.Cost() >= costBefore-1e-9 {
 			break
 		}
 	}
-	ig1Fill(t)
-	if !opts.DisableMC3 {
-		mc3Improve(t)
-		ig1Fill(t)
+	ig1Fill(g, t)
+	if !opts.DisableMC3 && !g.Tripped() {
+		mc3Improve(g, t)
+		ig1Fill(g, t)
 	}
 	return iterations
 }
@@ -180,15 +262,16 @@ func improveLoop(t *cover.Tracker, allowed map[string]bool, opts Options) int {
 // phase solves BCC(1) (knapsack) and BCC(2) (QK) on the residual problem
 // with the given absolute cost ceiling, applies the better of the two
 // candidate selections, and reports whether utility increased.
-func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Options) bool {
+func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Options) bool {
 	budget := ceiling - t.Cost()
-	if budget <= 0 {
+	if budget <= 0 || g.Tripped() {
 		return false
 	}
-	sp := buildSubproblems(t, allowed)
+	guard.Inject("core.phase")
+	sp := buildSubproblems(g, t, allowed)
 
 	// BCC(1): knapsack over 1-covers.
-	kres := knapsack.Solve(sp.items, budget, opts.Epsilon)
+	kres := knapsack.SolveGuard(g, sp.items, budget, opts.Epsilon)
 	var kadd []propset.Set
 	for _, i := range kres.Chosen {
 		kadd = append(kadd, sp.itemSets[i])
@@ -197,8 +280,8 @@ func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Opti
 	// BCC(2): Quadratic Knapsack over 2-covers (plus the vStar-encoded
 	// 1-cover bonuses; see subproblems).
 	var qadd []propset.Set
-	if sp.graph.NumEdges() > 0 {
-		qres := qk.SolveHeuristic(sp.graph, budget, opts.QK)
+	if sp.graph.NumEdges() > 0 && !g.Tripped() {
+		qres := qk.SolveHeuristicGuard(g, sp.graph, budget, opts.QK)
 		qadd = sp.qkNodes(qres.Nodes)
 	}
 
@@ -218,14 +301,14 @@ func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Opti
 			c.Add(s)
 			add = append(add, s)
 		}
-		sp2 := buildSubproblems(c, allowed)
-		k2 := knapsack.Solve(sp2.items, ceiling-c.Cost(), opts.Epsilon)
+		sp2 := buildSubproblems(g, c, allowed)
+		k2 := knapsack.SolveGuard(g, sp2.items, ceiling-c.Cost(), opts.Epsilon)
 		for _, i := range k2.Chosen {
 			c.Add(sp2.itemSets[i])
 			add = append(add, sp2.itemSets[i])
 		}
-		if sp2.graph.NumEdges() > 0 {
-			q2 := qk.SolveHeuristic(sp2.graph, ceiling-c.Cost(), opts.QK)
+		if sp2.graph.NumEdges() > 0 && !g.Tripped() {
+			q2 := qk.SolveHeuristicGuard(g, sp2.graph, ceiling-c.Cost(), opts.QK)
 			for _, probe := range sp2.qkNodes(q2.Nodes) {
 				if c.Cost()+t.Instance().Cost(probe) > ceiling+1e-9 {
 					continue
@@ -237,12 +320,14 @@ func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Opti
 		return add
 	}
 	var mixK, mixQ []propset.Set
-	if opts.MixedPhase && len(kadd) > 0 && len(qadd) > 0 {
+	if opts.MixedPhase && len(kadd) > 0 && len(qadd) > 0 && !g.Tripped() {
 		mixK = mix(kadd)
 		mixQ = mix(qadd)
 	}
 
-	// Apply the best candidate by true utility gain.
+	// Apply the best candidate by true utility gain. This still runs after
+	// a trip: the candidates already computed are feasibility-checked
+	// below, and applying one is what makes the run anytime.
 	bestGain, bestAdd := 0.0, []propset.Set(nil)
 	for _, add := range [][]propset.Set{kadd, qadd, mixK, mixQ} {
 		if len(add) == 0 {
@@ -272,11 +357,14 @@ func phase(t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Opti
 // the MC3 algorithm of [23] and adopts the result if it is strictly
 // cheaper (line 3 of Algorithm 1 — a local-search step; the MC3 output is
 // discarded when not an improvement).
-func mc3Improve(t *cover.Tracker) {
+func mc3Improve(g *guard.Guard, t *cover.Tracker) {
 	covered := t.CoveredQueries()
-	if len(covered) == 0 {
+	if len(covered) == 0 || g.Tripped() {
 		return
 	}
+	// A panic inside MC3 forfeits this improvement, not the whole run: the
+	// tracker is only mutated after the MC3 result passed the cost check.
+	defer g.Recover()
 	in := t.Instance()
 	out := mc3.Solve(mc3.Input{
 		Queries: covered,

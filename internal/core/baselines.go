@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/model"
 	"repro/internal/propset"
 )
@@ -45,7 +46,7 @@ func SolveRand(in *model.Instance, seed int64) Result {
 func SolveIG1(in *model.Instance) Result {
 	start := time.Now()
 	t := cover.New(in)
-	steps := ig1Fill(t)
+	steps := ig1Fill(nil, t)
 	return resultFrom(t, steps, 0, start)
 }
 
@@ -55,7 +56,7 @@ func SolveIG1(in *model.Instance) Result {
 // completion pass of A^BCC. Query scores live in a lazily revalidated
 // max-heap and are refreshed only for the queries a selected classifier
 // can affect.
-func ig1Fill(t *cover.Tracker) int {
+func ig1Fill(g *guard.Guard, t *cover.Tracker) int {
 	in := t.Instance()
 	h := &entryHeap{}
 	heap.Init(h)
@@ -89,6 +90,9 @@ func ig1Fill(t *cover.Tracker) int {
 
 	steps := 0
 	for h.Len() > 0 {
+		if g.Check() {
+			break
+		}
 		e := heap.Pop(h).(qEntry)
 		qi := e.qi
 		if t.Covered(qi) || score[qi] == 0 {

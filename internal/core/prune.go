@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/propset"
 	"repro/internal/wgraph"
 )
@@ -27,15 +28,19 @@ import (
 //
 // The returned map marks the allowed classifier keys; the int is the
 // number of pruned candidates.
-func pruneClassifiers(t *cover.Tracker, opts Options) (map[string]bool, int) {
+func pruneClassifiers(g *guard.Guard, t *cover.Tracker, opts Options) (map[string]bool, int) {
 	in := t.Instance()
 	allowed := make(map[string]bool, len(in.Classifiers()))
 	for _, c := range in.Classifiers() {
 		allowed[c.Props.Key()] = true
 	}
 
-	// R1: replaceable long classifiers.
+	// R1: replaceable long classifiers. Stopping early on a tripped guard
+	// just prunes less — the allowed map stays valid.
 	for _, c := range in.Classifiers() {
+		if g.Check() {
+			break
+		}
 		r := c.Props.Len()
 		if r <= 1 || c.Cost == 0 {
 			continue
@@ -54,28 +59,28 @@ func pruneClassifiers(t *cover.Tracker, opts Options) (map[string]bool, int) {
 			allowed[c.Props.Key()] = false
 		}
 	}
-	protectCoverability(t, allowed)
+	protectCoverability(g, t, allowed)
 
 	// R2: leverage-score pruning of the QK graph.
-	sp := buildSubproblems(t, allowed)
-	if g := sp.graph; g.NumNodes() >= 32 && g.NumEdges() > 0 {
-		scores := leverageScores(g, 3, 40)
-		order := make([]int, g.NumNodes())
+	sp := buildSubproblems(g, t, allowed)
+	if qg := sp.graph; qg.NumNodes() >= 32 && qg.NumEdges() > 0 && !g.Tripped() {
+		scores := leverageScores(qg, 3, 40)
+		order := make([]int, qg.NumNodes())
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
-		dropBudget := (1 - opts.LeverageKeep) * g.TotalWeight()
+		dropBudget := (1 - opts.LeverageKeep) * qg.TotalWeight()
 		var droppedWeight float64
 		for _, v := range order {
-			w := g.WeightedDegree(v)
+			w := qg.WeightedDegree(v)
 			if droppedWeight+w > dropBudget {
 				break
 			}
 			droppedWeight += w
 			allowed[sp.nodeSets[v].Key()] = false
 		}
-		protectCoverability(t, allowed)
+		protectCoverability(g, t, allowed)
 	}
 
 	pruned := 0
@@ -90,10 +95,18 @@ func pruneClassifiers(t *cover.Tracker, opts Options) (map[string]bool, int) {
 // protectCoverability restores pruned classifiers for any query whose
 // cheapest cover became unaffordable under the pruned set while being
 // affordable with the full set.
-func protectCoverability(t *cover.Tracker, allowed map[string]bool) {
+func protectCoverability(g *guard.Guard, t *cover.Tracker, allowed map[string]bool) {
 	in := t.Instance()
 	budget := in.Budget()
 	for qi := range in.Queries() {
+		if g.Check() {
+			// Fail open: restore everything still un-vetted so a truncated
+			// pruning pass can never make a query uncoverable.
+			for k := range allowed {
+				allowed[k] = true
+			}
+			return
+		}
 		if t.Covered(qi) {
 			continue
 		}

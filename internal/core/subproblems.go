@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/knapsack"
 	"repro/internal/propset"
 	"repro/internal/wgraph"
@@ -36,7 +37,7 @@ type subproblems struct {
 // buildSubproblems scans the uncovered queries and assembles both
 // subproblem inputs. allowed (nil = everything) restricts the candidate
 // classifiers, implementing the pruning of Algorithm 1 step 1.
-func buildSubproblems(t *cover.Tracker, allowed map[string]bool) *subproblems {
+func buildSubproblems(g *guard.Guard, t *cover.Tracker, allowed map[string]bool) *subproblems {
 	sp := &subproblems{nodeIndex: make(map[string]int)}
 	itemIndex := make(map[string]int)
 	type edgeAgg map[[2]int]float64
@@ -70,6 +71,11 @@ func buildSubproblems(t *cover.Tracker, allowed map[string]bool) *subproblems {
 	}
 	in := t.Instance()
 	for qi, q := range in.Queries() {
+		// A trip yields a partial subproblem — the phase still solves it and
+		// any candidate it produces remains feasibility-checked.
+		if g.Check() {
+			break
+		}
 		if t.Covered(qi) {
 			continue
 		}

@@ -80,6 +80,31 @@ func Read(r io.Reader) (*model.Instance, error) {
 	if err := json.NewDecoder(r).Decode(&ff); err != nil {
 		return nil, fmt.Errorf("dataset: decoding instance: %w", err)
 	}
+	return FromFormat(ff)
+}
+
+// FromFormat validates a decoded FileFormat and builds the instance.
+// Utilities must be finite (a NaN or ±Inf utility silently corrupts every
+// downstream greedy comparison) and costs must be non-negative numbers;
+// an impractical classifier is expressed with the Inf flag, not a raw
+// infinity.
+func FromFormat(ff FileFormat) (*model.Instance, error) {
+	for i, q := range ff.Queries {
+		if math.IsNaN(q.Utility) || math.IsInf(q.Utility, 0) {
+			return nil, fmt.Errorf("dataset: query %d (%v): utility %v is not finite", i, q.Props, q.Utility)
+		}
+	}
+	for i, c := range ff.Costs {
+		if c.Inf {
+			continue
+		}
+		if math.IsNaN(c.Cost) {
+			return nil, fmt.Errorf("dataset: cost %d (%v): cost is NaN", i, c.Props)
+		}
+		if c.Cost < 0 {
+			return nil, fmt.Errorf("dataset: cost %d (%v): cost %v is negative", i, c.Props, c.Cost)
+		}
+	}
 	b := model.NewBuilder()
 	for _, q := range ff.Queries {
 		b.AddQuery(q.Utility, q.Props...)

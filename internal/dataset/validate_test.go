@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validFormat() FileFormat {
+	return FileFormat{
+		Budget: 5,
+		Queries: []FileQuery{
+			{Props: []string{"a", "b"}, Utility: 3},
+			{Props: []string{"b"}, Utility: 1},
+		},
+		Costs: []FileCost{
+			{Props: []string{"a"}, Cost: 2},
+			{Props: []string{"b"}, Cost: 1},
+		},
+	}
+}
+
+func TestFromFormatAcceptsValid(t *testing.T) {
+	in, err := FromFormat(validFormat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", in.NumQueries())
+	}
+}
+
+func TestFromFormatRejectsBadUtilities(t *testing.T) {
+	for name, u := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		ff := validFormat()
+		ff.Queries[1].Utility = u
+		_, err := FromFormat(ff)
+		if err == nil {
+			t.Errorf("%s utility accepted", name)
+			continue
+		}
+		// The error must name the offending query.
+		if !strings.Contains(err.Error(), "query 1") {
+			t.Errorf("%s: error does not name query 1: %v", name, err)
+		}
+	}
+}
+
+func TestFromFormatRejectsBadCosts(t *testing.T) {
+	ff := validFormat()
+	ff.Costs[0].Cost = math.NaN()
+	if _, err := FromFormat(ff); err == nil || !strings.Contains(err.Error(), "cost 0") {
+		t.Errorf("NaN cost: err = %v", err)
+	}
+	ff = validFormat()
+	ff.Costs[1].Cost = -3
+	if _, err := FromFormat(ff); err == nil || !strings.Contains(err.Error(), "cost 1") {
+		t.Errorf("negative cost: err = %v", err)
+	}
+}
+
+func TestFromFormatAllowsInfFlag(t *testing.T) {
+	ff := validFormat()
+	// The Inf flag is the sanctioned spelling for impractical classifiers;
+	// its Cost field is ignored and may hold anything.
+	ff.Costs = append(ff.Costs, FileCost{Props: []string{"a", "b"}, Cost: math.NaN(), Inf: true})
+	if _, err := FromFormat(ff); err != nil {
+		t.Fatalf("Inf-flagged cost rejected: %v", err)
+	}
+}

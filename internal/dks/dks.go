@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/wgraph"
 )
 
@@ -58,6 +59,7 @@ func (o Options) withDefaults() Options {
 // Solve returns (up to) k nodes approximately maximizing induced edge
 // weight, using the full portfolio. The returned slice is sorted.
 func Solve(g *wgraph.Graph, k int, opts Options) []int {
+	guard.Inject("dks.solve")
 	opts = opts.withDefaults()
 	n := g.NumNodes()
 	if k >= n {

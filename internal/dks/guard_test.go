@@ -1,0 +1,43 @@
+package dks
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/wgraph"
+)
+
+func TestArmedPanicContainedByProtect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := wgraph.New(20)
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if rng.Float64() < 0.3 {
+				g.AddEdge(u, v, float64(1+rng.Intn(5)))
+			}
+		}
+	}
+	guard.Arm("dks.solve", guard.PanicFault("dks boom"))
+	defer guard.DisarmAll()
+
+	gu := guard.New(context.Background())
+	var nodes []int
+	gu.Protect(func() { nodes = Solve(g, 5, Options{}) })
+	if gu.Status() != guard.Recovered {
+		t.Fatalf("Status = %v, want Recovered", gu.Status())
+	}
+	if gu.PanicErr() == nil {
+		t.Fatal("no panic recorded")
+	}
+	if nodes != nil {
+		t.Errorf("partial result leaked through a contained panic: %v", nodes)
+	}
+
+	// Disarmed, the same call succeeds.
+	guard.DisarmAll()
+	if got := Solve(g, 5, Options{}); len(got) != 5 {
+		t.Fatalf("Solve after disarm returned %d nodes, want 5", len(got))
+	}
+}

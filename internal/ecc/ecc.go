@@ -19,12 +19,14 @@ package ecc
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/cover"
 	"repro/internal/densest"
+	"repro/internal/guard"
 	"repro/internal/model"
 	"repro/internal/propset"
 	"repro/internal/wgraph"
@@ -39,6 +41,11 @@ type Result struct {
 	Ratio float64
 	// Duration is the wall-clock solve time.
 	Duration time.Duration
+	// Status reports how the run ended; a non-Complete result still holds
+	// the best candidate evaluated before the interruption.
+	Status guard.Status
+	// Err is the context error or contained panic for a non-Complete run.
+	Err error
 }
 
 func ratio(u, c float64) float64 {
@@ -66,51 +73,82 @@ const maxMinimalCoversPerQuery = 256
 
 // Solve runs A^ECC on the instance (the budget field is ignored).
 func Solve(in *model.Instance) Result {
+	return SolveCtx(context.Background(), in)
+}
+
+// SolveCtx is Solve under a context: on deadline expiry or cancellation it
+// returns the best-ratio candidate evaluated so far, with Result.Status
+// reporting why it stopped; contained panics surface as Status Recovered.
+func SolveCtx(ctx context.Context, in *model.Instance) (res Result) {
 	start := time.Now()
+	g := guard.New(ctx)
+
+	best := Result{}
+	finish := func() Result {
+		r := best
+		if r.Solution == nil {
+			r.Solution = model.NewSolution(in)
+		}
+		r.Duration = time.Since(start)
+		r.Status = g.Status()
+		r.Err = g.Err()
+		return r
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finish()
+		}
+	}()
+	if g.Tripped() {
+		return finish()
+	}
+	guard.Inject("ecc.solve")
 
 	// Candidate 1: the best single exact-match classifier. A single
 	// classifier covers exactly the identical query.
-	bestSingle := Result{}
 	for _, q := range in.Queries() {
+		if g.Check() {
+			break
+		}
 		c := in.Cost(q.Props)
 		if math.IsInf(c, 1) {
 			continue
 		}
-		if r := ratio(q.Utility, c); r > bestSingle.Ratio {
-			bestSingle = resultOf(in, []propset.Set{q.Props}, start)
+		if r := ratio(q.Utility, c); r > best.Ratio {
+			best = resultOf(in, []propset.Set{q.Props}, start)
 		}
 	}
 
 	// Candidate 2: densest subgraph over sub-classifiers.
-	var bestDS Result
-	if in.MaxQueryLength() <= 2 {
-		bestDS = solveGraphDS(in, start)
-	} else {
-		bestDS = solveHypergraphDS(in, start)
-	}
-
-	best := bestSingle
-	if bestDS.Ratio > best.Ratio {
-		best = bestDS
+	if !g.Tripped() {
+		var bestDS Result
+		if in.MaxQueryLength() <= 2 {
+			bestDS = solveGraphDS(g, in, start)
+		} else {
+			bestDS = solveHypergraphDS(g, in, start)
+		}
+		if bestDS.Ratio > best.Ratio {
+			best = bestDS
+		}
 	}
 	// Candidates 3 and 4 (l > 2 only, where the hypergraph peeling is just
 	// an r-approximation): the greedy best-ratio prefixes. For l ≤ 2 the DS
 	// candidate is provably optimal and the extra work is skipped.
-	if in.MaxQueryLength() > 2 {
-		if g := SolveIG2(in); g.Ratio > best.Ratio {
-			best = g
+	if in.MaxQueryLength() > 2 && !g.Tripped() {
+		if r := SolveIG2(in); r.Ratio > best.Ratio {
+			best = r
 		}
-		if g := SolveIG1(in); g.Ratio > best.Ratio {
-			best = g
+		if r := SolveIG1(in); r.Ratio > best.Ratio {
+			best = r
 		}
 	}
-	best.Duration = time.Since(start)
-	return best
+	return finish()
 }
 
 // solveGraphDS is the exact l ≤ 2 reduction: nodes are singleton
 // classifiers, edges are queries, v* anchors singletons.
-func solveGraphDS(in *model.Instance, start time.Time) Result {
+func solveGraphDS(g *guard.Guard, in *model.Instance, start time.Time) Result {
 	// Index singleton classifiers with finite cost.
 	idx := map[propset.ID]int{}
 	var props []propset.ID
@@ -129,6 +167,9 @@ func solveGraphDS(in *model.Instance, start time.Time) Result {
 	}
 	var edges []edge
 	for _, q := range in.Queries() {
+		if g.Check() {
+			return Result{}
+		}
 		switch q.Props.Len() {
 		case 1:
 			if math.IsInf(in.Cost(q.Props), 1) {
@@ -147,20 +188,20 @@ func solveGraphDS(in *model.Instance, start time.Time) Result {
 	if len(edges) == 0 {
 		return Result{}
 	}
-	g := wgraph.New(len(props) + 1)
+	wg := wgraph.New(len(props) + 1)
 	vStar := len(props)
-	g.SetCost(vStar, 0)
+	wg.SetCost(vStar, 0)
 	for i, p := range props {
-		g.SetCost(i, in.Cost(propset.New(p)))
+		wg.SetCost(i, in.Cost(propset.New(p)))
 	}
 	for _, e := range edges {
 		v := e.v
 		if v < 0 {
 			v = vStar
 		}
-		g.AddEdgeMerged(e.u, v, e.w)
+		wg.AddEdgeMerged(e.u, v, e.w)
 	}
-	ds := densest.ExactGraph(g)
+	ds := densest.ExactGraph(wg)
 	var sel []propset.Set
 	for _, v := range ds.Nodes {
 		if v != vStar {
@@ -175,7 +216,7 @@ func solveGraphDS(in *model.Instance, start time.Time) Result {
 
 // solveHypergraphDS is the l > 2 generalization: vertices are classifiers
 // of length ≤ l−1, hyperedges are minimal covers of each query.
-func solveHypergraphDS(in *model.Instance, start time.Time) Result {
+func solveHypergraphDS(g *guard.Guard, in *model.Instance, start time.Time) Result {
 	l := in.MaxQueryLength()
 	vIdx := map[string]int{}
 	var vSets []propset.Set
@@ -192,6 +233,9 @@ func solveHypergraphDS(in *model.Instance, start time.Time) Result {
 
 	var h densest.Hypergraph
 	for _, q := range in.Queries() {
+		if g.Check() {
+			return Result{}
+		}
 		covers := minimalCovers(in, q.Props, l-1)
 		for _, cov := range covers {
 			nodes := make([]int, len(cov))

@@ -5,6 +5,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -79,19 +80,34 @@ const (
 	Full
 )
 
+// truncated reports whether ctx is done, recording a note the first time
+// so the printed table shows the run was cut short by its deadline.
+func truncated(ctx context.Context, t *Table) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	if len(t.Notes) == 0 || !strings.HasPrefix(t.Notes[len(t.Notes)-1], "truncated") {
+		t.Notes = append(t.Notes, "truncated by deadline: "+ctx.Err().Error())
+	}
+	return true
+}
+
 // utilityVsBudget runs the four BCC algorithms over the instance factory
 // at each budget — the common shape of Figures 3a–3c.
-func utilityVsBudget(title string, mk func(budget float64) *model.Instance, budgets []float64, seed int64) Table {
+func utilityVsBudget(ctx context.Context, title string, mk func(budget float64) *model.Instance, budgets []float64, seed int64) Table {
 	t := Table{
 		Title:   title,
 		Columns: []string{"budget", "RAND", "IG1", "IG2", "A^BCC", "A^BCC time"},
 	}
 	for _, b := range budgets {
+		if truncated(ctx, &t) {
+			break
+		}
 		in := mk(b)
 		randRes := core.SolveRand(in, seed)
 		ig1 := core.SolveIG1(in)
 		ig2 := core.SolveIG2(in)
-		abcc := core.Solve(in, core.Options{Seed: seed})
+		abcc := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 		t.Rows = append(t.Rows, []string{
 			f0(b), f0(randRes.Utility), f0(ig1.Utility), f0(ig2.Utility),
 			f0(abcc.Utility), dur(abcc.Duration),
@@ -102,39 +118,39 @@ func utilityVsBudget(title string, mk func(budget float64) *model.Instance, budg
 
 // Fig3aBestBuy reproduces Figure 3a: utility by budget over the BestBuy
 // workload for RAND, IG1, IG2 and A^BCC.
-func Fig3aBestBuy(scale Scale, seed int64) Table {
+func Fig3aBestBuy(ctx context.Context, scale Scale, seed int64) Table {
 	budgets := []float64{25, 50, 100, 200}
 	if scale == Full {
 		budgets = []float64{25, 50, 100, 200, 400, 700}
 	}
-	return utilityVsBudget("Fig 3a — BestBuy: utility vs budget",
+	return utilityVsBudget(ctx, "Fig 3a — BestBuy: utility vs budget",
 		func(b float64) *model.Instance { return dataset.BestBuy(seed, b) }, budgets, seed)
 }
 
 // Fig3bPrivate reproduces Figure 3b over the Private workload. The paper's
 // real quarterly budget for this dataset is ≈2000.
-func Fig3bPrivate(scale Scale, seed int64) Table {
+func Fig3bPrivate(ctx context.Context, scale Scale, seed int64) Table {
 	budgets := []float64{250, 500, 1000, 2000}
 	if scale == Full {
 		budgets = []float64{250, 500, 1000, 2000, 4000, 8000}
 	}
-	return utilityVsBudget("Fig 3b — Private: utility vs budget",
+	return utilityVsBudget(ctx, "Fig 3b — Private: utility vs budget",
 		func(b float64) *model.Instance { return dataset.Private(seed, b) }, budgets, seed)
 }
 
 // Fig3cSynthetic reproduces Figure 3c over the Synthetic workload.
-func Fig3cSynthetic(scale Scale, seed int64) Table {
+func Fig3cSynthetic(ctx context.Context, scale Scale, seed int64) Table {
 	n, budgets := 10000, []float64{1000, 2500, 5000}
 	if scale == Full {
 		n, budgets = 100000, []float64{1000, 2500, 5000, 10000, 20000}
 	}
-	return utilityVsBudget(fmt.Sprintf("Fig 3c — Synthetic (%d queries): utility vs budget", n),
+	return utilityVsBudget(ctx, fmt.Sprintf("Fig 3c — Synthetic (%d queries): utility vs budget", n),
 		func(b float64) *model.Instance { return dataset.Synthetic(seed, n, b) }, budgets, seed)
 }
 
 // Fig3dBruteGap reproduces Figure 3d: A^BCC versus exhaustive search on
 // small Private subdomains; the paper reports losses below 20%.
-func Fig3dBruteGap(scale Scale, seed int64) Table {
+func Fig3dBruteGap(ctx context.Context, scale Scale, seed int64) Table {
 	t := Table{
 		Title:   "Fig 3d — A^BCC vs brute force on small Private subsets",
 		Columns: []string{"subset", "budget", "A^BCC", "OPT", "ratio"},
@@ -144,8 +160,11 @@ func Fig3dBruteGap(scale Scale, seed int64) Table {
 		subsets = 10
 	}
 	for i := 0; i < subsets; i++ {
+		if truncated(ctx, &t) {
+			break
+		}
 		in := dataset.PrivateSubset(seed+int64(i), 25, 22)
-		abcc := core.Solve(in, core.Options{Seed: seed})
+		abcc := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 		opt, err := core.BruteForce(in)
 		if err != nil {
 			t.Notes = append(t.Notes, fmt.Sprintf("subset %d skipped: %v", i, err))
@@ -166,7 +185,7 @@ func Fig3dBruteGap(scale Scale, seed int64) Table {
 // Fig3ePreprocessingTime reproduces Figure 3e: A^BCC runtime with and
 // without the preprocessing step over growing Synthetic workloads, at the
 // fixed budget of 5000 the paper uses.
-func Fig3ePreprocessingTime(scale Scale, seed int64) Table {
+func Fig3ePreprocessingTime(ctx context.Context, scale Scale, seed int64) Table {
 	sizes := []int{10000, 25000}
 	noPreCap := 50000
 	if scale == Full {
@@ -179,11 +198,14 @@ func Fig3ePreprocessingTime(scale Scale, seed int64) Table {
 		Notes:   []string{"paper: without preprocessing did not terminate above 50K queries"},
 	}
 	for _, n := range sizes {
+		if truncated(ctx, &t) {
+			break
+		}
 		in := dataset.Synthetic(seed, n, 5000)
-		with := core.Solve(in, core.Options{Seed: seed})
+		with := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 		noPre := "skipped"
 		if n <= noPreCap {
-			res := core.Solve(in, core.Options{Seed: seed, DisablePruning: true})
+			res := core.SolveCtx(ctx, in, core.Options{Seed: seed, DisablePruning: true})
 			noPre = dur(res.Duration)
 		}
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), dur(with.Duration), noPre})
@@ -193,7 +215,7 @@ func Fig3ePreprocessingTime(scale Scale, seed int64) Table {
 
 // Fig3fPreprocessingUtility reproduces Figure 3f: solution quality with
 // and without preprocessing (the paper reports a negligible gap).
-func Fig3fPreprocessingUtility(scale Scale, seed int64) Table {
+func Fig3fPreprocessingUtility(ctx context.Context, scale Scale, seed int64) Table {
 	sizes := []int{10000, 25000}
 	if scale == Full {
 		sizes = []int{10000, 50000, 100000}
@@ -203,9 +225,12 @@ func Fig3fPreprocessingUtility(scale Scale, seed int64) Table {
 		Columns: []string{"queries", "with preprocessing", "without preprocessing", "ratio"},
 	}
 	for _, n := range sizes {
+		if truncated(ctx, &t) {
+			break
+		}
 		in := dataset.Synthetic(seed, n, 5000)
-		with := core.Solve(in, core.Options{Seed: seed})
-		without := core.Solve(in, core.Options{Seed: seed, DisablePruning: true})
+		with := core.SolveCtx(ctx, in, core.Options{Seed: seed})
+		without := core.SolveCtx(ctx, in, core.Options{Seed: seed, DisablePruning: true})
 		ratio := 1.0
 		if without.Utility > 0 {
 			ratio = with.Utility / without.Utility
@@ -219,18 +244,21 @@ func Fig3fPreprocessingUtility(scale Scale, seed int64) Table {
 
 // budgetVsTarget runs the four GMC3 algorithms at each utility target —
 // the shape of Figures 4a–4c (lower cost is better).
-func budgetVsTarget(title string, in *model.Instance, fractions []float64, seed int64) Table {
+func budgetVsTarget(ctx context.Context, title string, in *model.Instance, fractions []float64, seed int64) Table {
 	t := Table{
 		Title:   title,
 		Columns: []string{"target", "RAND(G)", "IG1(G)", "IG2(G)", "A^GMC3", "A^GMC3 time"},
 	}
 	total := in.TotalUtility()
 	for _, f := range fractions {
+		if truncated(ctx, &t) {
+			break
+		}
 		target := total * f
 		randRes := gmc3.SolveRand(in, target, seed)
 		ig1 := gmc3.SolveIG1(in, target)
 		ig2 := gmc3.SolveIG2(in, target)
-		ours := gmc3.Solve(in, target, gmc3.Options{Seed: seed})
+		ours := gmc3.SolveCtx(ctx, in, target, gmc3.Options{Seed: seed})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f%%", f*100), f0(randRes.Cost), f0(ig1.Cost), f0(ig2.Cost),
 			f0(ours.Cost), dur(ours.Duration),
@@ -241,34 +269,34 @@ func budgetVsTarget(title string, in *model.Instance, fractions []float64, seed 
 
 // Fig4aGMC3BestBuy reproduces Figure 4a: budget used per utility target on
 // BestBuy.
-func Fig4aGMC3BestBuy(scale Scale, seed int64) Table {
+func Fig4aGMC3BestBuy(ctx context.Context, scale Scale, seed int64) Table {
 	fr := []float64{0.25, 0.5, 0.75}
 	if scale == Full {
 		fr = []float64{0.1, 0.25, 0.5, 0.75, 0.9}
 	}
-	return budgetVsTarget("Fig 4a — GMC3 on BestBuy: cost vs utility target",
+	return budgetVsTarget(ctx, "Fig 4a — GMC3 on BestBuy: cost vs utility target",
 		dataset.BestBuy(seed, 0), fr, seed)
 }
 
 // Fig4bGMC3Private reproduces Figure 4b on the Private workload.
-func Fig4bGMC3Private(scale Scale, seed int64) Table {
+func Fig4bGMC3Private(ctx context.Context, scale Scale, seed int64) Table {
 	fr := []float64{0.25, 0.5}
 	if scale == Full {
 		fr = []float64{0.1, 0.25, 0.5, 0.75}
 	}
-	return budgetVsTarget("Fig 4b — GMC3 on Private: cost vs utility target",
+	return budgetVsTarget(ctx, "Fig 4b — GMC3 on Private: cost vs utility target",
 		dataset.Private(seed, 0), fr, seed)
 }
 
 // Fig4cGMC3Synthetic reproduces Figure 4c on the Synthetic workload.
-func Fig4cGMC3Synthetic(scale Scale, seed int64) Table {
+func Fig4cGMC3Synthetic(ctx context.Context, scale Scale, seed int64) Table {
 	n := 5000
 	fr := []float64{0.25, 0.5}
 	if scale == Full {
 		n = 100000
 		fr = []float64{0.1, 0.25, 0.5}
 	}
-	return budgetVsTarget(
+	return budgetVsTarget(ctx,
 		fmt.Sprintf("Fig 4c — GMC3 on Synthetic (%d queries): cost vs utility target", n),
 		dataset.Synthetic(seed, n, 0), fr, seed)
 }
@@ -276,7 +304,7 @@ func Fig4cGMC3Synthetic(scale Scale, seed int64) Table {
 // Fig4dGMC3Time reproduces Figure 4d: A^GMC3 runtimes on Synthetic for a
 // fixed utility target (the paper uses 150K over 100K queries; the Small
 // preset scales both down proportionally).
-func Fig4dGMC3Time(scale Scale, seed int64) Table {
+func Fig4dGMC3Time(ctx context.Context, scale Scale, seed int64) Table {
 	sizes := []int{2000, 5000, 10000}
 	targetFrac := 0.12 // ≈150K/1.27M, the paper's proportion
 	if scale == Full {
@@ -287,9 +315,12 @@ func Fig4dGMC3Time(scale Scale, seed int64) Table {
 		Columns: []string{"queries", "A^GMC3 time", "IG1(G) time", "IG2(G) time"},
 	}
 	for _, n := range sizes {
+		if truncated(ctx, &t) {
+			break
+		}
 		in := dataset.Synthetic(seed, n, 0)
 		target := in.TotalUtility() * targetFrac
-		ours := gmc3.Solve(in, target, gmc3.Options{Seed: seed})
+		ours := gmc3.SolveCtx(ctx, in, target, gmc3.Options{Seed: seed})
 		ig1 := gmc3.SolveIG1(in, target)
 		ig2 := gmc3.SolveIG2(in, target)
 		t.Rows = append(t.Rows, []string{
@@ -301,7 +332,7 @@ func Fig4dGMC3Time(scale Scale, seed int64) Table {
 
 // eccTable runs the four ECC algorithms on one instance — the shape of
 // Figures 4e/4f (higher ratio is better).
-func eccTable(title string, in *model.Instance, seed int64) Table {
+func eccTable(ctx context.Context, title string, in *model.Instance, seed int64) Table {
 	t := Table{
 		Title:   title,
 		Columns: []string{"algorithm", "ratio", "utility", "cost", "time"},
@@ -312,7 +343,8 @@ func eccTable(title string, in *model.Instance, seed int64) Table {
 	add("RAND(E)", ecc.SolveRand(in, seed))
 	add("IG1(E)", ecc.SolveIG1(in))
 	add("IG2(E)", ecc.SolveIG2(in))
-	add("A^ECC", ecc.Solve(in))
+	add("A^ECC", ecc.SolveCtx(ctx, in))
+	truncated(ctx, &t)
 	return t
 }
 
@@ -320,8 +352,8 @@ func eccTable(title string, in *model.Instance, seed int64) Table {
 // Private workload. Already-built (zero-cost) classifiers are re-priced at
 // 1: with a free classifier in range, the optimal ratio is trivially
 // infinite and the comparison degenerates.
-func Fig4eECCPrivate(scale Scale, seed int64) Table {
-	return eccTable("Fig 4e — ECC on Private: best utility/cost ratio",
+func Fig4eECCPrivate(ctx context.Context, scale Scale, seed int64) Table {
+	return eccTable(ctx, "Fig 4e — ECC on Private: best utility/cost ratio",
 		dataset.PrivateAllPaid(seed, 0), seed)
 }
 
@@ -331,7 +363,7 @@ func Fig4eECCPrivate(scale Scale, seed int64) Table {
 // optimum degenerates to that one classifier, whereas the paper reports
 // aggregate solutions (total cost ≈900) — implying the real estimates were
 // correlated, as analyst estimates are.
-func Fig4fECCSynthetic(scale Scale, seed int64) Table {
+func Fig4fECCSynthetic(ctx context.Context, scale Scale, seed int64) Table {
 	n := 5000
 	if scale == Full {
 		n = 100000
@@ -340,7 +372,7 @@ func Fig4fECCSynthetic(scale Scale, seed int64) Table {
 	if scale == Full {
 		pool = 10000
 	}
-	t := eccTable(fmt.Sprintf("Fig 4f — ECC on Synthetic-correlated (%d queries): best utility/cost ratio", n),
+	t := eccTable(ctx, fmt.Sprintf("Fig 4f — ECC on Synthetic-correlated (%d queries): best utility/cost ratio", n),
 		dataset.SyntheticCorrelatedPool(seed, n, pool, 0), seed)
 	t.Notes = append(t.Notes,
 		"uncorrelated uniform costs degenerate ECC to one cheap classifier; see DESIGN.md")
@@ -351,10 +383,10 @@ func Fig4fECCSynthetic(scale Scale, seed int64) Table {
 // workload: the budget needed for 50/65/75% of the total utility compared
 // to the MC3 full-coverage budget, and the utility split by query length
 // at the "real" quarterly budget.
-func InsightDiminishingReturns(scale Scale, seed int64) Table {
+func InsightDiminishingReturns(ctx context.Context, scale Scale, seed int64) Table {
 	in0 := dataset.Private(seed, 0)
 	total := in0.TotalUtility()
-	fullCost := gmc3.Solve(in0, total, gmc3.Options{Seed: seed}).Cost
+	fullCost := gmc3.SolveCtx(ctx, in0, total, gmc3.Options{Seed: seed}).Cost
 
 	t := Table{
 		Title:   "§6.2 — diminishing returns on Private",
@@ -363,15 +395,21 @@ func InsightDiminishingReturns(scale Scale, seed int64) Table {
 			fullCost, total)},
 	}
 	for _, f := range []float64{0.5, 0.65, 0.75} {
-		res := gmc3.Solve(in0, total*f, gmc3.Options{Seed: seed})
+		if truncated(ctx, &t) {
+			return t
+		}
+		res := gmc3.SolveCtx(ctx, in0, total*f, gmc3.Options{Seed: seed})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f%%", f*100), f0(res.Cost), f2(res.Cost / fullCost),
 		})
 	}
+	if truncated(ctx, &t) {
+		return t
+	}
 
 	// Utility split by covered query length at the "real" budget ≈ 2000.
 	in := dataset.Private(seed, 2000)
-	res := core.Solve(in, core.Options{Seed: seed})
+	res := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 	byLen := map[int]float64{}
 	for _, q := range res.Solution.CoveredQueries() {
 		byLen[q.Length()] += q.Utility
@@ -397,20 +435,23 @@ func InsightDiminishingReturns(scale Scale, seed int64) Table {
 // reduced by 6% and 12%, plus the realized utility when the plan chosen
 // under estimated costs is re-priced with +6% actual costs and trimmed to
 // fit.
-func InsightCostNoise(scale Scale, seed int64) Table {
+func InsightCostNoise(ctx context.Context, scale Scale, seed int64) Table {
 	const budget = 2000
 	in := dataset.Private(seed, budget)
 	t := Table{
 		Title:   "§6.2 — robustness to cost underestimation (Private, budget 2000)",
 		Columns: []string{"scenario", "utility", "share of nominal"},
 	}
-	nominal := core.Solve(in, core.Options{Seed: seed})
+	nominal := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 	add := func(name string, u float64) {
 		t.Rows = append(t.Rows, []string{name, f0(u), f2(u / nominal.Utility)})
 	}
 	add("nominal budget", nominal.Utility)
 	for _, shrink := range []float64{0.06, 0.12} {
-		res := core.Solve(in.WithBudget(budget*(1-shrink)), core.Options{Seed: seed})
+		if truncated(ctx, &t) {
+			return t
+		}
+		res := core.SolveCtx(ctx, in.WithBudget(budget*(1-shrink)), core.Options{Seed: seed})
 		add(fmt.Sprintf("budget −%.0f%%", shrink*100), res.Utility)
 	}
 	// Plan under estimates, pay actual (+6%) costs: drop the weakest
@@ -436,7 +477,7 @@ func InsightCostNoise(scale Scale, seed int64) Table {
 // deployment bar, and measure the covered queries' result-set growth and
 // precision against the metadata-only baseline (paper: growth >200% on
 // every sampled query, precision ≥90%).
-func InsightEndToEnd(scale Scale, seed int64) Table {
+func InsightEndToEnd(ctx context.Context, scale Scale, seed int64) Table {
 	items, queries := 5000, 50
 	if scale == Full {
 		items, queries = 50000, 400
@@ -456,7 +497,7 @@ func InsightEndToEnd(scale Scale, seed int64) Table {
 		t.Notes = append(t.Notes, "workload derivation failed: "+err.Error())
 		return t
 	}
-	res := core.Solve(in, core.Options{Seed: seed})
+	res := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 	var sel []propset.Set
 	for _, cl := range res.Solution.Classifiers() {
 		sel = append(sel, cl.Props)
@@ -494,12 +535,16 @@ func InsightEndToEnd(scale Scale, seed int64) Table {
 }
 
 // All runs every experiment at the given scale and returns the tables in
-// paper order.
-func All(scale Scale, seed int64) []Table {
+// paper order. A done ctx stops the sweep early; completed tables are
+// still returned.
+func All(ctx context.Context, scale Scale, seed int64) []Table {
 	var out []Table
 	for _, id := range Order() {
 		run, _ := ByName(id)
-		out = append(out, run(scale, seed))
+		out = append(out, run(ctx, scale, seed))
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	return out
 }
@@ -510,8 +555,8 @@ func Order() []string {
 }
 
 // ByName resolves an experiment id ("3a", "4d", "insights") to its runner.
-func ByName(name string) (func(Scale, int64) Table, bool) {
-	m := map[string]func(Scale, int64) Table{
+func ByName(name string) (func(context.Context, Scale, int64) Table, bool) {
+	m := map[string]func(context.Context, Scale, int64) Table{
 		"3a":       Fig3aBestBuy,
 		"3b":       Fig3bPrivate,
 		"3c":       Fig3cSynthetic,

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func cell(t *testing.T, tb Table, row, col int) float64 {
 func TestFig3aRankingShape(t *testing.T) {
 	// The paper's headline shape on BestBuy: A^BCC first, IG2 ≥ IG1,
 	// RAND last, and utility monotone in budget.
-	tb := Fig3aBestBuy(Small, 1)
+	tb := Fig3aBestBuy(context.Background(), Small, 1)
 	if len(tb.Rows) < 3 {
 		t.Fatalf("too few rows: %v", tb.Rows)
 	}
@@ -64,7 +65,7 @@ func TestFig3aRankingShape(t *testing.T) {
 }
 
 func TestFig3dGapWithin20Pct(t *testing.T) {
-	tb := Fig3dBruteGap(Small, 1)
+	tb := Fig3dBruteGap(context.Background(), Small, 1)
 	if len(tb.Rows) == 0 {
 		t.Fatal("no rows")
 	}

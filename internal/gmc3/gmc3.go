@@ -15,12 +15,14 @@ package gmc3
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/mc3"
 	"repro/internal/model"
 	"repro/internal/propset"
@@ -78,6 +80,11 @@ type Result struct {
 	Iterations int
 	// Duration is the wall-clock solve time.
 	Duration time.Duration
+	// Status reports how the run ended; non-Complete results still carry
+	// the best solution found (which may miss the target).
+	Status guard.Status
+	// Err is the context error or contained panic for a non-Complete run.
+	Err error
 }
 
 func resultFrom(t *cover.Tracker, target float64, iters int, start time.Time) Result {
@@ -94,8 +101,42 @@ func resultFrom(t *cover.Tracker, target float64, iters int, start time.Time) Re
 // Solve runs A^GMC3 on the instance's queries with the given utility
 // target. The instance's own budget field is ignored.
 func Solve(in *model.Instance, target float64, opts Options) Result {
+	return SolveCtx(context.Background(), in, target, opts)
+}
+
+// SolveCtx is Solve under a context: on deadline expiry or cancellation it
+// returns the cheapest target-achieving solution found so far — or, when
+// no budget guess achieved the target yet, the highest-utility partial
+// solution — with Result.Status reporting why it stopped. Panics in the
+// solver stack (including inner A^BCC runs) surface as Status Recovered.
+func SolveCtx(ctx context.Context, in *model.Instance, target float64, opts Options) (res Result) {
 	start := time.Now()
 	opts = opts.withDefaults()
+	g := guard.New(ctx)
+
+	best := Result{Cost: math.Inf(1)}
+	bestEffort := Result{Solution: model.NewSolution(in)}
+	iters := 0
+	finish := func() Result {
+		r := best
+		if math.IsInf(r.Cost, 1) {
+			r = bestEffort
+		}
+		r.Iterations = iters
+		r.Duration = time.Since(start)
+		r.Status = g.Status()
+		r.Err = g.Err()
+		return r
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finish()
+		}
+	}()
+	if g.Tripped() {
+		return finish()
+	}
 
 	// Upper bound: the MC3 full-coverage cost (covers every coverable
 	// query, hence reaches any achievable target).
@@ -112,23 +153,27 @@ func Solve(in *model.Instance, target float64, opts Options) Result {
 		hi = 1
 	}
 
-	best := Result{Cost: math.Inf(1)}
-	iters := 0
 	try := func(budget float64) Result {
 		t := cover.New(in)
 		rounds := 0
-		for t.Utility() < target-1e-9 && rounds < opts.MaxInnerRounds {
-			res := runResidualBCC(in, t, budget, opts)
+		for t.Utility() < target-1e-9 && rounds < opts.MaxInnerRounds && !g.Tripped() {
+			guard.Inject("gmc3.residual")
+			gain := runResidualBCC(ctx, g, in, t, budget, opts)
 			rounds++
 			iters++
-			if res == 0 {
+			if gain == 0 {
 				break // no progress at this budget
 			}
 		}
 		if t.Utility() >= target-1e-9 {
 			trimToTarget(t, target)
 		}
-		return resultFrom(t, target, rounds, start)
+		r := resultFrom(t, target, rounds, start)
+		if r.Utility > bestEffort.Utility ||
+			(r.Utility == bestEffort.Utility && r.Cost < bestEffort.Cost) {
+			bestEffort = r
+		}
+		return r
 	}
 
 	// The full-coverage budget always succeeds (when the target is
@@ -138,7 +183,7 @@ func Solve(in *model.Instance, target float64, opts Options) Result {
 	}
 	// Binary search for the cheapest successful budget guess.
 	lo, hiB := 0.0, hi
-	for step := 0; step < opts.BinarySearchSteps; step++ {
+	for step := 0; step < opts.BinarySearchSteps && !g.Tripped(); step++ {
 		mid := (lo + hiB) / 2
 		if mid <= 0 {
 			break
@@ -157,20 +202,22 @@ func Solve(in *model.Instance, target float64, opts Options) Result {
 	// adopt whichever is cheapest. As with A^BCC's floor (DESIGN.md), this
 	// keeps A^GMC3 from trailing the adaptive greedies by slivers on
 	// unstructured workloads.
-	for _, seed := range []Result{SolveIG1(in, target), SolveIG2(in, target)} {
-		if !seed.Achieved {
-			continue
-		}
-		t := cover.New(in)
-		for _, c := range seed.Solution.Classifiers() {
-			t.Add(c.Props)
-		}
-		trimToTarget(t, target)
-		if r := resultFrom(t, target, iters, start); r.Achieved && r.Cost < best.Cost {
-			best = r
+	if !g.Tripped() {
+		for _, seed := range []Result{SolveIG1(in, target), SolveIG2(in, target)} {
+			if !seed.Achieved {
+				continue
+			}
+			t := cover.New(in)
+			for _, c := range seed.Solution.Classifiers() {
+				t.Add(c.Props)
+			}
+			trimToTarget(t, target)
+			if r := resultFrom(t, target, iters, start); r.Achieved && r.Cost < best.Cost {
+				best = r
+			}
 		}
 	}
-	if math.IsInf(best.Cost, 1) {
+	if math.IsInf(best.Cost, 1) && !g.Tripped() {
 		// Target unreachable: return the full-coverage solution.
 		t := cover.New(in)
 		for _, c := range full.Classifiers {
@@ -178,9 +225,7 @@ func Solve(in *model.Instance, target float64, opts Options) Result {
 		}
 		best = resultFrom(t, target, iters, start)
 	}
-	best.Iterations = iters
-	best.Duration = time.Since(start)
-	return best
+	return finish()
 }
 
 // trimToTarget reverse-deletes selected classifiers (costliest first) as
@@ -210,8 +255,10 @@ func trimToTarget(t *cover.Tracker, target float64) {
 
 // runResidualBCC runs A^BCC with the given budget on the instance
 // restricted to the queries not yet covered by t, committing the resulting
-// selection into t. It returns the utility gained.
-func runResidualBCC(in *model.Instance, t *cover.Tracker, budget float64, opts Options) float64 {
+// selection into t. It returns the utility gained. A Recovered status from
+// the inner run is propagated onto the outer guard so the caller's result
+// reports it.
+func runResidualBCC(ctx context.Context, g *guard.Guard, in *model.Instance, t *cover.Tracker, budget float64, opts Options) float64 {
 	b := model.NewBuilderWithUniverse(in.Universe())
 	any := false
 	for qi, q := range in.Queries() {
@@ -234,7 +281,10 @@ func runResidualBCC(in *model.Instance, t *cover.Tracker, budget float64, opts O
 	if err != nil {
 		return 0
 	}
-	res := core.Solve(sub, opts.Core)
+	res := core.SolveCtx(ctx, sub, opts.Core)
+	if res.Status == guard.Recovered {
+		g.NoteError(res.Err)
+	}
 	before := t.Utility()
 	for _, c := range res.Solution.Classifiers() {
 		t.Add(c.Props)

@@ -1,0 +1,224 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilGuardInert(t *testing.T) {
+	var g *Guard
+	if g.Check() {
+		t.Error("nil guard Check() = true")
+	}
+	if g.Tripped() {
+		t.Error("nil guard Tripped() = true")
+	}
+	if g.Status() != Complete {
+		t.Errorf("nil guard Status() = %v", g.Status())
+	}
+	if g.Err() != nil {
+		t.Errorf("nil guard Err() = %v", g.Err())
+	}
+	if _, ok := g.Remaining(); ok {
+		t.Error("nil guard reports a deadline")
+	}
+	g.NotePanic("ignored")
+	g.NoteError(errors.New("ignored"))
+}
+
+func TestNilGuardRecoverRepanics(t *testing.T) {
+	// Legacy non-context entry points must still crash on a bug.
+	defer func() {
+		if p := recover(); p == nil {
+			t.Error("nil guard Recover swallowed the panic")
+		}
+	}()
+	var g *Guard
+	defer g.Recover()
+	panic("boom")
+}
+
+func TestBackgroundNeverTrips(t *testing.T) {
+	g := New(context.Background())
+	for i := 0; i < 10*checkStride; i++ {
+		if g.Check() {
+			t.Fatal("background guard tripped")
+		}
+	}
+	if g.Tripped() || g.Status() != Complete || g.Err() != nil {
+		t.Errorf("background guard: tripped=%v status=%v err=%v", g.Tripped(), g.Status(), g.Err())
+	}
+}
+
+func TestExpiredContextTripsAtNew(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	g := New(ctx)
+	if !g.Tripped() {
+		t.Fatal("expired context did not trip the guard at New")
+	}
+	if g.Status() != DeadlineExceeded {
+		t.Errorf("Status() = %v, want DeadlineExceeded", g.Status())
+	}
+	if !errors.Is(g.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err() = %v", g.Err())
+	}
+}
+
+func TestCancelTripsAndSticks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx)
+	if g.Tripped() {
+		t.Fatal("guard tripped before cancel")
+	}
+	cancel()
+	if !g.Tripped() {
+		t.Fatal("guard not tripped after cancel")
+	}
+	// Check must report true immediately once tripped, regardless of stride.
+	if !g.Check() {
+		t.Fatal("Check() false on a tripped guard")
+	}
+	if g.Status() != Canceled {
+		t.Errorf("Status() = %v, want Canceled", g.Status())
+	}
+}
+
+func TestCheckIsAmortized(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx)
+	cancel()
+	// The guard polled at New (before cancel), so only a stride-boundary
+	// Check observes the cancellation; at most checkStride calls pass.
+	trippedWithin := false
+	for i := 0; i < checkStride; i++ {
+		if g.Check() {
+			trippedWithin = true
+			break
+		}
+	}
+	if !trippedWithin {
+		t.Fatalf("Check did not observe cancellation within %d calls", checkStride)
+	}
+}
+
+func TestRecoverRecordsPanic(t *testing.T) {
+	g := New(context.Background())
+	func() {
+		defer g.Recover()
+		panic("injected failure")
+	}()
+	if g.Status() != Recovered {
+		t.Fatalf("Status() = %v, want Recovered", g.Status())
+	}
+	if err := g.Err(); err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("Err() = %v, want the panic message", err)
+	}
+}
+
+func TestProtectContainsPanic(t *testing.T) {
+	g := New(context.Background())
+	g.Protect(func() { panic(errors.New("typed")) })
+	if g.Status() != Recovered {
+		t.Fatalf("Status() = %v, want Recovered", g.Status())
+	}
+	if !strings.Contains(g.Err().Error(), "typed") {
+		t.Errorf("Err() = %v", g.Err())
+	}
+}
+
+func TestFirstPanicWins(t *testing.T) {
+	g := New(context.Background())
+	g.NoteError(errors.New("first"))
+	g.NoteError(errors.New("second"))
+	if !strings.Contains(g.PanicErr().Error(), "first") {
+		t.Errorf("PanicErr() = %v, want first error", g.PanicErr())
+	}
+}
+
+func TestRecoveredDominatesDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	g := New(ctx)
+	g.NoteError(errors.New("panic while already late"))
+	if g.Status() != Recovered {
+		t.Errorf("Status() = %v, want Recovered to dominate DeadlineExceeded", g.Status())
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	g := New(context.Background())
+	if _, ok := g.Remaining(); ok {
+		t.Error("background guard reports a deadline")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	g = New(ctx)
+	d, ok := g.Remaining()
+	if !ok || d <= 0 || d > time.Hour {
+		t.Errorf("Remaining() = %v, %v", d, ok)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Complete:         "complete",
+		DeadlineExceeded: "deadline",
+		Canceled:         "canceled",
+		Recovered:        "recovered",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestArmDisarmInject(t *testing.T) {
+	defer DisarmAll()
+	fired := 0
+	Arm("test.point", func() { fired++ })
+	Inject("test.point")
+	Inject("other.point")
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	Disarm("test.point")
+	Inject("test.point")
+	if fired != 1 {
+		t.Fatalf("fired after Disarm = %d, want 1", fired)
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	fired := 0
+	Arm("a", func() { fired++ })
+	Arm("b", func() { fired++ })
+	DisarmAll()
+	Inject("a")
+	Inject("b")
+	if fired != 0 {
+		t.Fatalf("fired = %d after DisarmAll", fired)
+	}
+}
+
+func TestPanicFaultAndCancelFault(t *testing.T) {
+	defer DisarmAll()
+	g := New(context.Background())
+	Arm("test.panic", PanicFault("armed"))
+	g.Protect(func() { Inject("test.panic") })
+	if g.Status() != Recovered {
+		t.Fatalf("Status() = %v, want Recovered", g.Status())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g2 := New(ctx)
+	Arm("test.cancel", CancelFault(cancel))
+	Inject("test.cancel")
+	if !g2.Tripped() || g2.Status() != Canceled {
+		t.Fatalf("CancelFault: tripped=%v status=%v", g2.Tripped(), g2.Status())
+	}
+}

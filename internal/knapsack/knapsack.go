@@ -12,6 +12,8 @@ package knapsack
 import (
 	"math"
 	"sort"
+
+	"repro/internal/guard"
 )
 
 // Item is one selectable object. Payload is an opaque caller tag carried
@@ -90,12 +92,12 @@ func density(it Item) float64 {
 // O(n·capacity) bits of parent-tracking, so use it only for moderate
 // capacities; SolveFPTAS covers the rest.
 func SolveExactInt(items []Item, capacity int) Result {
+	return solveExactIntGuard(nil, items, capacity)
+}
+
+func solveExactIntGuard(g *guard.Guard, items []Item, capacity int) Result {
 	if capacity < 0 {
 		return Result{}
-	}
-	type entry struct {
-		value float64
-		ok    bool
 	}
 	w := make([]int, len(items))
 	for i, it := range items {
@@ -110,6 +112,11 @@ func SolveExactInt(items []Item, capacity int) Result {
 	words := (capacity + 64) / 64
 	choice := make([]uint64, len(items)*words)
 	for i, it := range items {
+		// Checking once per DP row keeps the overhead off the inner cells;
+		// on a trip the greedy answer is always feasible.
+		if g.Tripped() {
+			return SolveGreedy(items, float64(capacity))
+		}
 		if it.Value <= 0 {
 			continue
 		}
@@ -141,6 +148,10 @@ func SolveExactInt(items []Item, capacity int) Result {
 // program (Theorem 2.3 of the paper, following [65]). eps must be positive;
 // values ≤ 0 and items that cannot fit are ignored.
 func SolveFPTAS(items []Item, capacity float64, eps float64) Result {
+	return solveFPTASGuard(nil, items, capacity, eps)
+}
+
+func solveFPTASGuard(g *guard.Guard, items []Item, capacity float64, eps float64) Result {
 	if eps <= 0 {
 		eps = 0.01
 	}
@@ -188,6 +199,9 @@ func SolveFPTAS(items []Item, capacity float64, eps float64) Result {
 	}
 	choice := make([][]bool, n)
 	for j := range idx {
+		if g.Tripped() {
+			return SolveGreedy(items, capacity)
+		}
 		choice[j] = make([]bool, total+1)
 		it := items[idx[j]]
 		for v := total; v >= sv[j]; v-- {
@@ -230,6 +244,14 @@ func SolveFPTAS(items []Item, capacity float64, eps float64) Result {
 // largest single item value, which is negligible in the BCC regime (many
 // small classifiers against a large budget).
 func Solve(items []Item, capacity float64, eps float64) Result {
+	return SolveGuard(nil, items, capacity, eps)
+}
+
+// SolveGuard is Solve with cooperative cancellation: when the guard trips
+// mid-DP the solver falls back to the density greedy, whose answer is
+// always budget-feasible. A nil guard never trips.
+func SolveGuard(g *guard.Guard, items []Item, capacity float64, eps float64) Result {
+	guard.Inject("knapsack.solve")
 	const maxDPCells = 512 << 20 // bitset rows: 512M cells ≈ 64 MB
 	const maxFPTASItems = 3000
 	integral := capacity == math.Trunc(capacity)
@@ -241,10 +263,10 @@ func Solve(items []Item, capacity float64, eps float64) Result {
 	}
 	if integral && capacity >= 0 &&
 		float64(len(items))*(capacity+1) <= maxDPCells {
-		return SolveExactInt(items, int(capacity))
+		return solveExactIntGuard(g, items, int(capacity))
 	}
 	if len(items) <= maxFPTASItems {
-		return SolveFPTAS(items, capacity, eps)
+		return solveFPTASGuard(g, items, capacity, eps)
 	}
 	return SolveGreedy(items, capacity)
 }

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/maxflow"
 	"repro/internal/propset"
 )
@@ -50,6 +51,7 @@ type Output struct {
 // Solve covers all coverable queries at low cost: exactly for l ≤ 2,
 // greedily (O(log n)-approximate) otherwise.
 func Solve(inp Input) Output {
+	guard.Inject("mc3.solve")
 	maxLen := 0
 	for _, q := range inp.Queries {
 		if q.Len() > maxLen {

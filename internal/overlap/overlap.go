@@ -20,12 +20,14 @@
 package overlap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/cover"
+	"repro/internal/guard"
 	"repro/internal/model"
 	"repro/internal/propset"
 )
@@ -95,6 +97,11 @@ type Result struct {
 	AdditiveCost float64
 	// Duration is the wall-clock solve time.
 	Duration time.Duration
+	// Status reports how the run ended; a non-Complete result still holds
+	// the budget-feasible selection accumulated so far.
+	Status guard.Status
+	// Err is the context error or contained panic for a non-Complete run.
+	Err error
 }
 
 // Solve maximizes covered utility within the instance's budget under the
@@ -103,7 +110,26 @@ type Result struct {
 // labeled properties accumulate, so scores are recomputed each round over
 // the affected candidates.
 func Solve(in *model.Instance, m CostModel) Result {
+	return SolveCtx(context.Background(), in, m)
+}
+
+// SolveCtx is Solve under a context: on deadline expiry or cancellation it
+// returns the budget-feasible selection accumulated so far, with
+// Result.Status reporting why it stopped; contained panics surface as
+// Status Recovered.
+func SolveCtx(ctx context.Context, in *model.Instance, m CostModel) (res Result) {
 	start := time.Now()
+	g := guard.New(ctx)
+	var sel []propset.Set
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finishGuarded(g, in, m, sel, start)
+		}
+	}()
+	if g.Tripped() {
+		return finishGuarded(g, in, m, nil, start)
+	}
 	t := cover.New(in)
 	budget := in.Budget()
 
@@ -111,7 +137,6 @@ func Solve(in *model.Instance, m CostModel) Result {
 	// everything finitely).
 	cands := enumerate(in)
 	paid := map[propset.ID]bool{}
-	var sel []propset.Set
 	var cost float64
 
 	marginalCost := func(c propset.Set) float64 {
@@ -139,10 +164,14 @@ func Solve(in *model.Instance, m CostModel) Result {
 		return gain
 	}
 
-	for {
+	for !g.Tripped() {
+		guard.Inject("overlap.round")
 		bestI, bestScore := -1, 0.0
 		bestMC := 0.0
 		for i, c := range cands {
+			if g.Check() {
+				break
+			}
 			if t.Has(c) {
 				continue
 			}
@@ -173,7 +202,7 @@ func Solve(in *model.Instance, m CostModel) Result {
 			paid[p] = true
 		}
 	}
-	return finish(in, m, sel, start)
+	return finishGuarded(g, in, m, sel, start)
 }
 
 // marginalGain in Solve only counts fully-covered queries per single
@@ -181,18 +210,39 @@ func Solve(in *model.Instance, m CostModel) Result {
 // per-query cover step below, mirroring IG1 under marginal costs.
 // SolveCoverGreedy selects whole per-query min-marginal-cost covers.
 func SolveCoverGreedy(in *model.Instance, m CostModel) Result {
+	return SolveCoverGreedyCtx(context.Background(), in, m)
+}
+
+// SolveCoverGreedyCtx is SolveCoverGreedy under a context, with the same
+// anytime semantics as SolveCtx: every completed round leaves a
+// budget-feasible selection, so interruption returns the best so far.
+func SolveCoverGreedyCtx(ctx context.Context, in *model.Instance, m CostModel) (res Result) {
 	start := time.Now()
+	g := guard.New(ctx)
+	var sel []propset.Set
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finishGuarded(g, in, m, sel, start)
+		}
+	}()
+	if g.Tripped() {
+		return finishGuarded(g, in, m, nil, start)
+	}
 	t := cover.New(in)
 	budget := in.Budget()
 	paid := map[propset.ID]bool{}
-	var sel []propset.Set
 	var cost float64
 
-	for {
+	for !g.Tripped() {
+		guard.Inject("overlap.round")
 		bestQi := -1
 		var bestSets []propset.Set
 		bestScore, bestMC := 0.0, 0.0
 		for qi, q := range in.Queries() {
+			if g.Check() {
+				break
+			}
 			if t.Covered(qi) {
 				continue
 			}
@@ -221,7 +271,7 @@ func SolveCoverGreedy(in *model.Instance, m CostModel) Result {
 		}
 		cost += bestMC
 	}
-	return finish(in, m, sel, start)
+	return finishGuarded(g, in, m, sel, start)
 }
 
 // cheapestCover finds the min-marginal-cost cover of query qi via subset
@@ -297,6 +347,13 @@ func cheapestCover(in *model.Instance, t *cover.Tracker, m CostModel, paid map[p
 		return nil, math.Inf(1)
 	}
 	return dp[full].sets, dp[full].cost
+}
+
+func finishGuarded(g *guard.Guard, in *model.Instance, m CostModel, sel []propset.Set, start time.Time) Result {
+	r := finish(in, m, sel, start)
+	r.Status = g.Status()
+	r.Err = g.Err()
+	return r
 }
 
 func finish(in *model.Instance, m CostModel, sel []propset.Set, start time.Time) Result {

@@ -15,11 +15,13 @@ package partial
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/model"
 	"repro/internal/propset"
 )
@@ -77,6 +79,11 @@ type Result struct {
 	Cost float64
 	// Duration is the wall-clock solve time.
 	Duration time.Duration
+	// Status reports how the run ended; a non-Complete result still holds
+	// the (budget-feasible) selection accumulated so far.
+	Status guard.Status
+	// Err is the context error or contained panic for a non-Complete run.
+	Err error
 }
 
 // state tracks per-query covered-conjunct counts incrementally.
@@ -160,11 +167,49 @@ func (st *state) result(start time.Time) Result {
 // concave gains this is the classic ½(1−1/e)-approximation of budgeted
 // submodular maximization.
 func Solve(in *model.Instance, g Gain) Result {
+	return SolveCtx(context.Background(), in, g)
+}
+
+// SolveCtx is Solve under a context: on deadline expiry or cancellation it
+// returns the (budget-feasible) greedy selection accumulated so far, with
+// Result.Status reporting why it stopped; contained panics surface as
+// Status Recovered.
+func SolveCtx(ctx context.Context, in *model.Instance, gfn Gain) (res Result) {
 	start := time.Now()
-	if g == nil {
-		g = Threshold
+	if gfn == nil {
+		gfn = Threshold
 	}
-	st := newState(in, g)
+	g := guard.New(ctx)
+	if g.Tripped() {
+		return Result{
+			Solution: model.NewSolution(in),
+			Duration: time.Since(start),
+			Status:   g.Status(),
+			Err:      g.Err(),
+		}
+	}
+
+	var st *state
+	finish := func() Result {
+		var r Result
+		if st != nil {
+			r = st.result(start)
+		} else {
+			r = Result{Solution: model.NewSolution(in), Duration: time.Since(start)}
+		}
+		r.Status = g.Status()
+		r.Err = g.Err()
+		return r
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g.NotePanic(p)
+			res = finish()
+		}
+	}()
+	guard.Inject("partial.solve")
+
+	st = newState(in, gfn)
 	// Free classifiers first.
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
@@ -192,6 +237,9 @@ func Solve(in *model.Instance, g Gain) Result {
 		}
 	}
 	for h.Len() > 0 {
+		if g.Check() {
+			return finish()
+		}
 		e := heap.Pop(h).(pEntry)
 		c := cls[e.ci]
 		if st.sel[c.Props.Key()] {
@@ -210,11 +258,14 @@ func Solve(in *model.Instance, g Gain) Result {
 		}
 		st.add(c.Props)
 	}
-	greedy := st.result(start)
+	greedy := finish()
+	if g.Tripped() {
+		return greedy
+	}
 
 	// Fallback: the single best affordable classifier (restores the
 	// approximation bound when one huge item dominates).
-	st2 := newState(in, g)
+	st2 := newState(in, gfn)
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
 			st2.add(c.Props)
@@ -232,6 +283,8 @@ func Solve(in *model.Instance, g Gain) Result {
 	if bestCi >= 0 {
 		st2.add(cls[bestCi].Props)
 		if single := st2.result(start); single.Utility > greedy.Utility {
+			single.Status = g.Status()
+			single.Err = g.Err()
 			return single
 		}
 	}

@@ -1,0 +1,81 @@
+package qk
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+func TestSolveHeuristicGuardMatchesUnguarded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomQK(rng, 40, 0.2, 8)
+	plain := SolveHeuristic(g, 20, Options{Seed: 3})
+	guarded := SolveHeuristicGuard(guard.New(context.Background()), g, 20, Options{Seed: 3})
+	if plain.Weight != guarded.Weight || plain.Cost != guarded.Cost {
+		t.Errorf("untripped guard diverged: weight %v/%v cost %v/%v",
+			guarded.Weight, plain.Weight, guarded.Cost, plain.Cost)
+	}
+}
+
+func TestCancelReturnsFeasibleSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomQK(rng, 60, 0.2, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	guard.Arm("qk.restart", guard.CancelFault(cancel))
+	defer guard.DisarmAll()
+	gu := guard.New(ctx)
+	res := SolveHeuristicGuard(gu, g, 25, Options{Seed: 3})
+	if !gu.Tripped() {
+		t.Fatal("fault did not trip the guard")
+	}
+	checkFeasible(t, g, res, 25)
+}
+
+func TestWorkerPanicContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomQK(rng, 60, 0.2, 8)
+	guard.Arm("qk.restart", guard.PanicFault("worker boom"))
+	defer guard.DisarmAll()
+	gu := guard.New(context.Background())
+	res := SolveHeuristicGuard(gu, g, 25, Options{Seed: 3})
+	if gu.Status() != guard.Recovered {
+		t.Fatalf("Status = %v, want Recovered", gu.Status())
+	}
+	if gu.PanicErr() == nil {
+		t.Fatal("no panic recorded")
+	}
+	checkFeasible(t, g, res, 25)
+}
+
+func TestWorkerPoolLeaksNoGoroutinesOnCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomQK(rng, 80, 0.25, 8)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		guard.Arm("qk.restart", guard.CancelFault(cancel))
+		_ = SolveHeuristicGuard(guard.New(ctx), g, 30, Options{Seed: int64(i + 1)})
+		guard.DisarmAll()
+		cancel()
+	}
+	// The pool drains via wg.Wait() before SolveHeuristicGuard returns, so
+	// no worker can outlive the call; give the runtime a moment to retire
+	// finished goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/guard"
 	"repro/internal/wgraph"
 )
 
@@ -63,12 +64,31 @@ func (o Options) withDefaults(n int) Options {
 // space, the two-phase copy-swapping procedure, and the Theorem 4.7 final
 // selection. The returned solution never does worse than SolveGreedy.
 func SolveHeuristic(g *wgraph.Graph, budget float64, opts Options) Result {
+	return SolveHeuristicGuard(nil, g, budget, opts)
+}
+
+// SolveHeuristicGuard is SolveHeuristic under a guard: the pipeline checks
+// it between cases and inside the restart workers (the worker pool always
+// drains, so cancellation never leaks goroutines), and with a non-nil
+// guard any panic in the pipeline is contained into it, returning the best
+// result found so far. A nil guard never trips and re-raises panics,
+// preserving SolveHeuristic's legacy behavior.
+func SolveHeuristicGuard(gu *guard.Guard, g *wgraph.Graph, budget float64, opts Options) (res Result) {
 	n := g.NumNodes()
 	opts = opts.withDefaults(n)
 	best := SolveGreedy(g, budget) // safety floor
+	res = best
 
 	if n == 0 || g.NumEdges() == 0 || budget < 0 {
-		return best
+		return res
+	}
+	if gu != nil {
+		defer func() {
+			if p := recover(); p != nil {
+				gu.NotePanic(p)
+				res = best
+			}
+		}()
 	}
 
 	// Floor: the heaviest affordable edges, greedily completed. Guards
@@ -85,7 +105,7 @@ func SolveHeuristic(g *wgraph.Graph, budget float64, opts Options) Result {
 		affordable = affordable[:8]
 	}
 	for _, e := range affordable {
-		best = better(best, resultFor(g, greedyComplete(g, budget, []int{e.U, e.V})))
+		best = better(best, resultFor(g, greedyComplete(gu, g, budget, []int{e.U, e.V})))
 	}
 
 	// Preprocessing: free nodes are always selected; nodes above the
@@ -120,6 +140,9 @@ func SolveHeuristic(g *wgraph.Graph, budget float64, opts Options) Result {
 
 	// Case: exactly two expensive nodes — enumerate pairs directly.
 	for i := 0; i < len(expensive); i++ {
+		if gu.Check() {
+			break
+		}
 		for j := i + 1; j < len(expensive); j++ {
 			a, b := expensive[i], expensive[j]
 			if g.Cost(a)+g.Cost(b) <= budget+1e-9 {
@@ -129,25 +152,31 @@ func SolveHeuristic(g *wgraph.Graph, budget float64, opts Options) Result {
 		}
 	}
 	// Case: no expensive node in the optimum.
-	best = better(best, coreSolve(g, budget, budget, isExpensive, zero, opts))
+	if !gu.Tripped() {
+		best = better(best, coreSolve(gu, g, budget, budget, isExpensive, zero, opts))
+	}
 	// Case: exactly one expensive node — preselect it, reduce the budget
 	// for the quadratic part (the full budget still applies to the final
 	// greedy completion, which accounts for the preselected node's cost).
 	for _, a := range expensive {
+		if gu.Tripped() {
+			break
+		}
 		excl := make([]bool, n)
 		copy(excl, isExpensive)
 		excl[a] = false
 		pre := append(append([]int(nil), zero...), a)
-		best = better(best, coreSolve(g, budget-g.Cost(a), budget, excl, pre, opts))
+		best = better(best, coreSolve(gu, g, budget-g.Cost(a), budget, excl, pre, opts))
 	}
-	return best
+	res = best
+	return res
 }
 
 // coreSolve runs the bipartition/blow-up/HkS pipeline on the instance with
 // the given exclusions and preselected (treated-as-free) nodes. budget
 // bounds the quadratic part; fullBudget (≥ budget plus the preselected
 // cost) bounds the final completed solutions.
-func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre []int, opts Options) Result {
+func coreSolve(gu *guard.Guard, g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre []int, opts Options) Result {
 	n := g.NumNodes()
 	preMark := make([]bool, n)
 	for _, v := range pre {
@@ -170,7 +199,7 @@ func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre
 		anyActive = true
 	}
 	if !anyActive || budget <= 0 {
-		return resultFor(g, greedyComplete(g, fullBudget, pre))
+		return resultFor(g, greedyComplete(gu, g, fullBudget, pre))
 	}
 
 	// Integerize costs: c′(v) = max(1, ⌈c(v)·f⌉) with f chosen so that
@@ -208,7 +237,7 @@ func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre
 	}
 	intBudget := int(math.Floor(budget*f + 1e-12))
 	if intBudget < 2 {
-		return resultFor(g, greedyComplete(g, fullBudget, pre))
+		return resultFor(g, greedyComplete(gu, g, fullBudget, pre))
 	}
 
 	// Per-node linear bonus: edges into preselected nodes contribute
@@ -225,21 +254,35 @@ func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre
 		})
 	}
 
-	best := resultFor(g, greedyComplete(g, fullBudget, pre))
+	best := resultFor(g, greedyComplete(gu, g, fullBudget, pre))
 
 	// The paper runs the log n bipartition iterations in parallel; each
 	// iteration only reads the shared graph and derives its own RNG, so a
 	// bounded worker pool is safe. Results merge in iteration order for
-	// determinism.
+	// determinism. On a tripped guard no further restarts launch, and
+	// wg.Wait() always drains the ones in flight — cancellation never
+	// leaks a goroutine.
 	results := make([]Result, opts.Iterations)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for iter := 0; iter < opts.Iterations; iter++ {
+		if gu.Tripped() {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(iter int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if gu != nil {
+				// A panic must be contained on the worker's own stack: the
+				// caller's recover cannot catch a goroutine panic.
+				defer gu.Recover()
+			}
+			guard.Inject("qk.restart")
+			if gu.Tripped() {
+				return
+			}
 			rng := rand.New(rand.NewSource(opts.Seed + int64(iter)*7919))
 			side := make([]bool, n)
 			for v := 0; v < n; v++ {
@@ -247,14 +290,14 @@ func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre
 			}
 			st := newCountState(g, active, side, cint, bonus)
 			k := intBudget / 2
-			st.greedyFill(k)
-			st.localSearch(opts.LocalSearchRounds)
+			st.greedyFill(gu, k)
+			st.localSearch(gu, opts.LocalSearchRounds)
 			st.refill(true)  // L side, by per-copy degree desc
 			st.refill(false) // R side
 			var iterBest Result
 			for _, cand := range st.finalize(intBudget) {
 				nodes := append(append([]int(nil), pre...), cand...)
-				nodes = greedyComplete(g, fullBudget, nodes)
+				nodes = greedyComplete(gu, g, fullBudget, nodes)
 				iterBest = better(iterBest, resultFor(g, nodes))
 			}
 			results[iter] = iterBest
@@ -269,8 +312,8 @@ func coreSolve(g *wgraph.Graph, budget, fullBudget float64, excluded []bool, pre
 
 // greedyComplete spends any leftover budget on the best marginal
 // weight-per-cost additions (heap-based; see greedyGrow).
-func greedyComplete(g *wgraph.Graph, budget float64, nodes []int) []int {
-	return greedyGrow(g, budget, nodes)
+func greedyComplete(gu *guard.Guard, g *wgraph.Graph, budget float64, nodes []int) []int {
+	return greedyGrow(gu, g, budget, nodes)
 }
 
 // countState is the implicit blow-up graph Ĝ: every active node v stands
@@ -340,7 +383,7 @@ func (st *countState) totalSelected() int {
 // the copy with the maximum marginal per-copy degree (lazy max-heap). When
 // no positive gain exists it seeds with the cross-edge of the highest
 // per-copy-pair weight.
-func (st *countState) greedyFill(k int) {
+func (st *countState) greedyFill(gu *guard.Guard, k int) {
 	h := &gainHeap{}
 	heap.Init(h)
 	gain := make([]float64, len(st.s))
@@ -354,6 +397,9 @@ func (st *countState) greedyFill(k int) {
 	}
 	placed := 0
 	for placed < k {
+		if gu.Check() {
+			return
+		}
 		v := -1
 		for h.Len() > 0 {
 			it := heap.Pop(h).(gainItem)
@@ -417,9 +463,12 @@ func (st *countState) place(v int, gain []float64, h *gainHeap) {
 
 // localSearch moves single units between nodes while that improves the
 // count-space weight.
-func (st *countState) localSearch(rounds int) {
+func (st *countState) localSearch(gu *guard.Guard, rounds int) {
 	n := len(st.s)
 	for round := 0; round < rounds; round++ {
+		if gu.Check() {
+			return
+		}
 		// Weakest selected unit.
 		worst, worstD := -1, math.Inf(1)
 		for v := 0; v < n; v++ {

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/wgraph"
 )
 
@@ -68,7 +69,7 @@ func SolveGreedy(g *wgraph.Graph, budget float64) Result {
 			free = append(free, v)
 		}
 	}
-	return resultFor(g, greedyGrow(g, budget, free))
+	return resultFor(g, greedyGrow(nil, g, budget, free))
 }
 
 // greedyGrow extends start (taken as already selected, its cost counted)
@@ -76,7 +77,7 @@ func SolveGreedy(g *wgraph.Graph, budget float64) Result {
 // exhausted. Gains are tracked incrementally in a lazily revalidated heap:
 // since the remaining budget only shrinks, a node that does not fit can be
 // discarded permanently, and stale scores are re-pushed on pop.
-func greedyGrow(g *wgraph.Graph, budget float64, start []int) []int {
+func greedyGrow(gu *guard.Guard, g *wgraph.Graph, budget float64, start []int) []int {
 	n := g.NumNodes()
 	in := make([]bool, n)
 	var cost float64
@@ -124,6 +125,9 @@ func greedyGrow(g *wgraph.Graph, budget float64, start []int) []int {
 		}
 	}
 	for h.Len() > 0 {
+		if gu.Check() {
+			break
+		}
 		e := heap.Pop(h).(growEntry)
 		v := e.v
 		if in[v] {

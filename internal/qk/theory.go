@@ -74,7 +74,7 @@ func SolveTheory(g *wgraph.Graph, budget float64, opts Options) Result {
 		}
 		cheap = kept
 	}
-	best = better(best, resultFor(g, greedyComplete(g, budget, cheap)))
+	best = better(best, resultFor(g, greedyComplete(nil, g, budget, cheap)))
 
 	classOf := func(x float64) int {
 		if x <= 1 {
@@ -114,7 +114,7 @@ func SolveTheory(g *wgraph.Graph, budget float64, opts Options) Result {
 			cand = solveBipartiteClass(g, edges, budget, opts)
 		}
 		if len(cand) > 0 {
-			cand = greedyComplete(g, budget, cand)
+			cand = greedyComplete(nil, g, budget, cand)
 			best = better(best, resultFor(g, cand))
 		}
 	}
@@ -252,7 +252,7 @@ func procP2(sub *wgraph.Graph, inR []bool, budget, wR, cL float64, opts Options)
 	}
 	st := newCountState(sub, active, side, cint, make([]float64, n))
 	k := int(budget / cL)
-	st.greedyFill(k)
+	st.greedyFill(nil, k)
 	st.refill(true)
 	st.refill(false)
 	var out []int
