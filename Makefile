@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench figures figures-full cover fmt vet clean ci
+.PHONY: build test race bench figures figures-full cover fmt vet clean ci serve
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-## ci: what .github/workflows/ci.yml runs — build, tests, vet, and the
-## race detector over the concurrent/guarded packages.
+## ci: what .github/workflows/ci.yml runs — build (including the server
+## binary), tests, vet, and the race detector over the
+## concurrent/guarded packages and the serving stack.
 ci:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/bccserver
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/
+
+## serve: run a local solving server, cache pre-warmed with the
+## quickstart example instance (see README "Serving").
+serve:
+	$(GO) run ./cmd/bccserver -addr localhost:8080 -warm examples/instances/quickstart.json
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -167,6 +167,13 @@ func Synthetic(seed int64, nQueries int, budget float64) *Instance {
 	return dataset.Synthetic(seed, nQueries, budget)
 }
 
+// Fingerprint returns the canonical hash identifying the instance's
+// problem content ⟨Q,U,C,B⟩: stable across query/property/cost ordering,
+// different whenever any utility, cost, or the budget changes. It is the
+// cache-key prefix of the solving service (internal/solvecache) and the
+// value printed by bccsolve -fingerprint.
+func Fingerprint(in *Instance) string { return in.Fingerprint() }
+
 // ReadInstance parses a JSON instance (see internal/dataset.FileFormat).
 func ReadInstance(r io.Reader) (*Instance, error) { return dataset.Read(r) }
 

@@ -1,0 +1,122 @@
+// Command bccserver runs the BCC solving service: a JSON HTTP API over
+// the solver façades with canonical instance fingerprinting, a
+// single-flight solution cache, a bounded worker pool, per-request
+// deadlines (HTTP 200 + status=deadline carrying the anytime result),
+// load-shedding with 429, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	bccserver [-addr :8080] [-workers N] [-queue N]
+//	          [-cache-size N] [-cache-ttl 15m]
+//	          [-deadline 30s] [-max-deadline 2m]
+//	          [-warm instance.json] [-drain 15s]
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve one instance (see internal/server.SolveRequest)
+//	POST /v1/solve/batch  solve many in one call
+//	GET  /v1/healthz      liveness
+//	GET  /v1/statz        counters: cache hits, queue depth, shed requests, ...
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 4, "solver worker pool size")
+		queue       = flag.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+		cacheSize   = flag.Int("cache-size", 1024, "solution cache capacity in entries (negative disables)")
+		cacheTTL    = flag.Duration("cache-ttl", 15*time.Minute, "solution cache entry TTL (0 disables expiry)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request solve deadline")
+		maxDeadline = flag.Duration("max-deadline", 2*time.Minute, "cap on any requested deadline")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		maxBatch    = flag.Int("max-batch", 64, "cap on requests per batch call")
+		warm        = flag.String("warm", "", "JSON instance to solve and cache at startup (e.g. examples/instances/quickstart.json)")
+		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheSize:       *cacheSize,
+		CacheTTL:        *cacheTTL,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxBodyBytes:    *maxBody,
+		MaxBatch:        *maxBatch,
+	})
+
+	if *warm != "" {
+		if err := warmCache(srv, *warm); err != nil {
+			log.Fatalf("bccserver: warming cache from %s: %v", *warm, err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("bccserver: listening on %s (workers=%d queue=%d cache=%d ttl=%v)",
+		*addr, *workers, *queue, *cacheSize, *cacheTTL)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("bccserver: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("bccserver: signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("bccserver: shutdown: %v", err)
+		}
+		srv.Close() // drain queued and in-flight solves
+		log.Printf("bccserver: drained, bye")
+	}
+}
+
+// warmCache solves the given instance file through the full service path
+// so the first real request for it is a cache hit, and logs the
+// fingerprint so operators can correlate with bccsolve -fingerprint.
+func warmCache(srv *server.Server, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ff dataset.FileFormat
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return fmt.Errorf("decoding instance: %w", err)
+	}
+	resp, apiErr := srv.Solve(context.Background(), &server.SolveRequest{Instance: ff})
+	if apiErr != nil {
+		return apiErr
+	}
+	log.Printf("bccserver: warmed cache with %s (fingerprint=%s utility=%.2f cost=%.2f status=%s)",
+		path, resp.Fingerprint, resp.Utility, resp.Cost, resp.Status)
+	return nil
+}

@@ -33,6 +33,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the selected classifiers")
 		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
 		timeout    = flag.Duration("timeout", 0, "deadline for the solve; the best solution found so far is returned (exit code 3 when truncated)")
+		fprint     = flag.Bool("fingerprint", false, "print the instance's canonical hash (the bccserver cache key prefix) and exit")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -46,6 +47,10 @@ func main() {
 	}
 	if *budget >= 0 {
 		in = in.WithBudget(*budget)
+	}
+	if *fprint {
+		fmt.Println(bcc.Fingerprint(in))
+		return
 	}
 
 	ctx := context.Background()

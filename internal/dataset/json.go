@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/model"
 	"repro/internal/propset"
@@ -87,12 +88,28 @@ func Read(r io.Reader) (*model.Instance, error) {
 // Utilities must be finite (a NaN or ±Inf utility silently corrupts every
 // downstream greedy comparison) and costs must be non-negative numbers;
 // an impractical classifier is expressed with the Inf flag, not a raw
-// infinity.
+// infinity. A property repeated inside one query and a query repeated in
+// the file are both rejected: each is almost certainly a generator bug,
+// and silently deduplicating (or silently merging utilities) would let it
+// pass unnoticed.
 func FromFormat(ff FileFormat) (*model.Instance, error) {
+	seenQueries := make(map[string]int, len(ff.Queries))
 	for i, q := range ff.Queries {
 		if math.IsNaN(q.Utility) || math.IsInf(q.Utility, 0) {
 			return nil, fmt.Errorf("dataset: query %d (%v): utility %v is not finite", i, q.Props, q.Utility)
 		}
+		props := append([]string(nil), q.Props...)
+		sort.Strings(props)
+		for j := 1; j < len(props); j++ {
+			if props[j] == props[j-1] {
+				return nil, fmt.Errorf("dataset: query %d (%v): duplicate property %q", i, q.Props, props[j])
+			}
+		}
+		key := strings.Join(props, "\x00")
+		if first, dup := seenQueries[key]; dup {
+			return nil, fmt.Errorf("dataset: query %d (%v): duplicate of query %d", i, q.Props, first)
+		}
+		seenQueries[key] = i
 	}
 	for i, c := range ff.Costs {
 		if c.Inf {

@@ -63,6 +63,33 @@ func TestFromFormatRejectsBadCosts(t *testing.T) {
 	}
 }
 
+func TestFromFormatRejectsDuplicatePropertyInQuery(t *testing.T) {
+	ff := validFormat()
+	ff.Queries[1].Props = []string{"b", "a", "b"}
+	_, err := FromFormat(ff)
+	if err == nil {
+		t.Fatal("query with a repeated property accepted")
+	}
+	// The error must name the offending query and the repeated property.
+	if !strings.Contains(err.Error(), "query 1") || !strings.Contains(err.Error(), `"b"`) {
+		t.Errorf("error does not name query 1 / property b: %v", err)
+	}
+}
+
+func TestFromFormatRejectsDuplicateQueries(t *testing.T) {
+	ff := validFormat()
+	// Same property set as query 0, in a different order: still the same
+	// conjunction, so still a duplicate.
+	ff.Queries = append(ff.Queries, FileQuery{Props: []string{"b", "a"}, Utility: 7})
+	_, err := FromFormat(ff)
+	if err == nil {
+		t.Fatal("duplicate query accepted")
+	}
+	if !strings.Contains(err.Error(), "query 2") || !strings.Contains(err.Error(), "query 0") {
+		t.Errorf("error does not name both indices: %v", err)
+	}
+}
+
 func TestFromFormatAllowsInfFlag(t *testing.T) {
 	ff := validFormat()
 	// The Inf flag is the sanctioned spelling for impractical classifiers;

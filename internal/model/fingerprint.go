@@ -1,0 +1,100 @@
+package model
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"repro/internal/propset"
+)
+
+// fingerprintVersion tags the canonical encoding hashed by Fingerprint.
+// Bump it whenever the encoding changes so old cache entries cannot be
+// mistaken for current ones.
+const fingerprintVersion = "bccfp/1"
+
+// Fingerprint returns a stable canonical hash of the problem content
+// ⟨Q, U, C, B⟩: the query set with utilities, the enumerated candidate
+// classifier set CL with effective costs, and the budget.
+//
+// The hash is independent of representation accidents — the order queries
+// were added, the order property names were interned (and hence the dense
+// ID assignment), and the order costs were declared — because every
+// property set is canonicalized to its sorted property *names* and both
+// the query and classifier sections are sorted by that canonical form
+// before hashing. Two instances receive the same fingerprint iff they
+// describe the same problem, so the fingerprint is a sound cache key for
+// solver results: classifiers excluded via an infinite cost are absent
+// from CL and therefore (correctly) do not contribute.
+//
+// Floats are hashed by their exact IEEE-754 bit patterns: any change to a
+// utility, a cost, or the budget — however small — changes the hash.
+func (in *Instance) Fingerprint() string {
+	h := sha256.New()
+	var word [8]byte
+	writeUint := func(v uint64) {
+		binary.BigEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	writeFloat := func(f float64) { writeUint(math.Float64bits(f)) }
+	writeStr := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	// canon renders a property set as its length-prefixed, lexicographically
+	// sorted property names — a universe-independent canonical form.
+	canon := func(s propset.Set) string {
+		names := make([]string, s.Len())
+		for i, id := range s {
+			names[i] = in.universe.Name(id)
+		}
+		sort.Strings(names)
+		var buf bytes.Buffer
+		var n [8]byte
+		for _, name := range names {
+			binary.BigEndian.PutUint64(n[:], uint64(len(name)))
+			buf.Write(n[:])
+			buf.WriteString(name)
+		}
+		return buf.String()
+	}
+
+	writeStr(fingerprintVersion)
+	writeFloat(in.budget)
+
+	type row struct {
+		key string
+		val float64
+	}
+	sortRows := func(rows []row) {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	}
+	writeRows := func(tag string, rows []row) {
+		writeStr(tag)
+		writeUint(uint64(len(rows)))
+		for _, r := range rows {
+			writeStr(r.key)
+			writeFloat(r.val)
+		}
+	}
+
+	queries := make([]row, len(in.queries))
+	for i, q := range in.queries {
+		queries[i] = row{canon(q.Props), q.Utility}
+	}
+	sortRows(queries)
+	writeRows("Q", queries)
+
+	classifiers := make([]row, len(in.classifiers))
+	for i, c := range in.classifiers {
+		classifiers[i] = row{canon(c.Props), c.Cost}
+	}
+	sortRows(classifiers)
+	writeRows("C", classifiers)
+
+	return hex.EncodeToString(h.Sum(nil))
+}

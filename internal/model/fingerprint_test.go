@@ -1,0 +1,132 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickstartInstance is the README's running example, built with the
+// given insertion order for queries, costs, and (implicitly) property
+// interning.
+func quickstartInstance(reordered bool) *Instance {
+	b := NewBuilder()
+	if !reordered {
+		b.AddQuery(8, "wooden", "table")
+		b.AddQuery(5, "running", "shoes")
+		b.SetCost(4, "wooden")
+		b.SetCost(2, "table")
+		b.SetCost(3, "wooden", "table")
+		b.SetCost(6, "running", "shoes")
+	} else {
+		// Same problem: different query order, different property order
+		// inside each query (so the universe interns IDs differently),
+		// different cost declaration order.
+		b.AddQuery(5, "shoes", "running")
+		b.AddQuery(8, "table", "wooden")
+		b.SetCost(6, "shoes", "running")
+		b.SetCost(3, "table", "wooden")
+		b.SetCost(2, "table")
+		b.SetCost(4, "wooden")
+	}
+	return b.MustInstance(9)
+}
+
+// Golden values pin the canonical encoding (version bccfp/1). If either
+// assertion fails without a deliberate encoding change, cache keys have
+// silently diverged between binary versions — a correctness bug for any
+// deployment with a shared or persisted cache. On a deliberate change,
+// bump fingerprintVersion and regenerate.
+func TestFingerprintGolden(t *testing.T) {
+	if got, want := quickstartInstance(false).Fingerprint(),
+		"709f37d3adfd5185612acad795b0f56b9b0611f9e2f27e1a9a2107e77fb37fee"; got != want {
+		t.Errorf("quickstart fingerprint = %s, want %s", got, want)
+	}
+	b := NewBuilder()
+	b.AddQuery(1, "a")
+	if got, want := b.MustInstance(1).Fingerprint(),
+		"49bb0dd651b7369af64736b8c4f38a97d705cfad78d1daa48c11037dd26c61a9"; got != want {
+		t.Errorf("singleton fingerprint = %s, want %s", got, want)
+	}
+}
+
+func TestFingerprintStableAcrossReordering(t *testing.T) {
+	a, b := quickstartInstance(false), quickstartInstance(true)
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Errorf("reordered construction changed the fingerprint:\n  %s\n  %s", fa, fb)
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	fp := quickstartInstance(false).Fingerprint()
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Errorf("fingerprint %q is not lowercase hex sha256", fp)
+	}
+}
+
+// Any change to a utility, a cost, or the budget must change the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := quickstartInstance(false).Fingerprint()
+
+	variants := map[string]func(*Builder){
+		"utility changed": func(b *Builder) {
+			b.AddQuery(9, "wooden", "table") // 8 → 9
+			b.AddQuery(5, "running", "shoes")
+		},
+		"extra query": func(b *Builder) {
+			b.AddQuery(8, "wooden", "table")
+			b.AddQuery(5, "running", "shoes")
+			b.AddQuery(1, "table")
+		},
+	}
+	seen := map[string]string{base: "base"}
+	for name, addQueries := range variants {
+		b := NewBuilder()
+		addQueries(b)
+		b.SetCost(4, "wooden")
+		b.SetCost(2, "table")
+		b.SetCost(3, "wooden", "table")
+		b.SetCost(6, "running", "shoes")
+		fp := b.MustInstance(9).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	mk := func(mutate func(*Builder)) string {
+		b := NewBuilder()
+		b.AddQuery(8, "wooden", "table")
+		b.AddQuery(5, "running", "shoes")
+		b.SetCost(4, "wooden")
+		b.SetCost(2, "table")
+		b.SetCost(3, "wooden", "table")
+		b.SetCost(6, "running", "shoes")
+		if mutate != nil {
+			mutate(b)
+		}
+		return b.MustInstance(9).Fingerprint()
+	}
+	if fp := mk(func(b *Builder) { b.SetCost(5, "wooden") }); fp == base {
+		t.Error("cost change did not change the fingerprint")
+	}
+	if fp := quickstartInstance(false).WithBudget(10).Fingerprint(); fp == base {
+		t.Error("budget change did not change the fingerprint")
+	}
+	if fp := mk(nil); fp != base {
+		t.Error("identical rebuild produced a different fingerprint")
+	}
+}
+
+// WithBudget shares the underlying state; fingerprints of the original
+// and the copy must differ only through the budget.
+func TestFingerprintWithBudgetIsolated(t *testing.T) {
+	in := quickstartInstance(false)
+	fp9 := in.Fingerprint()
+	in10 := in.WithBudget(10)
+	if in10.Fingerprint() == fp9 {
+		t.Error("budget copy shares the fingerprint")
+	}
+	if in.Fingerprint() != fp9 {
+		t.Error("fingerprinting the budget copy mutated the original")
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import "sync"
+
+// Pool is a bounded worker pool with a bounded admission queue. Admission
+// is non-blocking: when every worker is busy and the queue is full,
+// TrySubmit reports false and the caller sheds load (the HTTP layer
+// answers 429) instead of letting latency grow without bound.
+type Pool struct {
+	mu     sync.RWMutex
+	closed bool
+	jobs   chan func()
+	wg     sync.WaitGroup
+
+	workers int
+}
+
+// NewPool starts workers goroutines consuming from a queue of the given
+// capacity. workers < 1 is clamped to 1; queue < 0 to 0 (admission then
+// succeeds only when a worker is ready to receive immediately).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{jobs: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job without blocking. It reports false when the
+// queue is full or the pool is closed.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops admission, drains every queued job, and waits for the
+// workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCapacity reports the admission queue capacity.
+func (p *Pool) QueueCapacity() int { return cap(p.jobs) }

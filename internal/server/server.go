@@ -1,0 +1,371 @@
+// Package server is the HTTP solving service: a JSON API over the BCC
+// solver façades with canonical instance fingerprinting, a solution
+// cache with single-flight deduplication (internal/solvecache), a
+// bounded worker pool with a bounded admission queue, per-request
+// deadlines threaded into the anytime SolveCtx entry points, and
+// load-shedding with 429 when the queue is full.
+//
+// Request flow for POST /v1/solve:
+//
+//	decode → validate (dataset.FromFormat) → Fingerprint → cache lookup
+//	→ single-flight join or pool admission → SolveCtx under the request
+//	deadline → respond (HTTP 200 even on deadline, carrying the anytime
+//	result with status=deadline) → cache Complete results
+//
+// Only Complete results are cached: a deadline-truncated plan is valid
+// but inferior, and must not shadow the full solution for later callers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bcc "repro"
+	"repro/internal/dataset"
+	"repro/internal/solvecache"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the solver pool size (default: 4).
+	Workers int
+	// Queue is the admission queue capacity (default: 64). A request
+	// arriving with all workers busy and the queue full is answered 429.
+	Queue int
+	// CacheSize is the solution cache capacity in entries (default 1024;
+	// negative disables caching, single-flight still applies).
+	CacheSize int
+	// CacheTTL bounds the life of a cache entry (default 15m; <= 0 means
+	// no expiry).
+	CacheTTL time.Duration
+	// DefaultDeadline applies when a request carries no deadline_ms
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps any requested deadline (default 2m).
+	MaxDeadline time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatch caps the number of requests in one batch (default 64).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 15 * time.Minute
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Server wires the cache, the worker pool and the HTTP handlers. Create
+// one with New, mount Handler, and Close it to drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *solvecache.Cache
+	pool  *Pool
+	start time.Time
+
+	closeOnce sync.Once
+
+	requests        atomic.Uint64 // solve requests admitted to solveOne (batch items count)
+	solves          atomic.Uint64 // underlying solver executions on the pool
+	rejected        atomic.Uint64 // 429 load-shed answers
+	badRequests     atomic.Uint64 // 4xx validation failures
+	deadlineResults atomic.Uint64 // 200 answers with a non-complete status
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		cache: solvecache.New(cfg.CacheSize, cfg.CacheTTL),
+		pool:  NewPool(cfg.Workers, cfg.Queue),
+		start: time.Now(),
+	}
+}
+
+// Close stops admission and drains in-flight and queued solves.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { s.pool.Close() })
+}
+
+// Cache exposes the solution cache (tests and the warm-up path).
+func (s *Server) Cache() *solvecache.Cache { return s.cache }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	return mux
+}
+
+// errQueueFull is the sentinel mapped to HTTP 429.
+var errQueueFull = errorf(http.StatusTooManyRequests, "server overloaded: worker queue full, retry later")
+
+// Solve runs one request through the full service path (cache,
+// single-flight, pool, deadline). It is the programmatic form of
+// POST /v1/solve, used by the HTTP handler, the batch handler, and the
+// cache warm-up in cmd/bccserver.
+func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveResponse, *Error) {
+	s.requests.Add(1)
+	start := time.Now()
+
+	algo := req.Algo
+	if algo == "" {
+		algo = "abcc"
+	}
+	if !validAlgos[algo] {
+		s.badRequests.Add(1)
+		return nil, errorf(http.StatusBadRequest, "unknown algo %q (want abcc, rand, ig1, ig2, gmc3 or ecc)", algo)
+	}
+	if algo == "gmc3" && !(req.Target > 0) {
+		s.badRequests.Add(1)
+		return nil, errorf(http.StatusBadRequest, "algo gmc3 requires a positive target, got %v", req.Target)
+	}
+	in, err := dataset.FromFormat(req.Instance)
+	if err != nil {
+		s.badRequests.Add(1)
+		return nil, errorf(http.StatusBadRequest, "invalid instance: %v", err)
+	}
+	if req.Budget != nil {
+		b := *req.Budget
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			s.badRequests.Add(1)
+			return nil, errorf(http.StatusBadRequest, "invalid budget override %v", b)
+		}
+		in = in.WithBudget(b)
+	}
+
+	fp := in.Fingerprint()
+	key := cacheKey(fp, algo, req)
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(parent, deadline)
+	defer cancel()
+
+	lead := func() (any, bool, error) {
+		resCh := make(chan *SolveResponse, 1)
+		admitted := s.pool.TrySubmit(func() {
+			resCh <- runSolve(ctx, in, algo, req, fp)
+		})
+		if !admitted {
+			return nil, false, errQueueFull
+		}
+		s.solves.Add(1)
+		resp := <-resCh
+		// Cache only full solves: a truncated anytime plan must not
+		// shadow the complete solution for later identical requests.
+		return resp, resp.Status == bcc.Complete.String(), nil
+	}
+
+	var (
+		value   any
+		outcome solvecache.Outcome
+		runErr  error
+	)
+	if req.NoCache {
+		value, _, runErr = lead()
+		outcome = solvecache.Miss
+	} else {
+		value, outcome, runErr = s.cache.Do(ctx, key, lead)
+	}
+
+	if runErr != nil {
+		var apiErr *Error
+		if errors.As(runErr, &apiErr) {
+			if apiErr == errQueueFull {
+				s.rejected.Add(1)
+			}
+			return nil, apiErr
+		}
+		if errors.Is(runErr, context.DeadlineExceeded) || errors.Is(runErr, context.Canceled) {
+			// A waiter abandoned by its deadline while sharing another
+			// request's solve: answer 200 with the (trivially feasible)
+			// empty anytime plan, mirroring the solver's own contract.
+			resp := &SolveResponse{
+				Fingerprint: fp,
+				Algo:        algo,
+				Status:      bcc.DeadlineExceeded.String(),
+				Budget:      in.Budget(),
+				Queries:     in.NumQueries(),
+				Shared:      true,
+				SolverError: runErr.Error(),
+			}
+			s.deadlineResults.Add(1)
+			resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+			return resp, nil
+		}
+		return nil, errorf(http.StatusInternalServerError, "solve failed: %v", runErr)
+	}
+
+	tmpl, ok := value.(*SolveResponse)
+	if !ok || tmpl == nil {
+		return nil, errorf(http.StatusInternalServerError, "solve produced no result")
+	}
+	// Copy the shared/cached template before per-request mutation; the
+	// classifier slice is shared read-only.
+	resp := *tmpl
+	resp.Cached = outcome == solvecache.Hit
+	resp.Shared = outcome == solvecache.Shared
+	if !req.IncludePlan {
+		resp.Classifiers = nil
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.Status != bcc.Complete.String() {
+		s.deadlineResults.Add(1)
+	}
+	return &resp, nil
+}
+
+// cacheKey extends the instance fingerprint with every request parameter
+// that changes the answer. The deadline is deliberately excluded: it
+// changes how long we search, not what the full answer is, and truncated
+// results are never stored.
+func cacheKey(fp, algo string, req *SolveRequest) string {
+	return fmt.Sprintf("%s|a=%s|s=%d|t=%x", fp, algo, req.Seed, math.Float64bits(req.Target))
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if apiErr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, apiErr.Code, apiErr)
+		return
+	}
+	resp, apiErr := s.Solve(r.Context(), &req)
+	if apiErr != nil {
+		writeJSON(w, apiErr.Code, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if apiErr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &batch); apiErr != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, apiErr.Code, apiErr)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorf(http.StatusBadRequest, "batch has no requests"))
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorf(http.StatusBadRequest, "batch of %d exceeds the %d-request cap", len(batch.Requests), s.cfg.MaxBatch))
+		return
+	}
+	// Items run concurrently; the pool bounds actual solver parallelism
+	// and identical items collapse through single-flight.
+	items := make([]BatchItem, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, apiErr := s.Solve(r.Context(), &batch.Requests[i])
+			if apiErr != nil {
+				items[i] = BatchItem{Error: apiErr.Msg, Code: apiErr.Code}
+				return
+			}
+			items[i] = BatchItem{Result: resp}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Statz is the GET /v1/statz body.
+type Statz struct {
+	UptimeSeconds   float64          `json:"uptime_seconds"`
+	Workers         int              `json:"workers"`
+	QueueCapacity   int              `json:"queue_capacity"`
+	QueueDepth      int              `json:"queue_depth"`
+	Requests        uint64           `json:"requests"`
+	Solves          uint64           `json:"solves"`
+	Rejected        uint64           `json:"rejected"`
+	BadRequests     uint64           `json:"bad_requests"`
+	DeadlineResults uint64           `json:"deadline_results"`
+	Cache           solvecache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Statz{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Workers:         s.pool.Workers(),
+		QueueCapacity:   s.pool.QueueCapacity(),
+		QueueDepth:      s.pool.QueueDepth(),
+		Requests:        s.requests.Load(),
+		Solves:          s.solves.Load(),
+		Rejected:        s.rejected.Load(),
+		BadRequests:     s.badRequests.Load(),
+		DeadlineResults: s.deadlineResults.Load(),
+		Cache:           s.cache.Stats(),
+	})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) *Error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return errorf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

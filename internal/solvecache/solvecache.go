@@ -1,0 +1,224 @@
+// Package solvecache is the solution-reuse layer of the solving service:
+// an LRU cache with optional TTL keyed by canonical instance fingerprints
+// (model.Instance.Fingerprint plus solver parameters), combined with
+// single-flight deduplication so that concurrent identical requests share
+// one underlying solve instead of each paying for their own.
+//
+// The cache is value-agnostic: the server stores prepared response
+// objects, but any immutable value works. Callers must treat cached
+// values as read-only — a value handed out on a hit is shared between
+// every requester that hits the same key.
+package solvecache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Outcome reports how Do obtained its value.
+type Outcome int
+
+const (
+	// Miss: the caller was the flight leader and ran fn itself.
+	Miss Outcome = iota
+	// Hit: the value came straight from the cache.
+	Hit
+	// Shared: the caller joined an in-flight solve started by another
+	// caller and received that solve's value.
+	Shared
+)
+
+// ErrLeaderAborted is returned to waiters when the flight leader's fn
+// terminated abnormally (panicked) without producing a value.
+var ErrLeaderAborted = errors.New("solvecache: in-flight leader aborted")
+
+// Stats is a snapshot of the cache counters, JSON-ready for /v1/statz.
+type Stats struct {
+	// Hits counts lookups answered from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that became flight leaders and ran fn.
+	Misses uint64 `json:"misses"`
+	// SharedWaits counts Do calls that joined another caller's flight.
+	SharedWaits uint64 `json:"shared_waits"`
+	// Stored counts values written into the cache.
+	Stored uint64 `json:"stored"`
+	// Evictions counts entries dropped by LRU capacity pressure.
+	Evictions uint64 `json:"evictions"`
+	// Expirations counts entries dropped because their TTL lapsed.
+	Expirations uint64 `json:"expirations"`
+	// Entries is the current number of live cached entries.
+	Entries int `json:"entries"`
+	// InFlight is the current number of single-flight leaders running.
+	InFlight int `json:"in_flight"`
+}
+
+type entry struct {
+	key     string
+	value   any
+	expires time.Time // zero means no expiry
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is an LRU+TTL solution cache with single-flight deduplication.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	lru      *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	flights  map[string]*flight
+	now      func() time.Time // injectable clock for tests
+
+	stats Stats
+}
+
+// New returns a cache holding at most capacity entries, each for at most
+// ttl. capacity <= 0 disables storage (single-flight still deduplicates
+// concurrent identical requests); ttl <= 0 disables expiry.
+func New(capacity int, ttl time.Duration) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+		now:      time.Now,
+	}
+}
+
+// Get returns the cached value for key, refreshing its LRU position.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(key)
+}
+
+func (c *Cache) getLocked(key string) (any, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.stats.Expirations++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Put stores value under key, evicting the least recently used entry when
+// the cache is over capacity. A no-op when storage is disabled.
+func (c *Cache) Put(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, value)
+}
+
+func (c *Cache) putLocked(key string, value any) {
+	if c.capacity <= 0 {
+		return
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		e.value, e.expires = value, expires
+		c.lru.MoveToFront(el)
+		c.stats.Stored++
+		return
+	}
+	el := c.lru.PushFront(&entry{key: key, value: value, expires: expires})
+	c.entries[key] = el
+	c.stats.Stored++
+	for c.lru.Len() > c.capacity {
+		c.removeLocked(c.lru.Back())
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.lru.Remove(el)
+	delete(c.entries, el.Value.(*entry).key)
+}
+
+// Len reports the number of live entries (including not-yet-collected
+// expired ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.InFlight = len(c.flights)
+	return s
+}
+
+// Do returns the value for key: from the cache on a hit, from an
+// in-flight identical request when one exists (waiting for it to finish),
+// and otherwise by running fn as the flight leader. fn reports whether
+// its value may be stored — the server declines to cache truncated
+// (non-Complete) results so a degraded plan never masks the full one.
+//
+// A waiter whose ctx fires before the leader finishes gets ctx.Err();
+// the leader itself runs fn to completion regardless of ctx, so its
+// value still lands in the cache for the next caller.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (value any, cacheable bool, err error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if v, ok := c.getLocked(key); ok {
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.SharedWaits++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, Shared, f.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = ErrLeaderAborted
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	value, cacheable, err := fn()
+	f.val, f.err = value, err
+	completed = true
+	if err == nil && cacheable {
+		c.Put(key, value)
+	}
+	return value, Miss, err
+}

@@ -1,0 +1,258 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRUEviction(t *testing.T) {
+	c := New(2, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity pressure")
+	}
+	// a was just refreshed, so adding c must evict b.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing right after Put")
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Put("k", "v")
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry missing before expiry")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("entry served after its TTL lapsed")
+	}
+	s := c.Stats()
+	if s.Expirations != 1 {
+		t.Errorf("Expirations = %d, want 1", s.Expirations)
+	}
+	if s.Entries != 0 {
+		t.Errorf("Entries = %d after expiry collection, want 0", s.Entries)
+	}
+}
+
+func TestZeroCapacityDisablesStorageNotSingleFlight(t *testing.T) {
+	c := New(0, 0)
+	c.Put("k", "v")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache stored a value")
+	}
+	v, outcome, err := c.Do(context.Background(), "k", func() (any, bool, error) {
+		return "solved", true, nil
+	})
+	if err != nil || v != "solved" || outcome != Miss {
+		t.Fatalf("Do = (%v, %v, %v)", v, outcome, err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-capacity cache stored the Do result")
+	}
+}
+
+func TestDoHitMissAndNonCacheable(t *testing.T) {
+	c := New(8, 0)
+	calls := 0
+	fn := func() (any, bool, error) { calls++; return calls, true, nil }
+
+	v, outcome, err := c.Do(context.Background(), "k", fn)
+	if err != nil || v.(int) != 1 || outcome != Miss {
+		t.Fatalf("first Do = (%v, %v, %v)", v, outcome, err)
+	}
+	v, outcome, err = c.Do(context.Background(), "k", fn)
+	if err != nil || v.(int) != 1 || outcome != Hit {
+		t.Fatalf("second Do = (%v, %v, %v), want cached 1", v, outcome, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+
+	// Non-cacheable values are returned but never stored.
+	uncached := func() (any, bool, error) { calls++; return calls, false, nil }
+	if v, _, _ := c.Do(context.Background(), "tmp", uncached); v.(int) != 2 {
+		t.Fatalf("uncacheable Do = %v", v)
+	}
+	if v, _, _ := c.Do(context.Background(), "tmp", uncached); v.(int) != 3 {
+		t.Fatalf("uncacheable Do re-ran = %v, want fresh 3", v)
+	}
+}
+
+func TestDoErrorNotStored(t *testing.T) {
+	c := New(8, 0)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() (any, bool, error) {
+		return nil, true, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed Do left a cache entry")
+	}
+}
+
+// TestSingleFlight proves the core serving property: N concurrent
+// identical requests run fn exactly once and all observe its value.
+func TestSingleFlight(t *testing.T) {
+	c := New(8, 0)
+	const n = 16
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+
+	fn := func() (any, bool, error) {
+		calls.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return "answer", true, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	outcomes := make([]Outcome, n)
+	wg.Add(1)
+	go func() { // the leader
+		defer wg.Done()
+		results[0], outcomes[0], _ = c.Do(context.Background(), "k", fn)
+	}()
+	<-started // leader is inside fn; everyone else must join its flight
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], outcomes[i], _ = c.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Wait until every follower is registered, then release the leader.
+	deadline := time.After(5 * time.Second)
+	for c.Stats().SharedWaits < n-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("followers never registered: stats=%+v", c.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent identical requests", got, n)
+	}
+	var shared int
+	for i, r := range results {
+		if r != "answer" {
+			t.Fatalf("result[%d] = %v", i, r)
+		}
+		if outcomes[i] == Shared {
+			shared++
+		}
+	}
+	if shared != n-1 {
+		t.Errorf("shared outcomes = %d, want %d", shared, n-1)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.SharedWaits != n-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d shared waits", s, n-1)
+	}
+}
+
+// A waiter abandoned by its context must get ctx.Err and leave the
+// leader (and later callers) unharmed.
+func TestDoWaiterContextExpiry(t *testing.T) {
+	c := New(8, 0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() (any, bool, error) {
+			close(started)
+			<-release
+			return "late", true, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, outcome, err := c.Do(ctx, "k", func() (any, bool, error) {
+		t.Error("waiter ran fn despite an existing flight")
+		return nil, false, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || outcome != Shared {
+		t.Fatalf("waiter Do = (%v, %v), want Shared + DeadlineExceeded", outcome, err)
+	}
+
+	close(release)
+	// The leader's value must still land in the cache.
+	deadline := time.After(5 * time.Second)
+	for {
+		if v, ok := c.Get("k"); ok {
+			if v != "late" {
+				t.Fatalf("cached value = %v", v)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("leader value never reached the cache")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// A panicking leader must not strand its followers forever.
+func TestDoLeaderPanicReleasesWaiters(t *testing.T) {
+	c := New(8, 0)
+	started := make(chan struct{})
+	waiterDone := make(chan error, 1)
+
+	go func() {
+		defer func() { recover() }()
+		_, _, _ = c.Do(context.Background(), "k", func() (any, bool, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond) // let the waiter join
+			panic("leader died")
+		})
+	}()
+	<-started
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, bool, error) {
+			return "follower-led", true, nil
+		})
+		waiterDone <- err
+	}()
+
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, ErrLeaderAborted) {
+			t.Fatalf("waiter err = %v, want ErrLeaderAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stranded by a panicking leader")
+	}
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Errorf("InFlight = %d after the flight collapsed", s.InFlight)
+	}
+}
