@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench figures figures-full cover fmt vet clean ci serve
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ race:
 ## bench: every benchmark, including one run of each paper figure.
 bench:
 	$(GO) test -bench=. -benchmem -timeout=60m ./...
+
+## bench-smoke: run every benchmark exactly once (no unit tests) so CI
+## notices when a benchmark rots. Takes a few minutes on a laptop.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout=30m ./...
+
+## bench-json: regenerate BENCH_PR3.json, the versioned machine-readable
+## benchmark report (ns/op, allocs, per-stage time splits per algorithm).
+bench-json:
+	$(GO) run ./cmd/bccbench -bench-json BENCH_PR3.json
 
 ## figures: print the reproduced tables for every figure (Small preset).
 figures:
@@ -35,14 +45,16 @@ vet:
 	$(GO) vet ./...
 
 ## ci: what .github/workflows/ci.yml runs — build (including the server
-## binary), tests, vet, and the race detector over the
-## concurrent/guarded packages and the serving stack.
+## binary), tests, vet, the race detector over the concurrent/guarded
+## packages and the serving/observability stack, and a one-iteration
+## benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/
+	$(MAKE) bench-smoke
 
 ## serve: run a local solving server, cache pre-warmed with the
 ## quickstart example instance (see README "Serving").

@@ -7,6 +7,7 @@
 //	bccbench -fig 3b      # one experiment
 //	bccbench -full        # paper-scale dimensions (long-running)
 //	bccbench -seed 7      # different workload seeds
+//	bccbench -bench-json BENCH_PR3.json   # machine-readable ns/op + stage splits
 package main
 
 import (
@@ -17,16 +18,23 @@ import (
 	"time"
 
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment id (3a..3f, 4a..4f, insights); empty = all")
-		full    = flag.Bool("full", false, "paper-scale dimensions (long-running)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		timeout = flag.Duration("timeout", 0, "overall deadline; completed rows are still printed (exit code 3 when truncated)")
+		fig       = flag.String("fig", "", "experiment id (3a..3f, 4a..4f, insights); empty = all")
+		full      = flag.Bool("full", false, "paper-scale dimensions (long-running)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		timeout   = flag.Duration("timeout", 0, "overall deadline; completed rows are still printed (exit code 3 when truncated)")
+		benchJSON = flag.String("bench-json", "", "write a versioned JSON benchmark report ('-' for stdout) instead of running experiments")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("bccbench", obs.ReadBuild())
+		return
+	}
 
 	scale := exper.Small
 	if *full {
@@ -38,6 +46,14 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(ctx, *benchJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -64,4 +80,26 @@ func main() {
 		fmt.Println("status=deadline")
 		os.Exit(3)
 	}
+}
+
+// writeBenchJSON runs the machine-readable benchmark suite and writes the
+// report to path ('-' for stdout).
+func writeBenchJSON(ctx context.Context, path string, seed int64) error {
+	start := time.Now()
+	rep := exper.BenchJSON(ctx, seed)
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bccbench: bench-json (%d algorithms, schema %s) in %v\n",
+		len(rep.Algorithms), rep.Schema, time.Since(start).Round(time.Millisecond))
+	return nil
 }

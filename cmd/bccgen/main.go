@@ -13,17 +13,23 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		ds     = flag.String("dataset", "synthetic", "dataset: bb, private, synthetic, private-subset")
-		n      = flag.Int("n", 10000, "number of queries (synthetic only)")
-		budget = flag.Float64("budget", 5000, "budget to embed in the instance")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("out", "", "output path (default stdout)")
+		ds      = flag.String("dataset", "synthetic", "dataset: bb, private, synthetic, private-subset")
+		n       = flag.Int("n", 10000, "number of queries (synthetic only)")
+		budget  = flag.Float64("budget", 5000, "budget to embed in the instance")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("bccgen", obs.ReadBuild())
+		return
+	}
 
 	var in *model.Instance
 	switch *ds {

@@ -17,6 +17,10 @@
 //	POST /v1/solve/batch  solve many in one call
 //	GET  /v1/healthz      liveness
 //	GET  /v1/statz        counters: cache hits, queue depth, shed requests, ...
+//	GET  /metrics         Prometheus text exposition
+//
+// With -debug-addr a second listener serves net/http/pprof and /metrics,
+// kept off the main address so profiling never faces production traffic.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -49,8 +54,14 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "cap on requests per batch call")
 		warm        = flag.String("warm", "", "JSON instance to solve and cache at startup (e.g. examples/instances/quickstart.json)")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		debugAddr   = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /metrics")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("bccserver", obs.ReadBuild())
+		return
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -78,6 +89,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("bccserver: debug listener: %v", err)
+			}
+		}()
+		log.Printf("bccserver: debug endpoints (pprof, /metrics) on %s", *debugAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("bccserver: listening on %s (workers=%d queue=%d cache=%d ttl=%v)",
@@ -94,6 +120,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("bccserver: shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("bccserver: debug shutdown: %v", err)
+			}
 		}
 		srv.Close() // drain queued and in-flight solves
 		log.Printf("bccserver: drained, bye")

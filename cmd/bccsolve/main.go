@@ -9,6 +9,7 @@
 //	bccsolve -in instance.json -ecc
 //	bccsolve -in instance.json -plan plan.json   # machine-readable plan
 //	bccsolve -in instance.json -plan -           # human-readable plan
+//	bccsolve -in instance.json -trace            # per-stage timing on stderr
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	bcc "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -34,8 +36,14 @@ func main() {
 		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
 		timeout    = flag.Duration("timeout", 0, "deadline for the solve; the best solution found so far is returned (exit code 3 when truncated)")
 		fprint     = flag.Bool("fingerprint", false, "print the instance's canonical hash (the bccserver cache key prefix) and exit")
+		trace      = flag.Bool("trace", false, "print a per-stage timing breakdown on stderr after the solve")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("bccsolve", obs.ReadBuild())
+		return
+	}
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -58,6 +66,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var rec *obs.Recorder
+	if *trace {
+		rec = &obs.Recorder{}
+		ctx = obs.WithRecorder(ctx, rec)
 	}
 	status := bcc.Complete
 
@@ -101,6 +114,12 @@ func main() {
 		fmt.Printf("%s: utility=%.2f cost=%.2f budget=%.2f covered=%d/%d time=%v\n",
 			*algo, res.Utility, res.Cost, in.Budget(), res.Covered, in.NumQueries(), res.Duration)
 		sol = res.Solution
+	}
+
+	if *trace {
+		if err := rec.WriteTable(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+		}
 	}
 
 	if *verbose && sol != nil {

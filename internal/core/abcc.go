@@ -9,6 +9,7 @@ import (
 	"repro/internal/knapsack"
 	"repro/internal/mc3"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/propset"
 	"repro/internal/qk"
 )
@@ -157,6 +158,10 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 	start := time.Now()
 	opts = opts.withDefaults()
 	g := guard.New(ctx)
+	// Stage tracing: a nil recorder (no -trace, no /metrics interest in
+	// stage splits) keeps every instrumentation point at one branch.
+	rec := obs.FromContext(ctx)
+	opts.QK.Trace = rec
 
 	var t *cover.Tracker
 	iterations, pruned := 0, 0
@@ -201,16 +206,18 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 
 	var allowed map[string]bool
 	if !opts.DisablePruning {
+		t0 := rec.Start()
 		allowed, pruned = pruneClassifiers(g, t, opts)
+		rec.End(obs.StagePrune, t0, pruned)
 	}
 
 	// Line 2: half the budget for the first round.
-	phase(g, t, allowed, t.Remaining()/2+t.Cost(), opts)
+	phase(g, rec, t, allowed, t.Remaining()/2+t.Cost(), opts)
 	iterations++
 	if !opts.DisableMC3 {
-		mc3Improve(g, t)
+		mc3Improve(g, rec, t)
 	}
-	iterations += improveLoop(g, t, allowed, opts)
+	iterations += improveLoop(g, rec, t, allowed, opts)
 
 	if !opts.DisableGreedyFloor && !g.Tripped() {
 		// Greedy floor, refined: seed a second pipeline with the IG1
@@ -218,12 +225,14 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 		// further residual rounds. A^BCC therefore never trails the
 		// adaptive per-query greedy, and usually improves on it
 		// (documented in DESIGN.md).
+		t0 := rec.Start()
 		t2 := cover.New(in)
 		ig1Fill(g, t2)
 		if !opts.DisableMC3 {
-			mc3Improve(g, t2)
+			mc3Improve(g, rec, t2)
 		}
-		iterations += improveLoop(g, t2, allowed, opts)
+		iterations += improveLoop(g, rec, t2, allowed, opts)
+		rec.End(obs.StageGreedyFloor, t0, t2.CoveredCount())
 		if t2.Utility() > t.Utility() ||
 			(t2.Utility() == t.Utility() && t2.Cost() < t.Cost()) {
 			t = t2
@@ -237,23 +246,26 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 // the phase gains utility nor the MC3 local search frees budget, followed
 // by an IG1-style fill of any stranded budget. It returns the number of
 // rounds executed.
-func improveLoop(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, opts Options) int {
+func improveLoop(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker, allowed map[string]bool, opts Options) int {
 	in := t.Instance()
 	iterations := 0
 	for iterations < opts.MaxIterations && !g.Tripped() {
-		gained := phase(g, t, allowed, in.Budget(), opts)
+		t0 := rec.Start()
+		residual := in.NumQueries() - t.CoveredCount()
+		gained := phase(g, rec, t, allowed, in.Budget(), opts)
 		costBefore := t.Cost()
 		if !opts.DisableMC3 {
-			mc3Improve(g, t)
+			mc3Improve(g, rec, t)
 		}
 		iterations++
+		rec.End(obs.StageResidual, t0, residual)
 		if !gained && t.Cost() >= costBefore-1e-9 {
 			break
 		}
 	}
 	ig1Fill(g, t)
 	if !opts.DisableMC3 && !g.Tripped() {
-		mc3Improve(g, t)
+		mc3Improve(g, rec, t)
 		ig1Fill(g, t)
 	}
 	return iterations
@@ -262,7 +274,7 @@ func improveLoop(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, opts
 // phase solves BCC(1) (knapsack) and BCC(2) (QK) on the residual problem
 // with the given absolute cost ceiling, applies the better of the two
 // candidate selections, and reports whether utility increased.
-func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Options) bool {
+func phase(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker, allowed map[string]bool, ceiling float64, opts Options) bool {
 	budget := ceiling - t.Cost()
 	if budget <= 0 || g.Tripped() {
 		return false
@@ -271,7 +283,9 @@ func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling fl
 	sp := buildSubproblems(g, t, allowed)
 
 	// BCC(1): knapsack over 1-covers.
+	t0 := rec.Start()
 	kres := knapsack.SolveGuard(g, sp.items, budget, opts.Epsilon)
+	rec.End(obs.StageKnapsack, t0, len(sp.items))
 	var kadd []propset.Set
 	for _, i := range kres.Chosen {
 		kadd = append(kadd, sp.itemSets[i])
@@ -281,7 +295,9 @@ func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling fl
 	// 1-cover bonuses; see subproblems).
 	var qadd []propset.Set
 	if sp.graph.NumEdges() > 0 && !g.Tripped() {
+		t0 = rec.Start()
 		qres := qk.SolveHeuristicGuard(g, sp.graph, budget, opts.QK)
+		rec.End(obs.StageQK, t0, sp.graph.NumEdges())
 		qadd = sp.qkNodes(qres.Nodes)
 	}
 
@@ -302,13 +318,17 @@ func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling fl
 			add = append(add, s)
 		}
 		sp2 := buildSubproblems(g, c, allowed)
+		t0 := rec.Start()
 		k2 := knapsack.SolveGuard(g, sp2.items, ceiling-c.Cost(), opts.Epsilon)
+		rec.End(obs.StageKnapsack, t0, len(sp2.items))
 		for _, i := range k2.Chosen {
 			c.Add(sp2.itemSets[i])
 			add = append(add, sp2.itemSets[i])
 		}
 		if sp2.graph.NumEdges() > 0 && !g.Tripped() {
+			t0 = rec.Start()
 			q2 := qk.SolveHeuristicGuard(g, sp2.graph, ceiling-c.Cost(), opts.QK)
+			rec.End(obs.StageQK, t0, sp2.graph.NumEdges())
 			for _, probe := range sp2.qkNodes(q2.Nodes) {
 				if c.Cost()+t.Instance().Cost(probe) > ceiling+1e-9 {
 					continue
@@ -357,7 +377,7 @@ func phase(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, ceiling fl
 // the MC3 algorithm of [23] and adopts the result if it is strictly
 // cheaper (line 3 of Algorithm 1 — a local-search step; the MC3 output is
 // discarded when not an improvement).
-func mc3Improve(g *guard.Guard, t *cover.Tracker) {
+func mc3Improve(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker) {
 	covered := t.CoveredQueries()
 	if len(covered) == 0 || g.Tripped() {
 		return
@@ -365,6 +385,7 @@ func mc3Improve(g *guard.Guard, t *cover.Tracker) {
 	// A panic inside MC3 forfeits this improvement, not the whole run: the
 	// tracker is only mutated after the MC3 result passed the cost check.
 	defer g.Recover()
+	defer rec.End(obs.StageMC3, rec.Start(), len(covered))
 	in := t.Instance()
 	out := mc3.Solve(mc3.Input{
 		Queries: covered,

@@ -28,6 +28,7 @@ import (
 	"repro/internal/densest"
 	"repro/internal/guard"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/propset"
 	"repro/internal/wgraph"
 )
@@ -122,12 +123,15 @@ func SolveCtx(ctx context.Context, in *model.Instance) (res Result) {
 
 	// Candidate 2: densest subgraph over sub-classifiers.
 	if !g.Tripped() {
+		rec := obs.FromContext(ctx)
+		t0 := rec.Start()
 		var bestDS Result
 		if in.MaxQueryLength() <= 2 {
 			bestDS = solveGraphDS(g, in, start)
 		} else {
 			bestDS = solveHypergraphDS(g, in, start)
 		}
+		rec.End(obs.StageECC, t0, in.NumQueries())
 		if bestDS.Ratio > best.Ratio {
 			best = bestDS
 		}

@@ -1,0 +1,191 @@
+package exper
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+	"repro/internal/gmc3"
+	"repro/internal/obs"
+)
+
+// BenchSchema versions the machine-readable benchmark report so
+// downstream tooling can detect incompatible layout changes. Bump the
+// suffix whenever a field changes meaning or disappears.
+const BenchSchema = "bcc-bench/1"
+
+// StageSplit is one solver stage's share of a benchmark run, aggregated
+// over every repetition (see obs.Recorder).
+type StageSplit struct {
+	Stage   string `json:"stage"`
+	Calls   int64  `json:"calls"`
+	TotalNs int64  `json:"total_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	Size    int64  `json:"size"`
+}
+
+// AlgoBench is one algorithm's benchmark row: classic ns/op numbers plus
+// the quality of the solution it produced and, for the staged solvers,
+// where the time went.
+type AlgoBench struct {
+	Algo        string       `json:"algo"`
+	Runs        int          `json:"runs"`
+	NsPerOp     int64        `json:"ns_per_op"`
+	AllocsPerOp uint64       `json:"allocs_per_op"`
+	BytesPerOp  uint64       `json:"bytes_per_op"`
+	Utility     float64      `json:"utility"`
+	Cost        float64      `json:"cost"`
+	Stages      []StageSplit `json:"stages,omitempty"`
+}
+
+// BenchReport is the versioned JSON document that `bccbench -bench-json`
+// and `make bench-json` emit (BENCH_PR3.json).
+type BenchReport struct {
+	Schema      string      `json:"schema"`
+	Build       obs.Build   `json:"build"`
+	Seed        int64       `json:"seed"`
+	Queries     int         `json:"queries"`
+	Classifiers int         `json:"classifiers"`
+	Budget      float64     `json:"budget"`
+	Algorithms  []AlgoBench `json:"algorithms"`
+}
+
+// benchLoop repeats fn until both floors are met — at least minRuns
+// repetitions and at least budget of wall time — so fast algorithms get
+// enough samples to average while slow ones still terminate. It reports
+// the run count, mean ns/op, and mean allocation deltas measured via
+// runtime.ReadMemStats (approximate: background allocation from the GC
+// and runtime is included, which is fine at the magnitudes solvers
+// allocate).
+func benchLoop(ctx context.Context, minRuns int, budget time.Duration, fn func()) (runs int, nsPerOp int64, allocsPerOp, bytesPerOp uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for runs < minRuns || time.Since(start) < budget {
+		if ctx.Err() != nil && runs > 0 {
+			break
+		}
+		fn()
+		runs++
+	}
+	runtime.ReadMemStats(&after)
+	elapsed := time.Since(start)
+	n := int64(runs)
+	return runs, int64(elapsed) / n,
+		(after.Mallocs - before.Mallocs) / uint64(n),
+		(after.TotalAlloc - before.TotalAlloc) / uint64(n)
+}
+
+// splits drains a recorder into the report's stage rows.
+func splits(rec *obs.Recorder) []StageSplit {
+	var out []StageSplit
+	for _, st := range rec.Snapshot() {
+		out = append(out, StageSplit{
+			Stage:   st.Stage,
+			Calls:   st.Calls,
+			TotalNs: int64(st.Total),
+			MaxNs:   int64(st.Max),
+			Size:    st.Size,
+		})
+	}
+	return out
+}
+
+// BenchJSON benchmarks every solver façade on one synthetic workload and
+// returns the versioned report. Stage splits are recorded with an
+// obs.Recorder threaded through the context, aggregated across all
+// repetitions of the algorithm.
+func BenchJSON(ctx context.Context, seed int64) BenchReport {
+	const (
+		nQueries = 2000
+		budget   = 800.0
+		minRuns  = 3
+		perAlgo  = time.Second
+	)
+	in := dataset.Synthetic(seed, nQueries, budget)
+	rep := BenchReport{
+		Schema:      BenchSchema,
+		Build:       obs.ReadBuild(),
+		Seed:        seed,
+		Queries:     in.NumQueries(),
+		Classifiers: len(in.Classifiers()),
+		Budget:      in.Budget(),
+	}
+
+	// The GMC3 target must be reachable, so derive it from a reference
+	// A^BCC run instead of hard-coding a utility.
+	ref := core.SolveCtx(ctx, in, core.Options{Seed: seed})
+	target := ref.Utility * 0.8
+
+	type bench struct {
+		algo   string
+		traced bool
+		run    func(context.Context) (utility, cost float64)
+	}
+	benches := []bench{
+		{"rand", false, func(context.Context) (float64, float64) {
+			r := core.SolveRand(in, seed)
+			return r.Utility, r.Cost
+		}},
+		{"ig1", false, func(context.Context) (float64, float64) {
+			r := core.SolveIG1(in)
+			return r.Utility, r.Cost
+		}},
+		{"ig2", false, func(context.Context) (float64, float64) {
+			r := core.SolveIG2(in)
+			return r.Utility, r.Cost
+		}},
+		{"abcc", true, func(c context.Context) (float64, float64) {
+			r := core.SolveCtx(c, in, core.Options{Seed: seed})
+			return r.Utility, r.Cost
+		}},
+		{"gmc3", true, func(c context.Context) (float64, float64) {
+			r := gmc3.SolveCtx(c, in, target, gmc3.Options{Seed: seed})
+			return r.Utility, r.Cost
+		}},
+		{"ecc", true, func(c context.Context) (float64, float64) {
+			r := ecc.SolveCtx(c, in)
+			return r.Utility, r.Cost
+		}},
+	}
+
+	for _, b := range benches {
+		runCtx := ctx
+		var rec *obs.Recorder
+		if b.traced {
+			rec = &obs.Recorder{}
+			runCtx = obs.WithRecorder(ctx, rec)
+		}
+		var utility, cost float64
+		runs, ns, allocs, bytes := benchLoop(ctx, minRuns, perAlgo, func() {
+			utility, cost = b.run(runCtx)
+		})
+		row := AlgoBench{
+			Algo:        b.algo,
+			Runs:        runs,
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
+			Utility:     utility,
+			Cost:        cost,
+		}
+		if rec != nil {
+			row.Stages = splits(rec)
+		}
+		rep.Algorithms = append(rep.Algorithms, row)
+	}
+	return rep
+}
+
+// WriteJSON renders the report with stable indentation so the committed
+// BENCH_PR3.json diffs cleanly between runs.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

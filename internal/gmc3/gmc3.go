@@ -25,6 +25,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/mc3"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/propset"
 )
 
@@ -113,6 +114,7 @@ func SolveCtx(ctx context.Context, in *model.Instance, target float64, opts Opti
 	start := time.Now()
 	opts = opts.withDefaults()
 	g := guard.New(ctx)
+	rec := obs.FromContext(ctx)
 
 	best := Result{Cost: math.Inf(1)}
 	bestEffort := Result{Solution: model.NewSolution(in)}
@@ -158,7 +160,10 @@ func SolveCtx(ctx context.Context, in *model.Instance, target float64, opts Opti
 		rounds := 0
 		for t.Utility() < target-1e-9 && rounds < opts.MaxInnerRounds && !g.Tripped() {
 			guard.Inject("gmc3.residual")
+			t0 := rec.Start()
+			residual := in.NumQueries() - t.CoveredCount()
 			gain := runResidualBCC(ctx, g, in, t, budget, opts)
+			rec.End(obs.StageGMC3Residual, t0, residual)
 			rounds++
 			iters++
 			if gain == 0 {

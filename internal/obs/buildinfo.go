@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: module path/version, toolchain,
+// and the VCS stamp `go build` embeds. It is what /v1/statz reports and
+// what every binary's -version flag prints, so a deployed server and a
+// local CLI can be matched to the same commit.
+type Build struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// ReadBuild returns the binary's build identity, reading
+// runtime/debug.ReadBuildInfo once and caching the result. Binaries
+// built without module info (rare: test binaries under some modes)
+// still get the Go version.
+func ReadBuild() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the one-line form the -version flags print, e.g.
+//
+//	repro (devel) go1.24.0 rev=7a2ca0f… dirty=false
+func (b Build) String() string {
+	s := fmt.Sprintf("%s %s %s", orUnknown(b.Module), orUnknown(b.Version), b.GoVersion)
+	if b.Revision != "" {
+		s += fmt.Sprintf(" rev=%s dirty=%v", b.Revision, b.Dirty)
+	}
+	return s
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bcc_test_total", "h", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create returns the same series.
+	if again := r.Counter("bcc_test_total", "h", nil); again != c {
+		t.Fatalf("second lookup returned a different counter")
+	}
+	g := r.Gauge("bcc_test_gauge", "h", Labels{"k": "v"})
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bcc_x", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering bcc_x as a gauge did not panic")
+		}
+	}()
+	r.Gauge("bcc_x", "h", nil)
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: an observation
+// exactly on a bucket's upper bound lands in that bucket (inclusive),
+// values above every bound land only in +Inf, and an untouched
+// histogram renders all-zero buckets.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bcc_h", "h", nil, []float64{1, 2.5, 10})
+
+	h.Observe(1)    // exact boundary: bucket le=1
+	h.Observe(1.0)  // again
+	h.Observe(2.5)  // exact boundary: bucket le=2.5
+	h.Observe(10)   // exact boundary: bucket le=10
+	h.Observe(10.1) // overflow: +Inf only
+	h.Observe(0)    // below everything: first bucket
+
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 1+1+2.5+10+10.1+0.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`bcc_h_bucket{le="1"} 3`,    // 0, 1, 1
+		`bcc_h_bucket{le="2.5"} 4`,  // + 2.5
+		`bcc_h_bucket{le="10"} 5`,   // + 10
+		`bcc_h_bucket{le="+Inf"} 6`, // + 10.1
+		`bcc_h_count 6`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("bcc_empty", "h", nil, []float64{1, 2})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`bcc_empty_bucket{le="1"} 0`,
+		`bcc_empty_bucket{le="2"} 0`,
+		`bcc_empty_bucket{le="+Inf"} 0`,
+		`bcc_empty_sum 0`,
+		`bcc_empty_count 0`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("non-ascending buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bcc_bad", "h", nil, []float64{1, 1})
+}
+
+// TestConcurrentObserve exercises the lock-free paths under the race
+// detector and checks that no observation is lost.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bcc_conc", "h", nil, DefBuckets)
+	c := r.Counter("bcc_conc_total", "h", nil)
+	g := r.Gauge("bcc_conc_gauge", "h", nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%7) * 0.001)
+				c.Inc()
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not tear bucket totals: the +Inf bucket
+	// and _count always agree within one exposition.
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bcc_esc_total", "h", Labels{"path": `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `bcc_esc_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped label missing %q:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition output — family and
+// series ordering, HELP/TYPE lines, label rendering, histogram
+// bucket/sum/count structure, and value formatting. If this test
+// breaks, a scrape-format change reached the wire: update deliberately.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bcc_requests_total", "Solve requests admitted.", Labels{"route": "/v1/solve", "code": "200"}).Add(3)
+	r.Counter("bcc_requests_total", "Solve requests admitted.", Labels{"route": "/v1/solve", "code": "429"}).Add(1)
+	g := r.Gauge("bcc_queue_depth", "Jobs waiting for a worker.", nil)
+	g.Set(2)
+	r.GaugeFunc("bcc_uptime_seconds", "Seconds since start.", nil, func() float64 { return 12.5 })
+	h := r.Histogram("bcc_request_seconds", "Request latency.", Labels{"route": "/v1/solve"}, []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.1) // boundary: le="0.1"
+	h.Observe(3)   // overflow
+
+	const want = `# HELP bcc_queue_depth Jobs waiting for a worker.
+# TYPE bcc_queue_depth gauge
+bcc_queue_depth 2
+# HELP bcc_request_seconds Request latency.
+# TYPE bcc_request_seconds histogram
+bcc_request_seconds_bucket{route="/v1/solve",le="0.01"} 1
+bcc_request_seconds_bucket{route="/v1/solve",le="0.1"} 2
+bcc_request_seconds_bucket{route="/v1/solve",le="1"} 2
+bcc_request_seconds_bucket{route="/v1/solve",le="+Inf"} 3
+bcc_request_seconds_sum{route="/v1/solve"} 3.105
+bcc_request_seconds_count{route="/v1/solve"} 3
+# HELP bcc_requests_total Solve requests admitted.
+# TYPE bcc_requests_total counter
+bcc_requests_total{code="200",route="/v1/solve"} 3
+bcc_requests_total{code="429",route="/v1/solve"} 1
+# HELP bcc_uptime_seconds Seconds since start.
+# TYPE bcc_uptime_seconds gauge
+bcc_uptime_seconds 12.5
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

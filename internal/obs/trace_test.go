@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAggregates(t *testing.T) {
+	rec := NewRecorder()
+	t0 := rec.Start()
+	time.Sleep(time.Millisecond)
+	rec.End(StageKnapsack, t0, 40)
+	t1 := rec.Start()
+	rec.End(StageKnapsack, t1, 2)
+	stats := rec.Snapshot()
+	if len(stats) != 1 {
+		t.Fatalf("got %d stages, want 1: %+v", len(stats), stats)
+	}
+	st := stats[0]
+	if st.Stage != "knapsack" || st.Calls != 2 || st.Size != 42 {
+		t.Fatalf("unexpected stat: %+v", st)
+	}
+	if st.Total < time.Millisecond || st.Max < time.Millisecond || st.Max > st.Total {
+		t.Fatalf("implausible durations: %+v", st)
+	}
+}
+
+func TestSnapshotPipelineOrder(t *testing.T) {
+	rec := NewRecorder()
+	// Record out of order; the snapshot must come back in enum order.
+	rec.End(StageMC3, rec.Start(), 0)
+	rec.End(StagePrune, rec.Start(), 0)
+	rec.End(StageQK, rec.Start(), 0)
+	var names []string
+	for _, st := range rec.Snapshot() {
+		names = append(names, st.Stage)
+	}
+	want := []string{"prune", "qk", "mc3"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("order = %v, want %v", names, want)
+	}
+}
+
+// TestNilRecorderHotPath pins the disabled-tracer cost contract: a nil
+// Recorder's Start/End pair must not allocate (it is left permanently
+// in the solver inner loops, mirroring the nil-*Guard convention).
+func TestNilRecorderHotPath(t *testing.T) {
+	var rec *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := rec.Start()
+		rec.End(StageKnapsack, t0, 17)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder hot path allocates %v per stage, want 0", allocs)
+	}
+	if rec.Snapshot() != nil {
+		t.Fatalf("nil recorder snapshot should be nil")
+	}
+}
+
+// TestEnabledRecorderNoAllocs verifies the enabled path is also
+// allocation-free — aggregation happens in the fixed cell array.
+func TestEnabledRecorderNoAllocs(t *testing.T) {
+	rec := NewRecorder()
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := rec.Start()
+		rec.End(StageQKRestart, t0, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled recorder hot path allocates %v per stage, want 0", allocs)
+	}
+}
+
+// TestRecorderConcurrent mirrors the QK restart workers recording into
+// the same stage from many goroutines.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.End(StageQKRestart, rec.Start(), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := rec.Snapshot()
+	if len(stats) != 1 || stats[0].Calls != workers*per || stats[0].Size != workers*per {
+		t.Fatalf("unexpected stats: %+v", stats)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatalf("background context should carry no recorder")
+	}
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	if FromContext(ctx) != rec {
+		t.Fatalf("recorder lost in context round-trip")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var rec *Recorder
+	var b strings.Builder
+	if err := rec.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no stages recorded") {
+		t.Fatalf("nil recorder table = %q", b.String())
+	}
+
+	rec = NewRecorder()
+	rec.End(StagePrune, rec.Start(), 12)
+	rec.End(StageKnapsack, rec.Start(), 100)
+	b.Reset()
+	if err := rec.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"stage", "prune", "knapsack", "share"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := ReadBuild()
+	if b.GoVersion == "" {
+		t.Fatalf("build info missing Go version: %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatalf("empty build string")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/wgraph"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// LocalSearchRounds caps unit-move improvement sweeps per iteration.
 	// Default 4.
 	LocalSearchRounds int
+	// Trace records per-restart-batch spans (obs.StageQKRestart). nil
+	// disables tracing at the cost of one branch per restart; core's
+	// SolveCtx sets it from the context recorder.
+	Trace *obs.Recorder
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -283,6 +288,8 @@ func coreSolve(gu *guard.Guard, g *wgraph.Graph, budget, fullBudget float64, exc
 			if gu.Tripped() {
 				return
 			}
+			t0 := opts.Trace.Start()
+			defer opts.Trace.End(obs.StageQKRestart, t0, n)
 			rng := rand.New(rand.NewSource(opts.Seed + int64(iter)*7919))
 			side := make([]bool, n)
 			for v := 0; v < n; v++ {

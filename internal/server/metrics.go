@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// solveBuckets are the latency buckets for whole solver executions —
+// coarser than the HTTP defaults because a full A^BCC run on a large
+// instance is measured in seconds, not microseconds.
+var solveBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 30, 60, 120}
+
+// initMetrics registers the server's gauge/counter families on its
+// registry. Counters that the request path already maintains as atomics
+// are bridged with CounterFunc so the hot path keeps its single Add;
+// point-in-time values (queue depth, goroutines, cache entries) are
+// read at scrape time via GaugeFunc.
+func (s *Server) initMetrics() {
+	reg := s.reg
+	reg.GaugeFunc("bcc_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("bcc_goroutines", "Goroutines currently live in the process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("bcc_pool_workers", "Solver worker pool size.", nil,
+		func() float64 { return float64(s.pool.Workers()) })
+	reg.GaugeFunc("bcc_pool_queue_capacity", "Admission queue capacity.", nil,
+		func() float64 { return float64(s.pool.QueueCapacity()) })
+	reg.GaugeFunc("bcc_pool_queue_depth", "Jobs waiting for a worker.", nil,
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	reg.GaugeFunc("bcc_inflight_solves", "Solver executions running right now.", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+
+	reg.CounterFunc("bcc_solve_requests_total", "Solve requests admitted (batch items count).", nil,
+		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("bcc_solves_total", "Underlying solver executions on the pool.", nil,
+		func() float64 { return float64(s.solves.Load()) })
+	reg.CounterFunc("bcc_rejected_total", "Requests shed with HTTP 429 (queue full).", nil,
+		func() float64 { return float64(s.rejected.Load()) })
+	reg.CounterFunc("bcc_bad_requests_total", "Requests failing validation (4xx).", nil,
+		func() float64 { return float64(s.badRequests.Load()) })
+	reg.CounterFunc("bcc_deadline_results_total", "HTTP 200 answers carrying a non-complete status.", nil,
+		func() float64 { return float64(s.deadlineResults.Load()) })
+
+	reg.GaugeFunc("bcc_cache_entries", "Live solution cache entries.", nil,
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("bcc_cache_inflight", "Single-flight leaders currently running.", nil,
+		func() float64 { return float64(s.cache.Stats().InFlight) })
+	reg.CounterFunc("bcc_cache_hits_total", "Lookups answered from a stored entry.", nil,
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("bcc_cache_misses_total", "Lookups that became flight leaders.", nil,
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("bcc_cache_shared_waits_total", "Lookups that joined another caller's flight.", nil,
+		func() float64 { return float64(s.cache.Stats().SharedWaits) })
+	reg.CounterFunc("bcc_cache_evictions_total", "Entries dropped by LRU capacity pressure.", nil,
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+}
+
+// statusWriter captures the status code a handler writes so the
+// instrumentation can label the request's series with it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route/status latency and count
+// recording: a bcc_http_request_seconds{route,code} histogram and a
+// bcc_http_requests_total{route,code} counter. Series are resolved
+// after the handler ran, when the status code is known; get-or-create
+// makes that race-free.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		labels := obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}
+		s.reg.Histogram("bcc_http_request_seconds", "HTTP request latency by route and status.",
+			labels, obs.DefBuckets).Observe(time.Since(start).Seconds())
+		s.reg.Counter("bcc_http_requests_total", "HTTP requests by route and status.", labels).Inc()
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// DebugHandler returns the opt-in debug mux: net/http/pprof plus a
+// second /metrics mount. It is deliberately not part of Handler() —
+// cmd/bccserver only exposes it on -debug-addr, so profiling endpoints
+// never face production traffic by accident.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}

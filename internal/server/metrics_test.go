@@ -1,0 +1,106 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, out := solve(t, ts, SolveRequest{Instance: quickstartFormat(10)})
+	if resp.StatusCode != http.StatusOK || out.Status != "complete" {
+		t.Fatalf("solve = %d %q", resp.StatusCode, out.Status)
+	}
+
+	body, ct := scrape(t, ts)
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ct != want {
+		t.Errorf("Content-Type = %q, want %q", ct, want)
+	}
+	for _, want := range []string{
+		"# TYPE bcc_solves_total counter",
+		"bcc_solves_total 1",
+		"# TYPE bcc_http_request_seconds histogram",
+		`bcc_http_requests_total{code="200",route="/v1/solve"} 1`,
+		`bcc_solve_seconds_count{algo="abcc",status="complete"} 1`,
+		"# TYPE bcc_pool_workers gauge",
+		"bcc_uptime_seconds",
+		"bcc_goroutines",
+		"bcc_cache_entries 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// The /metrics scrape itself is instrumented, so a second scrape must
+// see the first one's route series.
+func TestMetricsRouteSelfObservation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	scrape(t, ts)
+	body, _ := scrape(t, ts)
+	if want := `bcc_http_requests_total{code="200",route="/metrics"} 1`; !strings.Contains(body, want) {
+		t.Errorf("/metrics missing %q\n%s", want, body)
+	}
+}
+
+func TestStatzSnapshotFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	solve(t, ts, SolveRequest{Instance: quickstartFormat(10)})
+
+	st := statz(t, ts)
+	if st.Goroutines <= 0 {
+		t.Errorf("Goroutines = %d, want > 0", st.Goroutines)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Errorf("UptimeSeconds = %v, want >= 0", st.UptimeSeconds)
+	}
+	if st.Build.GoVersion == "" {
+		t.Errorf("Build.GoVersion empty: %+v", st.Build)
+	}
+	if st.Solves > st.Requests {
+		t.Errorf("snapshot invariant violated: solves %d > requests %d", st.Solves, st.Requests)
+	}
+	if st.Solves != 1 || st.Requests != 1 {
+		t.Errorf("solves/requests = %d/%d, want 1/1", st.Solves, st.Requests)
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.DebugHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}

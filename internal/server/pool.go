@@ -74,3 +74,22 @@ func (p *Pool) QueueDepth() int { return len(p.jobs) }
 
 // QueueCapacity reports the admission queue capacity.
 func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
+
+// PoolStats is a point-in-time view of the pool, read as one struct so
+// statz consumers never mix fields from different instants.
+type PoolStats struct {
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queue_capacity"`
+	QueueDepth    int `json:"queue_depth"`
+}
+
+// Snapshot returns the pool counters captured together. Workers and
+// QueueCapacity are immutable after NewPool, so the only racing field,
+// QueueDepth, is read exactly once.
+func (p *Pool) Snapshot() PoolStats {
+	return PoolStats{
+		Workers:       p.workers,
+		QueueCapacity: cap(p.jobs),
+		QueueDepth:    len(p.jobs),
+	}
+}

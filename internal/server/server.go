@@ -14,6 +14,13 @@
 //
 // Only Complete results are cached: a deadline-truncated plan is valid
 // but inferior, and must not shadow the full solution for later callers.
+//
+// Observability (internal/obs): GET /metrics serves the Prometheus
+// exposition — per-route/status HTTP latency histograms, per-algorithm
+// solve histograms, pool/queue/cache/goroutine gauges — and
+// DebugHandler carries net/http/pprof for the opt-in debug listener.
+// GET /v1/statz reports the same counters as one consistent JSON
+// snapshot plus build info. The metric inventory is DESIGN.md §10.
 package server
 
 import (
@@ -23,12 +30,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	bcc "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/solvecache"
 )
 
@@ -91,6 +100,7 @@ type Server struct {
 	cache *solvecache.Cache
 	pool  *Pool
 	start time.Time
+	reg   *obs.Registry
 
 	closeOnce sync.Once
 
@@ -99,18 +109,26 @@ type Server struct {
 	rejected        atomic.Uint64 // 429 load-shed answers
 	badRequests     atomic.Uint64 // 4xx validation failures
 	deadlineResults atomic.Uint64 // 200 answers with a non-complete status
+	inflight        atomic.Int64  // solver executions running on the pool right now
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cache: solvecache.New(cfg.CacheSize, cfg.CacheTTL),
 		pool:  NewPool(cfg.Workers, cfg.Queue),
 		start: time.Now(),
+		reg:   obs.NewRegistry(),
 	}
+	s.initMetrics()
+	return s
 }
+
+// Registry exposes the metrics registry (tests, and embedders that want
+// to add their own series next to the server's).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close stops admission and drains in-flight and queued solves.
 func (s *Server) Close() {
@@ -120,13 +138,16 @@ func (s *Server) Close() {
 // Cache exposes the solution cache (tests and the warm-up path).
 func (s *Server) Cache() *solvecache.Cache { return s.cache }
 
-// Handler returns the route table.
+// Handler returns the route table. Every route is instrumented with
+// per-route/status latency histograms; GET /metrics serves the
+// Prometheus exposition (pprof lives on the separate DebugHandler).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/solve/batch", s.instrument("/v1/solve/batch", s.handleBatch))
+	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/statz", s.instrument("/v1/statz", s.handleStatz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
 }
 
@@ -183,7 +204,14 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	lead := func() (any, bool, error) {
 		resCh := make(chan *SolveResponse, 1)
 		admitted := s.pool.TrySubmit(func() {
-			resCh <- runSolve(ctx, in, algo, req, fp)
+			s.inflight.Add(1)
+			t0 := time.Now()
+			resp := runSolve(ctx, in, algo, req, fp)
+			s.reg.Histogram("bcc_solve_seconds", "Solver execution time by algorithm and final status.",
+				obs.Labels{"algo": algo, "status": resp.Status}, solveBuckets).
+				Observe(time.Since(t0).Seconds())
+			s.inflight.Add(-1)
+			resCh <- resp
 		})
 		if !admitted {
 			return nil, false, errQueueFull
@@ -322,9 +350,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // Statz is the GET /v1/statz body.
 type Statz struct {
 	UptimeSeconds   float64          `json:"uptime_seconds"`
+	Goroutines      int              `json:"goroutines"`
+	Build           obs.Build        `json:"build"`
 	Workers         int              `json:"workers"`
 	QueueCapacity   int              `json:"queue_capacity"`
 	QueueDepth      int              `json:"queue_depth"`
+	InflightSolves  int64            `json:"inflight_solves"`
 	Requests        uint64           `json:"requests"`
 	Solves          uint64           `json:"solves"`
 	Rejected        uint64           `json:"rejected"`
@@ -333,19 +364,36 @@ type Statz struct {
 	Cache           solvecache.Stats `json:"cache"`
 }
 
+// snapshot captures every statz field in one pass, in an order that
+// preserves the counters' natural invariants under concurrent updates:
+// each derived counter (solves, deadline results, ...) is read before
+// the counter that dominates it (requests), so a statz response can
+// never report solves > requests even when a request lands mid-read.
+// The pool and the cache are each captured through their own
+// single-snapshot accessors for the same reason.
+func (s *Server) snapshot() Statz {
+	st := Statz{
+		Goroutines: runtime.NumGoroutine(),
+		Build:      obs.ReadBuild(),
+		Cache:      s.cache.Stats(),
+	}
+	pool := s.pool.Snapshot()
+	st.Workers = pool.Workers
+	st.QueueCapacity = pool.QueueCapacity
+	st.QueueDepth = pool.QueueDepth
+	st.InflightSolves = s.inflight.Load()
+	// Numerators before their denominator.
+	st.Solves = s.solves.Load()
+	st.Rejected = s.rejected.Load()
+	st.BadRequests = s.badRequests.Load()
+	st.DeadlineResults = s.deadlineResults.Load()
+	st.Requests = s.requests.Load()
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	return st
+}
+
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, Statz{
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Workers:         s.pool.Workers(),
-		QueueCapacity:   s.pool.QueueCapacity(),
-		QueueDepth:      s.pool.QueueDepth(),
-		Requests:        s.requests.Load(),
-		Solves:          s.solves.Load(),
-		Rejected:        s.rejected.Load(),
-		BadRequests:     s.badRequests.Load(),
-		DeadlineResults: s.deadlineResults.Load(),
-		Cache:           s.cache.Stats(),
-	})
+	writeJSON(w, http.StatusOK, s.snapshot())
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) *Error {
