@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke load chaos
 
 build:
 	$(GO) build ./...
@@ -44,22 +44,47 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+## soak-smoke: the CI-grade chaos soak — 10 seconds of concurrent
+## retrying clients against a server with panic faults armed at the
+## admission/dequeue/cache layers, under the race detector.
+soak-smoke:
+	$(GO) test -race -run TestChaosSoak -v ./internal/server/ -soak 10s
+
+## fuzz-smoke: a short native-fuzz pass over the instance decode paths
+## (FuzzRead and the server-facing FuzzFromFormat).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFromFormat -fuzztime 10s ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/dataset/
+
 ## ci: what .github/workflows/ci.yml runs — build (including the server
-## binary), tests, vet, the race detector over the concurrent/guarded
-## packages and the serving/observability stack, and a one-iteration
-## benchmark smoke.
+## and load-driver binaries), tests, vet, the race detector over the
+## concurrent/guarded packages and the serving/resilience stack, the
+## chaos soak, a fuzz smoke, and a one-iteration benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
+	$(GO) build -o /dev/null ./cmd/bccload
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/
+	$(MAKE) soak-smoke
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 
 ## serve: run a local solving server, cache pre-warmed with the
-## quickstart example instance (see README "Serving").
+## quickstart example instance and snapshotting its cache across
+## restarts (see README "Serving" and "Surviving failures").
 serve:
-	$(GO) run ./cmd/bccserver -addr localhost:8080 -warm examples/instances/quickstart.json
+	$(GO) run ./cmd/bccserver -addr localhost:8080 -warm examples/instances/quickstart.json -snapshot bcc-cache.bccsnap
+
+## load: drive 10 seconds of load at a server started with `make serve`.
+load:
+	$(GO) run ./cmd/bccload -addr http://localhost:8080 -duration 10s
+
+## chaos: the self-contained chaos demo — in-process server, armed
+## faults, resilient client; no external server needed.
+chaos:
+	$(GO) run ./cmd/bccload -chaos -duration 10s
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -35,6 +35,8 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ecc"
@@ -242,3 +244,26 @@ type (
 func ParseQueryLog(r io.Reader, opts LogOptions) (*Builder, LogStats, error) {
 	return querylog.Parse(r, opts)
 }
+
+// Serving: the resilient HTTP client for a bccserver instance.
+type (
+	// Client calls POST /v1/solve and /v1/solve/batch with retries,
+	// Retry-After-aware backoff and a circuit breaker.
+	Client = client.Client
+	// ClientConfig tunes a Client; only BaseURL is required.
+	ClientConfig = client.Config
+	// ClientStats is a consistent point-in-time view of a Client.
+	ClientStats = client.Stats
+	// ClientHTTPError is a non-2xx service answer with retry advice.
+	ClientHTTPError = client.HTTPError
+	// SolveRequest / SolveResponse are the service wire types; a
+	// SolveRequest's Instance field uses the same JSON schema as the
+	// instance files read by ReadInstance.
+	SolveRequest  = api.SolveRequest
+	SolveResponse = api.SolveResponse
+	// BatchResponse holds per-item results/errors of a batch call.
+	BatchResponse = api.BatchResponse
+)
+
+// NewClient builds a resilient service client.
+func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }

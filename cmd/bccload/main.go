@@ -1,0 +1,257 @@
+// Command bccload drives load — and, on request, chaos — through a BCC
+// solving service using the resilient bcc.Client (retries, Retry-After
+// aware backoff, circuit breaker).
+//
+// Against a running server:
+//
+//	bccload -addr http://localhost:8080 -concurrency 8 -duration 10s
+//
+// Self-contained chaos mode — no external server needed: -chaos starts
+// an in-process bccserver on a loopback port, arms probabilistic panic
+// and stall faults at the serving stack's injection points
+// (server.admit, server.pool.dequeue, solvecache.get, solvecache.put,
+// core.phase), runs the load through it, then drains and reports. Every
+// request still gets a valid answer: panics become JSON 500s, shed
+// requests 429s with Retry-After, and the client's breaker/retry
+// machinery is exercised for real.
+//
+//	bccload -chaos -duration 10s
+//	bccload -chaos -faults "server.admit:0.05,solvecache.get:0.02" -duration 5s
+//
+// The final report tallies ops, statuses, error classes, cache hits and
+// the client's breaker state; -json emits it machine-readable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/guard"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "service base URL (ignored with -chaos)")
+		concurrency = flag.Int("concurrency", 8, "concurrent load workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		instances   = flag.Int("instances", 8, "distinct synthetic instances in the workload")
+		seed        = flag.Int64("seed", 1, "workload and fault randomness seed")
+		algo        = flag.String("algo", "", "solver algo for every request (empty = server default)")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-request solve deadline in ms (0 = server default)")
+		batchEvery  = flag.Int("batch-every", 6, "every Nth op is a batch call (0 disables batching)")
+		batchSize   = flag.Int("batch-size", 3, "requests per batch call")
+		attempts    = flag.Int("max-attempts", 4, "client retry attempts per call")
+		noBreaker   = flag.Bool("no-breaker", false, "disable the client circuit breaker")
+		chaos       = flag.Bool("chaos", false, "run a self-contained in-process server with armed faults")
+		faultSpec   = flag.String("faults", "server.admit:0.02,server.pool.dequeue:0.02,solvecache.get:0.01,solvecache.put:0.01,core.phase:0.02",
+			"chaos faults as point:probability,... (panic faults; with -chaos)")
+		opDelay = flag.Duration("op-delay", 0, "pause between one worker's ops (0 = closed loop)")
+		jsonOut = flag.Bool("json", false, "print the report as JSON")
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("bccload", obs.ReadBuild())
+		return
+	}
+
+	base := *addr
+	var chaosSrv *chaosServer
+	if *chaos {
+		var err error
+		chaosSrv, err = startChaosServer(*faultSpec, *seed)
+		if err != nil {
+			log.Fatalf("bccload: starting chaos server: %v", err)
+		}
+		defer chaosSrv.stop()
+		base = chaosSrv.baseURL
+		log.Printf("bccload: chaos server on %s, faults: %s", base, *faultSpec)
+	}
+
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Config{
+		BaseURL:     base,
+		MaxAttempts: *attempts,
+		// A ratio policy suits chaos runs: scattered induced faults must
+		// not latch the breaker open the way a consecutive-only policy
+		// would under a high-failure burst.
+		Breaker:        &resilience.BreakerConfig{FailureRatio: 0.6, Cooldown: 2 * time.Second},
+		DisableBreaker: *noBreaker,
+		Registry:       reg,
+	})
+	if err != nil {
+		log.Fatalf("bccload: %v", err)
+	}
+
+	reqs := loadgen.SyntheticWorkload(*instances, *seed)
+	for i := range reqs {
+		reqs[i].Algo = *algo
+		reqs[i].DeadlineMS = *deadlineMS
+	}
+
+	log.Printf("bccload: driving %d workers against %s for %v", *concurrency, base, *duration)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Client:      cl,
+		Requests:    reqs,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		BatchEvery:  *batchEvery,
+		BatchSize:   *batchSize,
+		OpDelay:     *opDelay,
+	})
+	if err != nil {
+		log.Fatalf("bccload: %v", err)
+	}
+
+	if chaosSrv != nil {
+		chaosSrv.drainAndReport(cl)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatalf("bccload: %v", err)
+		}
+		return
+	}
+	fmt.Print(rep.String())
+}
+
+// chaosServer is the self-contained in-process target of -chaos: a real
+// server.Server behind a real loopback listener, so the client's whole
+// HTTP stack (including transport errors and Retry-After headers) is
+// exercised, plus the armed guard faults.
+type chaosServer struct {
+	srv     *server.Server
+	httpSrv *http.Server
+	baseURL string
+	points  []string
+}
+
+// startChaosServer listens on an ephemeral loopback port and arms the
+// requested faults. Probabilities are driven by a seeded RNG under a
+// mutex-free trick: guard serializes fault callbacks per Inject call
+// site anyway, and rand.Rand is only touched inside them — one shared
+// lock via a channel keeps it race-clean.
+func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
+	srv := server.New(server.Config{
+		Workers: 2,
+		// A short queue makes real shedding (429 + Retry-After) part of
+		// every chaos run, not a rare corner.
+		Queue:           8,
+		CacheTTL:        time.Minute,
+		DefaultDeadline: 5 * time.Second,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      3 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("bccload: chaos listener: %v", err)
+		}
+	}()
+
+	cs := &chaosServer{srv: srv, httpSrv: httpSrv, baseURL: "http://" + ln.Addr().String()}
+	points, err := armFaults(faultSpec, seed)
+	if err != nil {
+		cs.stop()
+		return nil, err
+	}
+	cs.points = points
+	return cs, nil
+}
+
+// armFaults parses "point:prob,..." and arms a probabilistic panic
+// fault at each point. Faults fire through guard.Inject from many
+// goroutines; the RNG is guarded by a channel-based lock.
+func armFaults(spec string, seed int64) ([]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	lock := make(chan struct{}, 1)
+	var points []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, probStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault %q: want point:probability", part)
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("fault %q: probability must be in [0,1]", part)
+		}
+		point = strings.TrimSpace(point)
+		p := prob
+		guard.Arm(point, func() {
+			lock <- struct{}{}
+			hit := rng.Float64() < p
+			<-lock
+			if hit {
+				panic(fmt.Sprintf("chaos: induced fault at %s", point))
+			}
+		})
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// drainAndReport ends a chaos run the way a production shutdown would:
+// BeginDrain (healthz must flip to 503), disarm, stop the listener,
+// drain the pool, and print the server's own accounting next to the
+// client's.
+func (c *chaosServer) drainAndReport(cl *client.Client) {
+	c.srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := cl.Healthz(ctx); err == nil {
+		log.Printf("bccload: WARNING: healthz still 200 after BeginDrain")
+	} else {
+		log.Printf("bccload: healthz reports draining as expected: %v", err)
+	}
+	guard.DisarmAll()
+	c.stopListener()
+	c.srv.Close()
+
+	st := c.srv.Statz()
+	out, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Printf("server statz after drain:\n%s\n", out)
+}
+
+func (c *chaosServer) stopListener() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = c.httpSrv.Shutdown(ctx)
+}
+
+func (c *chaosServer) stop() {
+	guard.DisarmAll()
+	c.stopListener()
+	c.srv.Close()
+}

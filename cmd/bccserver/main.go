@@ -10,6 +10,13 @@
 //	          [-cache-size N] [-cache-ttl 15m]
 //	          [-deadline 30s] [-max-deadline 2m]
 //	          [-warm instance.json] [-drain 15s]
+//	          [-snapshot cache.bccsnap] [-snapshot-interval 5m]
+//
+// With -snapshot the solution cache survives restarts: the file is
+// restored at boot (a missing, corrupt or version-mismatched snapshot
+// is logged and ignored — the server starts cold, never crashes),
+// rewritten atomically every -snapshot-interval, and saved one last
+// time on graceful drain.
 //
 // Endpoints:
 //
@@ -53,6 +60,8 @@ func main() {
 		maxBody     = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 		maxBatch    = flag.Int("max-batch", 64, "cap on requests per batch call")
 		warm        = flag.String("warm", "", "JSON instance to solve and cache at startup (e.g. examples/instances/quickstart.json)")
+		snapshot    = flag.String("snapshot", "", "cache snapshot file: restored at boot, saved periodically and on drain")
+		snapEvery   = flag.Duration("snapshot-interval", 5*time.Minute, "how often to rewrite the cache snapshot (0 disables the timer)")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /metrics")
 		version     = flag.Bool("version", false, "print build information and exit")
@@ -74,20 +83,35 @@ func main() {
 		MaxBatch:        *maxBatch,
 	})
 
+	if *snapshot != "" {
+		restoreSnapshot(srv, *snapshot)
+	}
+
 	if *warm != "" {
 		if err := warmCache(srv, *warm); err != nil {
 			log.Fatalf("bccserver: warming cache from %s: %v", *warm, err)
 		}
 	}
 
+	// WriteTimeout must outlast the longest admissible solve plus queue
+	// wait, or the server would cut the connection under a response it is
+	// still legitimately computing; everything shorter is a stuck client.
+	writeTimeout := *maxDeadline + 30*time.Second
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *snapshot != "" && *snapEvery > 0 {
+		go snapshotLoop(ctx, srv, *snapshot, *snapEvery)
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -95,6 +119,9 @@ func main() {
 			Addr:              *debugAddr,
 			Handler:           srv.DebugHandler(),
 			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      writeTimeout,
+			IdleTimeout:       2 * time.Minute,
 		}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -116,6 +143,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Printf("bccserver: signal received, draining for up to %v", *drain)
+		// Flip /v1/healthz to 503 first: a load balancer's next probe sees
+		// it while Shutdown still finishes requests already accepted.
+		srv.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -127,7 +157,51 @@ func main() {
 			}
 		}
 		srv.Close() // drain queued and in-flight solves
+		if *snapshot != "" {
+			saveSnapshot(srv, *snapshot)
+		}
 		log.Printf("bccserver: drained, bye")
+	}
+}
+
+// restoreSnapshot warms the cache from a -snapshot file. Any failure is
+// survivable by design — a missing file is a normal first boot, a
+// corrupt or version-mismatched one is logged and ignored (the server
+// starts cold); only the happy path changes behavior.
+func restoreSnapshot(srv *server.Server, path string) {
+	n, err := srv.RestoreSnapshot(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		log.Printf("bccserver: no snapshot at %s, starting cold", path)
+	case err != nil:
+		log.Printf("bccserver: ignoring unusable snapshot %s: %v", path, err)
+	default:
+		log.Printf("bccserver: restored %d cache entries from %s", n, path)
+	}
+}
+
+// saveSnapshot persists the cache, logging rather than failing: losing
+// a snapshot costs warm-start time on the next boot, never correctness.
+func saveSnapshot(srv *server.Server, path string) {
+	if n, err := srv.SaveSnapshot(path); err != nil {
+		log.Printf("bccserver: saving snapshot %s: %v", path, err)
+	} else {
+		log.Printf("bccserver: saved %d cache entries to %s", n, path)
+	}
+}
+
+// snapshotLoop rewrites the snapshot every interval until shutdown (the
+// drain path writes the final one).
+func snapshotLoop(ctx context.Context, srv *server.Server, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			saveSnapshot(srv, path)
+		}
 	}
 }
 

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"testing"
 )
 
@@ -50,6 +52,56 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.NumQueries() != in.NumQueries() {
 			t.Fatalf("round trip query count %d != %d", back.NumQueries(), in.NumQueries())
+		}
+	})
+}
+
+// FuzzFromFormat drives the server's decode path: arbitrary JSON is
+// unmarshaled into a FileFormat (the wire schema of /v1/solve) and
+// handed to FromFormat, which must never panic, and whose accepted
+// instances must be consistent and fingerprint-stable — the solution
+// cache keys on the fingerprint, so two decodes of the same bytes
+// disagreeing would serve one instance's plan for another.
+func FuzzFromFormat(f *testing.F) {
+	quickstart, err := os.ReadFile("../../examples/instances/quickstart.json")
+	if err != nil {
+		f.Fatalf("reading quickstart seed: %v", err)
+	}
+	f.Add(quickstart)
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": ["a"], "utility": 1}]}`))
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": ["a","b"], "utility": 1}],
+	  "default_cost": {"cost": 1, "per_prop": 0.5}}`))
+	f.Add([]byte(`{"budget": 5, "queries": [{"props": ["a"], "utility": 1}],
+	  "costs": [{"props": ["a"], "cost": 0, "inf": true}]}`))
+	f.Add([]byte(`{"budget": 0, "queries": []}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ff FileFormat
+		if json.Unmarshal(data, &ff) != nil {
+			return
+		}
+		in, err := FromFormat(ff)
+		if err != nil {
+			// Rejected instances must also be rejected on a second pass:
+			// admission is deterministic.
+			if _, err2 := FromFormat(ff); err2 == nil {
+				t.Fatal("FromFormat accepted on retry what it first rejected")
+			}
+			return
+		}
+		if in.NumQueries() == 0 || in.NumQueries() > len(ff.Queries) {
+			t.Fatalf("accepted %d queries from %d rows", in.NumQueries(), len(ff.Queries))
+		}
+		if in.Budget() < 0 {
+			t.Fatalf("accepted negative budget %v", in.Budget())
+		}
+		// The cache key property: decoding the same wire bytes twice must
+		// yield the same canonical fingerprint.
+		again, err := FromFormat(ff)
+		if err != nil {
+			t.Fatalf("second decode of accepted input failed: %v", err)
+		}
+		if in.Fingerprint() != again.Fingerprint() {
+			t.Fatalf("fingerprint unstable: %s vs %s", in.Fingerprint(), again.Fingerprint())
 		}
 	})
 }

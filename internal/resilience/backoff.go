@@ -1,0 +1,89 @@
+// Package resilience is the client-side availability layer of the
+// serving stack: jittered exponential backoff, a three-state circuit
+// breaker (closed → open → half-open) with consecutive-failure and
+// rolling-window trip policies, and a Retrier that composes the two
+// under a context deadline while honoring server-advised Retry-After
+// delays.
+//
+// The package mirrors the repo's zero-dependency stance (stdlib only)
+// and its determinism conventions: clocks and random sources are
+// injectable, so every policy is unit-testable without sleeping.
+//
+// Division of labor with the server: the server sheds load (429 +
+// Retry-After derived from queue pressure, 503 once draining begins);
+// this package teaches callers to react — back off at least as long as
+// advised, stop hammering a failing endpoint entirely once the breaker
+// trips, and give up cleanly when the caller's deadline cannot fit
+// another attempt. internal/client wires it around the HTTP API;
+// DESIGN.md §11 has the full architecture.
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes per-attempt retry delays: exponential growth from
+// Base by Multiplier, capped at Max, with a uniform ±Jitter fraction so
+// synchronized clients do not retry in lockstep (the classic thundering
+// herd after a shared failure). The zero value is usable and picks the
+// defaults below.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 10s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2; values < 1
+	// are treated as the default).
+	Multiplier float64
+	// Jitter is the uniform spread fraction in [0, 1): the returned
+	// delay is d * (1 ± Jitter/2). Default 0.2.
+	Jitter float64
+	// Rand returns a uniform float64 in [0, 1); nil uses math/rand's
+	// global source. Injectable for deterministic tests.
+	Rand func() float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 10 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	if b.Rand == nil {
+		b.Rand = rand.Float64
+	}
+	return b
+}
+
+// Delay returns the delay to sleep after the given zero-based failed
+// attempt: Base*Multiplier^attempt, capped at Max, jittered.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		// Spread uniformly over [d*(1-J/2), d*(1+J/2)].
+		d *= 1 + b.Jitter*(b.Rand()-0.5)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,330 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed: requests flow; failures are being counted.
+	Closed State = iota
+	// Open: requests are refused locally until the cooldown elapses.
+	Open
+	// HalfOpen: a limited number of probe requests test recovery.
+	HalfOpen
+)
+
+// String renders the state the way the metrics and statz report it.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// ErrOpen is returned (wrapped) by Retrier.Do and reported by Breaker
+// callers when the breaker refuses a request locally.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// windowBuckets is the rolling-window resolution: the window is split
+// into this many rotating buckets, so the observed window length is
+// within one bucket of the configured one.
+const windowBuckets = 10
+
+// BreakerConfig tunes a Breaker. The zero value gets the defaults
+// documented per field.
+type BreakerConfig struct {
+	// ConsecutiveFailures trips the breaker after this many failures in
+	// a row (default 5; negative disables the policy).
+	ConsecutiveFailures int
+	// FailureRatio trips the breaker when failures/total in the rolling
+	// window reaches it, once the window holds at least WindowMinSamples
+	// results. 0 disables the policy (consecutive-only breaker).
+	FailureRatio float64
+	// WindowMinSamples is the minimum rolling-window population before
+	// FailureRatio applies (default 10).
+	WindowMinSamples int
+	// Window is the rolling-window length (default 10s).
+	Window time.Duration
+	// Cooldown is how long the breaker stays Open before allowing
+	// half-open probes (default 5s).
+	Cooldown time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close
+	// the breaker again (default 2). A single probe failure re-opens it.
+	HalfOpenSuccesses int
+	// Now is the clock (default time.Now). Injectable for tests.
+	Now func() time.Time
+	// OnStateChange, when non-nil, observes every transition (metrics
+	// hooks). Called outside the breaker lock, in transition order.
+	OnStateChange func(from, to State)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.ConsecutiveFailures == 0 {
+		c.ConsecutiveFailures = 5
+	}
+	if c.WindowMinSamples <= 0 {
+		c.WindowMinSamples = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket is one rolling-window cell.
+type bucket struct {
+	start     time.Time
+	successes uint64
+	failures  uint64
+}
+
+// Breaker is a three-state circuit breaker. Callers ask Allow before a
+// request and Record after it; when Allow reports false the request
+// must not be sent (fail fast with ErrOpen). All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu           sync.Mutex
+	state        State
+	consecutive  int       // consecutive failures while Closed
+	openedAt     time.Time // when the breaker last opened
+	probeInUse   bool      // a half-open probe is in flight
+	probeStreak  int       // consecutive half-open successes
+	buckets      [windowBuckets]bucket
+	opens        uint64 // cumulative Closed/HalfOpen → Open transitions
+	lastChangeAt time.Time
+
+	// pending transitions to report outside the lock
+	pendingHooks []func()
+}
+
+// NewBreaker returns a Breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, lastChangeAt: cfg.Now()}
+}
+
+// setStateLocked transitions and queues the OnStateChange hook.
+func (b *Breaker) setStateLocked(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.lastChangeAt = b.cfg.Now()
+	if to == Open {
+		b.opens++
+		b.openedAt = b.lastChangeAt
+	}
+	if hook := b.cfg.OnStateChange; hook != nil {
+		b.pendingHooks = append(b.pendingHooks, func() { hook(from, to) })
+	}
+}
+
+// runHooks fires queued state-change hooks outside the lock.
+func (b *Breaker) runHooks() {
+	b.mu.Lock()
+	hooks := b.pendingHooks
+	b.pendingHooks = nil
+	b.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// Allow reports whether a request may proceed. In Open it flips to
+// HalfOpen once the cooldown elapsed and then admits exactly one probe
+// at a time; additional callers are refused until the probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	allowed := false
+	switch b.state {
+	case Closed:
+		allowed = true
+	case Open:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.setStateLocked(HalfOpen)
+			b.probeStreak = 0
+			b.probeInUse = true
+			allowed = true
+		}
+	case HalfOpen:
+		if !b.probeInUse {
+			b.probeInUse = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	b.runHooks()
+	return allowed
+}
+
+// Record reports a request outcome. Failures while Closed count toward
+// both trip policies; a failure while HalfOpen re-opens immediately;
+// HalfOpenSuccesses consecutive probe successes close the breaker and
+// reset the rolling window.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	bk := b.currentBucketLocked(now)
+	if ok {
+		bk.successes++
+	} else {
+		bk.failures++
+	}
+	switch b.state {
+	case Closed:
+		if ok {
+			b.consecutive = 0
+		} else {
+			b.consecutive++
+			if b.tripLocked(now) {
+				b.setStateLocked(Open)
+			}
+		}
+	case HalfOpen:
+		b.probeInUse = false
+		if ok {
+			b.probeStreak++
+			if b.probeStreak >= b.cfg.HalfOpenSuccesses {
+				b.consecutive = 0
+				b.resetWindowLocked()
+				b.setStateLocked(Closed)
+			}
+		} else {
+			b.probeStreak = 0
+			b.setStateLocked(Open)
+		}
+	case Open:
+		// A straggler from before the trip; the window keeps the sample,
+		// no transition.
+	}
+	b.mu.Unlock()
+	b.runHooks()
+}
+
+// tripLocked evaluates both trip policies while Closed.
+func (b *Breaker) tripLocked(now time.Time) bool {
+	if b.cfg.ConsecutiveFailures > 0 && b.consecutive >= b.cfg.ConsecutiveFailures {
+		return true
+	}
+	if b.cfg.FailureRatio > 0 {
+		succ, fail := b.windowTotalsLocked(now)
+		total := succ + fail
+		if total >= uint64(b.cfg.WindowMinSamples) &&
+			float64(fail)/float64(total) >= b.cfg.FailureRatio {
+			return true
+		}
+	}
+	return false
+}
+
+// currentBucketLocked rotates the ring to now and returns the live
+// bucket. Buckets older than the window are zeroed lazily.
+func (b *Breaker) currentBucketLocked(now time.Time) *bucket {
+	width := b.cfg.Window / windowBuckets
+	slot := int((now.UnixNano() / int64(width)) % windowBuckets)
+	bk := &b.buckets[slot]
+	start := now.Truncate(width)
+	if !bk.start.Equal(start) {
+		*bk = bucket{start: start}
+	}
+	return bk
+}
+
+func (b *Breaker) windowTotalsLocked(now time.Time) (successes, failures uint64) {
+	for i := range b.buckets {
+		bk := &b.buckets[i]
+		if bk.start.IsZero() || now.Sub(bk.start) > b.cfg.Window {
+			continue
+		}
+		successes += bk.successes
+		failures += bk.failures
+	}
+	return successes, failures
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.buckets {
+		b.buckets[i] = bucket{}
+	}
+}
+
+// State returns the current state (rotating Open → HalfOpen is done by
+// Allow, not here, so an idle open breaker reports Open until probed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// OpenRemaining returns how long until an Open breaker admits a probe
+// (zero when not Open or already due).
+func (b *Breaker) OpenRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// BreakerStats is a point-in-time view of a breaker, captured as one
+// struct under one lock acquisition so consumers (statz, bccload
+// reports) never mix fields from different instants.
+type BreakerStats struct {
+	State               string  `json:"state"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	WindowSuccesses     uint64  `json:"window_successes"`
+	WindowFailures      uint64  `json:"window_failures"`
+	WindowFailureRatio  float64 `json:"window_failure_ratio"`
+	Opens               uint64  `json:"opens"`
+	SinceChangeSeconds  float64 `json:"since_change_seconds"`
+}
+
+// Snapshot captures the breaker counters together.
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	succ, fail := b.windowTotalsLocked(now)
+	st := BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.consecutive,
+		WindowSuccesses:     succ,
+		WindowFailures:      fail,
+		Opens:               b.opens,
+		SinceChangeSeconds:  now.Sub(b.lastChangeAt).Seconds(),
+	}
+	if total := succ + fail; total > 0 {
+		st.WindowFailureRatio = float64(fail) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,417 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2,
+		Jitter: 0, Rand: func() float64 { return 0.5 }}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		b := Backoff{Base: time.Second, Max: time.Minute, Multiplier: 2,
+			Jitter: 0.4, Rand: func() float64 { return r }}
+		d := b.Delay(0)
+		lo, hi := 800*time.Millisecond, 1200*time.Millisecond
+		if d < lo || d > hi {
+			t.Errorf("rand=%v: Delay(0) = %v outside [%v, %v]", r, d, lo, hi)
+		}
+	}
+}
+
+func TestBackoffZeroValueIsUsable(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d <= 0 || d > time.Second {
+		t.Errorf("zero-value Delay(0) = %v", d)
+	}
+	if d := b.Delay(100); d > 11*time.Second {
+		t.Errorf("zero-value Delay(100) = %v exceeds default cap", d)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Breaker
+
+// testClock is a manually advanced clock for breaker tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerConsecutiveTripAndRecovery(t *testing.T) {
+	clock := newTestClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 3,
+		Cooldown:            5 * time.Second,
+		HalfOpenSuccesses:   2,
+		Now:                 clock.Now,
+		OnStateChange: func(from, to State) {
+			transitions = append(transitions, fmt.Sprintf("%s→%s", from, to))
+		},
+	})
+
+	// Two failures, then a success: streak resets, still closed.
+	for _, ok := range []bool{false, false, true, false, false} {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a request")
+		}
+		b.Record(ok)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after interrupted streak = %v", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Allow()
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3 consecutive failures = %v", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if rem := b.OpenRemaining(); rem != 5*time.Second {
+		t.Errorf("OpenRemaining = %v, want 5s", rem)
+	}
+
+	// Cooldown elapses: exactly one probe admitted at a time.
+	clock.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the second probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2/2 probe successes = %v", got)
+	}
+
+	want := []string{"closed→open", "open→half-open", "half-open→closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	if st := b.Snapshot(); st.Opens != 1 || st.State != "closed" {
+		t.Errorf("snapshot = %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 1, Cooldown: time.Second, Now: clock.Now})
+	b.Allow()
+	b.Record(false)
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v", got)
+	}
+	// The cooldown restarts from the re-open.
+	if b.Allow() {
+		t.Fatal("probe admitted immediately after a failed probe")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+}
+
+func TestBreakerRollingWindowRatioTrip(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: -1, // disable the consecutive policy
+		FailureRatio:        0.5,
+		WindowMinSamples:    10,
+		Window:              10 * time.Second,
+		Now:                 clock.Now,
+	})
+	// Interleave so no long consecutive run: 5 ok + 4 fail stays under
+	// min samples ratio trip only at the 10th sample.
+	outcomes := []bool{true, false, true, false, true, false, true, false, true}
+	for _, ok := range outcomes {
+		b.Allow()
+		b.Record(ok)
+		clock.Advance(100 * time.Millisecond)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("tripped before WindowMinSamples: %v, snapshot %+v", got, b.Snapshot())
+	}
+	b.Allow()
+	b.Record(false) // 10th sample: 5/10 failures = ratio 0.5
+	if got := b.State(); got != Open {
+		t.Fatalf("state after ratio reached = %v, snapshot %+v", got, b.Snapshot())
+	}
+}
+
+func TestBreakerWindowForgetsOldSamples(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: -1,
+		FailureRatio:        0.5,
+		WindowMinSamples:    4,
+		Window:              10 * time.Second,
+		Now:                 clock.Now,
+	})
+	// Three failures now...
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	// ...aged out of the window entirely.
+	clock.Advance(30 * time.Second)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	b.Allow()
+	b.Record(false) // 1/4 in-window failures: under ratio
+	if got := b.State(); got != Closed {
+		t.Fatalf("old samples still count: state %v, snapshot %+v", got, b.Snapshot())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Retrier
+
+// advisedErr is a retryable error carrying a Retry-After hint.
+type advisedErr struct{ d time.Duration }
+
+func (e advisedErr) Error() string               { return "overloaded" }
+func (e advisedErr) AdvisedDelay() time.Duration { return e.d }
+
+// recordSleeps returns a fake sleep plus the recorded delays.
+func recordSleeps() (func(context.Context, time.Duration) error, *[]time.Duration) {
+	var delays []time.Duration
+	return func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}, &delays
+}
+
+func TestRetrierRetriesUntilSuccess(t *testing.T) {
+	sleep, delays := recordSleeps()
+	r := &Retrier{
+		MaxAttempts: 5,
+		Backoff:     Backoff{Base: 10 * time.Millisecond, Jitter: 0, Rand: func() float64 { return 0.5 }},
+		Sleep:       sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (%v)", len(*delays), *delays)
+	}
+}
+
+func TestRetrierExhaustsAttempts(t *testing.T) {
+	sleep, _ := recordSleeps()
+	r := &Retrier{MaxAttempts: 3, Sleep: sleep}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || !contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetrierNonRetryableStopsImmediately(t *testing.T) {
+	sleep, delays := recordSleeps()
+	bad := errors.New("bad request")
+	r := &Retrier{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, bad) },
+		Sleep:       sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return bad })
+	if calls != 1 || !errors.Is(err, bad) {
+		t.Fatalf("calls = %d, err = %v", calls, err)
+	}
+	if len(*delays) != 0 {
+		t.Fatalf("slept on a non-retryable error: %v", *delays)
+	}
+}
+
+func TestRetrierHonorsAdvisedDelay(t *testing.T) {
+	sleep, delays := recordSleeps()
+	r := &Retrier{
+		MaxAttempts: 2,
+		Backoff:     Backoff{Base: 10 * time.Millisecond, Jitter: 0, Rand: func() float64 { return 0.5 }},
+		Sleep:       sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return advisedErr{d: 7 * time.Second}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) != 1 || (*delays)[0] < 7*time.Second {
+		t.Fatalf("slept %v, want >= the advised 7s", *delays)
+	}
+}
+
+func TestRetrierStopsWhenDeadlineCannotFitRetry(t *testing.T) {
+	sleep, delays := recordSleeps()
+	r := &Retrier{
+		MaxAttempts: 5,
+		Backoff:     Backoff{Base: time.Hour, Jitter: 0, Rand: func() float64 { return 0.5 }},
+		Sleep:       sleep,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error { calls++; return errors.New("down") })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (retry cannot fit in 50ms)", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !contains(err.Error(), "down") {
+		t.Fatalf("err = %v, want deadline wrap keeping the last error", err)
+	}
+	if len(*delays) != 0 {
+		t.Fatalf("slept despite a hopeless deadline: %v", *delays)
+	}
+}
+
+func TestRetrierPerAttemptTimeoutIsRetryable(t *testing.T) {
+	sleep, _ := recordSleeps()
+	r := &Retrier{
+		MaxAttempts: 3,
+		PerAttempt:  10 * time.Millisecond,
+		Backoff:     Backoff{Base: time.Millisecond, Jitter: 0, Rand: func() float64 { return 0.5 }},
+		Sleep:       sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(actx context.Context) error {
+		calls++
+		if calls < 3 {
+			<-actx.Done() // stall until the per-attempt timer fires
+			return actx.Err()
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; per-attempt timeouts must stay retryable", err, calls)
+	}
+}
+
+func TestRetrierBreakerIntegration(t *testing.T) {
+	clock := newTestClock()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 2, Cooldown: time.Minute, Now: clock.Now})
+	sleep, _ := recordSleeps()
+	r := &Retrier{
+		MaxAttempts: 10,
+		Breaker:     b,
+		Backoff:     Backoff{Base: time.Millisecond, Jitter: 0, Rand: func() float64 { return 0.5 }},
+		Sleep:       sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return errors.New("down") })
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want breaker-open", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (breaker trips after 2 consecutive failures)", calls)
+	}
+	// While open, Do fails fast without invoking the op at all.
+	calls = 0
+	if err := r.Do(context.Background(), func(context.Context) error { calls++; return nil }); !errors.Is(err, ErrOpen) || calls != 0 {
+		t.Fatalf("open breaker: err = %v, calls = %d", err, calls)
+	}
+	// After the cooldown, the probe runs and success closes it again.
+	clock.Advance(time.Minute)
+	for i := 0; i < 2; i++ {
+		if err := r.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probes = %v", got)
+	}
+}
+
+func TestRetrierBreakerDoesNotCountNonRetryable(t *testing.T) {
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 1})
+	bad := errors.New("bad request")
+	r := &Retrier{
+		MaxAttempts: 3,
+		Breaker:     b,
+		Retryable:   func(err error) bool { return !errors.Is(err, bad) },
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	_ = r.Do(context.Background(), func(context.Context) error { return bad })
+	if got := b.State(); got != Closed {
+		t.Fatalf("a caller error tripped the breaker: %v", got)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

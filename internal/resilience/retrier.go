@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// AdvisedDelayer is implemented by errors that carry a server-advised
+// minimum delay before the next attempt — the client-side face of an
+// HTTP 429 Retry-After header. The Retrier never retries sooner than
+// the advice.
+type AdvisedDelayer interface {
+	AdvisedDelay() time.Duration
+}
+
+// Retrier runs an operation with retries under a composed policy:
+// breaker admission first (fail fast with ErrOpen), then up to
+// MaxAttempts tries separated by Backoff delays, stretched to any
+// server-advised Retry-After, and abandoned early when the caller's
+// context deadline cannot fit the next attempt. The zero value is
+// usable with the defaults documented per field.
+type Retrier struct {
+	// MaxAttempts bounds total tries, first included (default 4).
+	MaxAttempts int
+	// Backoff shapes the inter-attempt delays.
+	Backoff Backoff
+	// PerAttempt, when positive, caps each individual attempt with its
+	// own sub-deadline so one stalled try cannot eat the whole budget.
+	PerAttempt time.Duration
+	// Breaker, when non-nil, gates every attempt and records outcomes.
+	// Only retryable (per Retryable) failures count against it: a 400
+	// is the caller's bug, not the server's health.
+	Breaker *Breaker
+	// Retryable classifies errors; nil retries everything except
+	// context.Canceled / context.DeadlineExceeded from the caller's own
+	// context.
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes each scheduled retry (metrics):
+	// the zero-based attempt that failed, the chosen delay, the error.
+	OnRetry func(attempt int, delay time.Duration, err error)
+	// Sleep waits between attempts; nil uses a timer honoring ctx.
+	// Injectable so policy tests never really sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Retrier) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if r.Retryable != nil {
+		return r.Retryable(err)
+	}
+	return true
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, hits a
+// non-retryable error, or the context fires. The returned error is the
+// last attempt's, wrapped with the attempt count when retries happened.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return joinAttempts(attempt, lastErr, err)
+		}
+		if r.Breaker != nil && !r.Breaker.Allow() {
+			return joinAttempts(attempt, lastErr, fmt.Errorf("%w (retry in %v)", ErrOpen, r.Breaker.OpenRemaining().Round(time.Millisecond)))
+		}
+
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if r.PerAttempt > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.PerAttempt)
+		}
+		err := op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		// A per-attempt sub-deadline expiring is this attempt's failure,
+		// not the caller giving up; translate so it stays retryable.
+		if err != nil && r.PerAttempt > 0 && ctx.Err() == nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			err = fmt.Errorf("attempt timed out after %v: %w", r.PerAttempt, errAttemptTimeout)
+		}
+
+		if err == nil {
+			if r.Breaker != nil {
+				r.Breaker.Record(true)
+			}
+			return nil
+		}
+		lastErr = err
+		retry := r.retryable(err)
+		if r.Breaker != nil && retry {
+			r.Breaker.Record(false)
+		}
+		if !retry || attempt == attempts-1 {
+			return joinAttempts(attempt+1, lastErr, nil)
+		}
+
+		delay := r.Backoff.Delay(attempt)
+		var adv AdvisedDelayer
+		if errors.As(err, &adv) {
+			if a := adv.AdvisedDelay(); a > delay {
+				delay = a
+			}
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
+			// The advised/backed-off wait overshoots the caller's budget:
+			// retrying is pointless, report the last real failure now.
+			return joinAttempts(attempt+1, lastErr, context.DeadlineExceeded)
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, delay, err)
+		}
+		if err := sleep(ctx, delay); err != nil {
+			return joinAttempts(attempt+1, lastErr, err)
+		}
+	}
+	return lastErr
+}
+
+// errAttemptTimeout marks a per-attempt sub-deadline expiry, kept
+// distinct from the caller's own context errors so it stays retryable.
+var errAttemptTimeout = errors.New("resilience: per-attempt timeout")
+
+// joinAttempts decorates the terminal error with how many attempts ran
+// and, when the loop was cut short externally (deadline, breaker), why.
+func joinAttempts(attempts int, lastErr, cause error) error {
+	switch {
+	case lastErr == nil && cause == nil:
+		return nil
+	case lastErr == nil:
+		return cause
+	case cause == nil:
+		if attempts <= 1 {
+			return lastErr
+		}
+		return fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+	default:
+		return fmt.Errorf("after %d attempts: %w (last error: %s)", attempts, cause, lastErr)
+	}
+}

@@ -2,107 +2,36 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"time"
 
 	bcc "repro"
-	"repro/internal/dataset"
+	"repro/internal/api"
 )
 
-// SolveRequest is the body of POST /v1/solve and one element of a
-// /v1/solve/batch request. The embedded instance uses the same JSON
-// schema as the CLI tools (dataset.FileFormat), so a file generated by
-// bccgen can be pasted into the "instance" field unchanged.
-type SolveRequest struct {
-	// Instance is the BCC problem ⟨Q,U,C,B⟩ to solve.
-	Instance dataset.FileFormat `json:"instance"`
-	// Algo selects the solver: abcc (default), rand, ig1, ig2, gmc3, ecc.
-	Algo string `json:"algo,omitempty"`
-	// Budget, when non-nil, overrides the instance's budget.
-	Budget *float64 `json:"budget,omitempty"`
-	// Target is the utility target for algo=gmc3 (required there).
-	Target float64 `json:"target,omitempty"`
-	// Seed drives solver randomness; 0 means the solver default.
-	Seed int64 `json:"seed,omitempty"`
-	// DeadlineMS caps the solve wall-clock. On expiry the response is
-	// still HTTP 200: the anytime result found so far with
-	// status=deadline. 0 means the server's default deadline.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// NoCache bypasses the solution cache (no lookup, no store) — for
-	// benchmarking the raw solver through the service.
-	NoCache bool `json:"no_cache,omitempty"`
-	// IncludePlan asks for the selected classifiers in the response.
-	IncludePlan bool `json:"include_plan,omitempty"`
-}
-
-// PlanClassifier is one selected classifier in a response plan.
-type PlanClassifier struct {
-	Props []string `json:"props"`
-	Cost  float64  `json:"cost"`
-}
-
-// SolveResponse is the body of a successful solve.
-type SolveResponse struct {
-	// Fingerprint is the canonical instance hash (the cache key prefix);
-	// bccsolve -fingerprint prints the same value for a local file.
-	Fingerprint string `json:"fingerprint"`
-	Algo        string `json:"algo"`
-	// Status is complete, deadline, canceled, or recovered; every status
-	// carries a budget-feasible plan (possibly empty).
-	Status  string  `json:"status"`
-	Utility float64 `json:"utility"`
-	Cost    float64 `json:"cost"`
-	Budget  float64 `json:"budget"`
-	Covered int     `json:"covered"`
-	Queries int     `json:"queries"`
-	// Target/Achieved are set for algo=gmc3.
-	Target   float64 `json:"target,omitempty"`
-	Achieved *bool   `json:"achieved,omitempty"`
-	// Ratio is set for algo=ecc when finite (a zero-cost positive-utility
-	// solution has an infinite ratio, which JSON cannot carry).
-	Ratio *float64 `json:"ratio,omitempty"`
-	// Classifiers is the plan; present only when include_plan was set.
-	Classifiers []PlanClassifier `json:"classifiers,omitempty"`
-	// Cached reports the response came from the solution cache; Shared
-	// that it came from another request's in-flight solve.
-	Cached bool `json:"cached,omitempty"`
-	Shared bool `json:"shared,omitempty"`
-	// DurationMS is this request's wall-clock (near zero on cache hits).
-	DurationMS float64 `json:"duration_ms"`
-	// SolverError carries the contained error for status recovered (or
-	// the context error for deadline/canceled).
-	SolverError string `json:"solver_error,omitempty"`
-}
-
-// BatchRequest is the body of POST /v1/solve/batch.
-type BatchRequest struct {
-	Requests []SolveRequest `json:"requests"`
-}
-
-// BatchItem is one element of a batch response: either a result or a
-// per-item error (the batch itself still answers 200).
-type BatchItem struct {
-	Result *SolveResponse `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
-	Code   int            `json:"code,omitempty"`
-}
-
-// BatchResponse is the body of a /v1/solve/batch answer.
-type BatchResponse struct {
-	Responses []BatchItem `json:"responses"`
-}
-
-// Error is an API failure: the HTTP status code plus the JSON error body.
-type Error struct {
-	Code int    `json:"-"`
-	Msg  string `json:"error"`
-}
-
-func (e *Error) Error() string { return e.Msg }
+// The wire types live in internal/api so internal/client can share them
+// without importing the server (which imports the root façade, which
+// re-exports the client). The aliases keep this package's historical
+// names working for embedders and tests.
+type (
+	// SolveRequest is the body of POST /v1/solve.
+	SolveRequest = api.SolveRequest
+	// PlanClassifier is one selected classifier in a response plan.
+	PlanClassifier = api.PlanClassifier
+	// SolveResponse is the body of a successful solve.
+	SolveResponse = api.SolveResponse
+	// BatchRequest is the body of POST /v1/solve/batch.
+	BatchRequest = api.BatchRequest
+	// BatchItem is one element of a batch response.
+	BatchItem = api.BatchItem
+	// BatchResponse is the body of a /v1/solve/batch answer.
+	BatchResponse = api.BatchResponse
+	// Error is an API failure: HTTP status code plus JSON error body.
+	Error = api.Error
+)
 
 func errorf(code int, format string, args ...any) *Error {
-	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+	return api.Errorf(code, format, args...)
 }
 
 var validAlgos = map[string]bool{

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/guard"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/solvecache"
+)
+
+// soakFor is how long TestChaosSoak drives faulted load. The default
+// keeps `go test` fast; make soak-smoke runs the CI-grade 10s soak
+// (under -race) via this flag.
+var soakFor = flag.Duration("soak", 2*time.Second, "chaos soak duration for TestChaosSoak")
+
+func TestHealthzFlips503OnDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func() (int, map[string]string) {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get(); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("pre-drain healthz = %d %v", code, body)
+	}
+	s.BeginDrain()
+	code, body := get()
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("post-drain healthz = %d %v, want 503 draining", code, body)
+	}
+	// The API itself keeps answering while draining — only the health
+	// probe flips, so requests already routed still complete.
+	if resp, out := solve(t, ts, SolveRequest{Instance: quickstartFormat(8)}); resp.StatusCode != http.StatusOK || out.Status != "complete" {
+		t.Errorf("solve while draining = %d %q", resp.StatusCode, out.Status)
+	}
+	if st := statz(t, ts); !st.Draining {
+		t.Error("statz does not report draining")
+	}
+}
+
+// TestShed429CarriesRetryAfter pins the shedding contract end to end: a
+// queue-full 429 carries a Retry-After header that parses as a positive
+// integer, and the same advice in the JSON body.
+func TestShed429CarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	guard.Arm("core.phase", func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	})
+	defer func() {
+		guard.DisarmAll()
+		close(release)
+	}()
+
+	done := make(chan struct{}, 2)
+	go func() {
+		solve(t, ts, SolveRequest{Instance: quickstartFormat(8)})
+		done <- struct{}{}
+	}()
+	<-started
+	go func() {
+		solve(t, ts, SolveRequest{Instance: quickstartFormat(9)})
+		done <- struct{}{}
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.pool.QueueDepth() != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("second request never reached the queue")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: quickstartFormat(10)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, data)
+	}
+	h := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs <= 0 {
+		t.Fatalf("Retry-After header %q does not parse as a positive integer (%v)", h, err)
+	}
+	var e struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body %s: %v", data, err)
+	}
+	if e.RetryAfterSeconds != secs {
+		t.Errorf("body advice %ds != header %ds", e.RetryAfterSeconds, secs)
+	}
+	if hint := statz(t, ts).RetryAfterHint; hint <= 0 {
+		t.Errorf("statz retry_after_hint_seconds = %d", hint)
+	}
+
+	close(release)
+	guard.DisarmAll()
+	<-done
+	<-done
+	release = make(chan struct{}) // disarm the deferred double close
+}
+
+// TestSnapshotSurvivesKillRestart is the ISSUE's warm-restart check: a
+// solved instance saved by server A is served straight from cache by a
+// fresh server B restored from the snapshot — the hit counter moves, no
+// solver runs.
+func TestSnapshotSurvivesKillRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bccsnap")
+	req := SolveRequest{Instance: quickstartFormat(8), IncludePlan: true}
+
+	a, tsA := newTestServer(t, Config{})
+	_, first := solve(t, tsA, req)
+	if first.Status != "complete" || first.Cached {
+		t.Fatalf("priming solve: %+v", first)
+	}
+	if n, err := a.SaveSnapshot(path); err != nil || n != 1 {
+		t.Fatalf("SaveSnapshot = (%d, %v)", n, err)
+	}
+	tsA.Close()
+	a.Close() // the "kill" (graceful here; crash-safety is snapshot_test's job)
+
+	b, tsB := newTestServer(t, Config{})
+	if n, err := b.RestoreSnapshot(path); err != nil || n != 1 {
+		t.Fatalf("RestoreSnapshot = (%d, %v)", n, err)
+	}
+	_, warmed := solve(t, tsB, req)
+	if !warmed.Cached {
+		t.Error("restored instance was not served from cache")
+	}
+	if warmed.Utility != first.Utility || warmed.Cost != first.Cost || warmed.Fingerprint != first.Fingerprint {
+		t.Errorf("restored result drifted: %+v vs %+v", warmed, first)
+	}
+	if len(warmed.Classifiers) != len(first.Classifiers) {
+		t.Errorf("restored plan lost classifiers: %d vs %d", len(warmed.Classifiers), len(first.Classifiers))
+	}
+	st := statz(t, tsB)
+	if st.Solves != 0 {
+		t.Errorf("server B ran %d solves for a snapshotted instance, want 0", st.Solves)
+	}
+	if st.Cache.Hits != 1 || st.Snapshot.RestoredEntries != 1 {
+		t.Errorf("server B stats: hits=%d restored=%d", st.Cache.Hits, st.Snapshot.RestoredEntries)
+	}
+
+	// A garbage snapshot is reported, counted, and non-fatal.
+	c, tsC := newTestServer(t, Config{})
+	bad := filepath.Join(t.TempDir(), "bad.bccsnap")
+	if err := os.WriteFile(bad, []byte("bccsnap/9 00000000 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RestoreSnapshot(bad); err == nil {
+		t.Error("corrupt snapshot restored without error")
+	}
+	if resp, _ := solve(t, tsC, req); resp.StatusCode != http.StatusOK {
+		t.Errorf("server with rejected snapshot cannot serve: %d", resp.StatusCode)
+	}
+	if st := statz(t, tsC); st.Snapshot.LoadErrors != 1 {
+		t.Errorf("LoadErrors = %d, want 1", st.Snapshot.LoadErrors)
+	}
+}
+
+// everyNth returns a fault that panics on every nth firing — the soak's
+// deterministic, race-clean stand-in for probabilistic faults.
+func everyNth(n uint64, msg string) func() {
+	var count atomic.Uint64
+	return func() {
+		if count.Add(1)%n == 0 {
+			panic(msg)
+		}
+	}
+}
+
+// TestChaosSoak drives concurrent retrying clients through a server
+// with panic faults armed at the admission, dequeue, cache and solver
+// layers, then checks the wreckage: every request got a valid answer,
+// panics were counted not fatal, snapshots taken mid-chaos are never
+// torn, the breaker/retry metrics exported, and no goroutines leaked.
+func TestChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 2, Queue: 4, CacheTTL: time.Minute, DefaultDeadline: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+
+	// Four injection points across the serving stack (the ISSUE floor is
+	// three): request admission, worker dequeue, cache lookup and store —
+	// plus a solver-phase fault so pool jobs die mid-solve too.
+	guard.Arm("server.admit", everyNth(31, "chaos: admit"))
+	guard.Arm("server.pool.dequeue", everyNth(37, "chaos: dequeue"))
+	guard.Arm("solvecache.get", everyNth(41, "chaos: cache get"))
+	guard.Arm("solvecache.put", everyNth(11, "chaos: cache put"))
+	guard.Arm("core.phase", everyNth(43, "chaos: solver"))
+	defer guard.DisarmAll()
+
+	transport := &http.Transport{}
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Config{
+		BaseURL:     ts.URL,
+		HTTPClient:  &http.Client{Transport: transport},
+		MaxAttempts: 3,
+		Backoff:     resilience.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		// Ratio policy with a high bar: induced faults are scattered, the
+		// breaker should mostly stay closed and keep the load flowing.
+		Breaker:  &resilience.BreakerConfig{ConsecutiveFailures: -1, FailureRatio: 0.9, Cooldown: 100 * time.Millisecond},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot writer races the chaos: saves must either land whole or
+	// fail cleanly — never produce a torn file.
+	snapPath := filepath.Join(t.TempDir(), "soak.bccsnap")
+	guard.Arm("solvecache.snapshot.save", everyNth(4, "chaos: snapshot save"))
+	saverDone := make(chan struct{})
+	saverCtx, stopSaver := context.WithCancel(context.Background())
+	go func() {
+		defer close(saverDone)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-saverCtx.Done():
+				return
+			case <-tick.C:
+				_, _ = s.SaveSnapshot(snapPath)
+			}
+		}
+	}()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Client:      cl,
+		Requests:    loadgen.SyntheticWorkload(6, 42),
+		Concurrency: 8,
+		Duration:    *soakFor,
+		BatchEvery:  7,
+		BatchSize:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopSaver()
+	<-saverDone
+	guard.DisarmAll()
+
+	t.Logf("soak report:\n%s", rep.String())
+	if rep.Ops < 50 {
+		t.Fatalf("soak barely ran: %d ops", rep.Ops)
+	}
+	if rep.Ops != rep.OK+rep.Failed {
+		t.Errorf("ops %d != ok %d + failed %d: some request got no classified answer", rep.Ops, rep.OK, rep.Failed)
+	}
+	for status := range rep.Statuses {
+		switch status {
+		case "complete", "deadline", "canceled", "recovered":
+		default:
+			t.Errorf("invalid solve status %q reached a client", status)
+		}
+	}
+	for class := range rep.Errors {
+		switch class {
+		case "http-429", "http-5xx", "breaker-open", "deadline", "item-429", "item-500":
+		default:
+			// http-4xx here would mean chaos corrupted a request into a
+			// validation error; transport would mean a connection died
+			// without an HTTP answer — both break the "every request gets a
+			// valid status" contract.
+			t.Errorf("unexpected error class %q: %d", class, rep.Errors[class])
+		}
+	}
+
+	st := s.Statz()
+	if st.PanicsRecovered == 0 {
+		t.Error("no panics recovered — the faults never fired")
+	}
+	if st.Snapshot.Saves == 0 || st.Snapshot.SaveErrors == 0 {
+		t.Errorf("snapshot chaos missed a side: saves=%d errors=%d", st.Snapshot.Saves, st.Snapshot.SaveErrors)
+	}
+
+	// The last mid-chaos snapshot on disk must restore whole.
+	fresh := solvecache.New(1024, 0)
+	if n, err := solvecache.Load(snapPath, fresh, func(raw []byte) (any, error) {
+		var v SolveResponse
+		return &v, json.Unmarshal(raw, &v)
+	}); err != nil || n != fresh.Len() {
+		t.Errorf("mid-chaos snapshot torn: Load = (%d, %v), cache holds %d", n, err, fresh.Len())
+	}
+
+	// After the storm: with faults disarmed the same workload flows clean
+	// (a fresh breaker-less client, so a breaker left open by the soak
+	// cannot flake this check).
+	calm, err := client.New(client.Config{BaseURL: ts.URL, MaxAttempts: 5, DisableBreaker: true,
+		HTTPClient: &http.Client{Transport: transport},
+		Backoff:    resilience.Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range loadgen.SyntheticWorkload(3, 42) {
+		resp, err := calm.Solve(context.Background(), &req)
+		if err != nil {
+			t.Errorf("post-chaos solve failed: %v", err)
+			continue
+		}
+		if resp.Status != "complete" {
+			t.Errorf("post-chaos status %q", resp.Status)
+		}
+	}
+
+	// Breaker/retry series are on the client registry; panic/snapshot
+	// counters on the server's /metrics.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bcc_retry_total", "bcc_breaker_state"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("client metrics missing %s", want)
+		}
+	}
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bcc_panics_recovered_total", "bcc_snapshot_saves_total", "bcc_snapshot_age_seconds", "bcc_draining 0"} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("server metrics missing %s", want)
+		}
+	}
+
+	// Tear everything down and verify nothing leaked: workers, flights,
+	// saver and HTTP machinery must all unwind.
+	ts.Close()
+	s.Close()
+	transport.CloseIdleConnections()
+	deadline := time.After(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 {
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

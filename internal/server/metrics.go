@@ -46,6 +46,29 @@ func (s *Server) initMetrics() {
 	reg.CounterFunc("bcc_deadline_results_total", "HTTP 200 answers carrying a non-complete status.", nil,
 		func() float64 { return float64(s.deadlineResults.Load()) })
 
+	reg.CounterFunc("bcc_panics_recovered_total", "Handler/worker/snapshot panics contained into responses.", nil,
+		func() float64 { return float64(s.panics.Load()) })
+	reg.GaugeFunc("bcc_draining", "1 once BeginDrain was called (healthz answers 503), else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("bcc_retry_after_hint_seconds", "Current adaptive Retry-After advice for shed requests.", nil,
+		func() float64 { return float64(s.retryAfterSeconds()) })
+
+	reg.CounterFunc("bcc_snapshot_saves_total", "Successful cache snapshot saves.", nil,
+		func() float64 { return float64(s.snapSaves.Load()) })
+	reg.CounterFunc("bcc_snapshot_save_errors_total", "Failed cache snapshot saves (incl. contained panics).", nil,
+		func() float64 { return float64(s.snapSaveErrors.Load()) })
+	reg.CounterFunc("bcc_snapshot_restored_entries_total", "Cache entries restored from snapshots.", nil,
+		func() float64 { return float64(s.snapRestored.Load()) })
+	reg.CounterFunc("bcc_snapshot_load_errors_total", "Rejected snapshot loads (missing, corrupt, version mismatch).", nil,
+		func() float64 { return float64(s.snapLoadErrors.Load()) })
+	reg.GaugeFunc("bcc_snapshot_age_seconds", "Seconds since the last successful snapshot save (-1 = never).", nil,
+		s.snapshotAgeSeconds)
+
 	reg.GaugeFunc("bcc_cache_entries", "Live solution cache entries.", nil,
 		func() float64 { return float64(s.cache.Stats().Entries) })
 	reg.GaugeFunc("bcc_cache_inflight", "Single-flight leaders currently running.", nil,
@@ -60,32 +83,54 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.cache.Stats().Evictions) })
 }
 
-// statusWriter captures the status code a handler writes so the
-// instrumentation can label the request's series with it.
+// statusWriter captures the status code a handler writes (and whether
+// anything was written at all) so the instrumentation can label the
+// request's series with it and the panic containment knows whether a
+// JSON 500 can still be sent.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
 // instrument wraps a handler with per-route/status latency and count
-// recording: a bcc_http_request_seconds{route,code} histogram and a
-// bcc_http_requests_total{route,code} counter. Series are resolved
-// after the handler ran, when the status code is known; get-or-create
-// makes that race-free.
+// recording — a bcc_http_request_seconds{route,code} histogram and a
+// bcc_http_requests_total{route,code} counter — plus panic containment:
+// a handler panic (e.g. an armed admission fault) becomes a JSON 500
+// answer instead of net/http's bare connection reset, so chaos clients
+// always receive a parseable status. Series are resolved after the
+// handler ran, when the status code is known; get-or-create makes that
+// race-free.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						errorf(http.StatusInternalServerError, "internal panic: %v", p))
+				}
+			}
+			labels := obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}
+			s.reg.Histogram("bcc_http_request_seconds", "HTTP request latency by route and status.",
+				labels, obs.DefBuckets).Observe(time.Since(start).Seconds())
+			s.reg.Counter("bcc_http_requests_total", "HTTP requests by route and status.", labels).Inc()
+		}()
 		h(sw, r)
-		labels := obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}
-		s.reg.Histogram("bcc_http_request_seconds", "HTTP request latency by route and status.",
-			labels, obs.DefBuckets).Observe(time.Since(start).Seconds())
-		s.reg.Counter("bcc_http_requests_total", "HTTP requests by route and status.", labels).Inc()
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	bcc "repro"
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/solvecache"
 )
@@ -110,6 +111,21 @@ type Server struct {
 	badRequests     atomic.Uint64 // 4xx validation failures
 	deadlineResults atomic.Uint64 // 200 answers with a non-complete status
 	inflight        atomic.Int64  // solver executions running on the pool right now
+	panics          atomic.Uint64 // handler/worker panics contained into responses
+	draining        atomic.Bool   // BeginDrain called; healthz answers 503
+
+	// Snapshot persistence counters (SaveSnapshot / RestoreSnapshot).
+	snapSaves      atomic.Uint64
+	snapSaveErrors atomic.Uint64
+	snapRestored   atomic.Uint64 // entries restored across all loads
+	snapLoadErrors atomic.Uint64
+	snapLastUnixNS atomic.Int64 // wall clock of the last successful save; 0 = never
+
+	// solveHists tracks every bcc_solve_seconds series this server has
+	// created, so the shedding advice can aggregate recent solve latency
+	// across algos/statuses without scraping the exposition text.
+	solveHistMu sync.Mutex
+	solveHists  []*obs.Histogram
 }
 
 // New builds a Server from cfg.
@@ -130,10 +146,21 @@ func New(cfg Config) *Server {
 // to add their own series next to the server's).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Close stops admission and drains in-flight and queued solves.
+// Close stops admission and drains in-flight and queued solves. It
+// implies BeginDrain, so a health check racing a shutdown sees 503.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.closeOnce.Do(func() { s.pool.Close() })
 }
+
+// BeginDrain flips /v1/healthz to 503 so load balancers stop routing
+// new traffic, while the API keeps answering requests already arriving.
+// cmd/bccserver calls it when the shutdown signal lands, before the
+// listener stops accepting.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Cache exposes the solution cache (tests and the warm-up path).
 func (s *Server) Cache() *solvecache.Cache { return s.cache }
@@ -161,6 +188,10 @@ var errQueueFull = errorf(http.StatusTooManyRequests, "server overloaded: worker
 func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveResponse, *Error) {
 	s.requests.Add(1)
 	start := time.Now()
+	// Chaos hook at admission: armed delays simulate a slow front door,
+	// armed panics are contained by the handler middleware into a JSON
+	// 500 (and by recoverBatchItem for batch items).
+	guard.Inject("server.admit")
 
 	algo := req.Algo
 	if algo == "" {
@@ -204,13 +235,27 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	lead := func() (any, bool, error) {
 		resCh := make(chan *SolveResponse, 1)
 		admitted := s.pool.TrySubmit(func() {
+			// The worker must produce exactly one response no matter
+			// what: a panic below (a solver bug outside the guard's
+			// containment, or an armed dequeue fault) is folded into a
+			// status=recovered answer so the waiting request never
+			// hangs and the worker goroutine survives.
+			answered := false
+			defer func() {
+				s.inflight.Add(-1)
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					if !answered {
+						resCh <- recoveredResponse(fp, algo, in, p)
+					}
+				}
+			}()
 			s.inflight.Add(1)
+			guard.Inject("server.pool.dequeue")
 			t0 := time.Now()
 			resp := runSolve(ctx, in, algo, req, fp)
-			s.reg.Histogram("bcc_solve_seconds", "Solver execution time by algorithm and final status.",
-				obs.Labels{"algo": algo, "status": resp.Status}, solveBuckets).
-				Observe(time.Since(t0).Seconds())
-			s.inflight.Add(-1)
+			s.observeSolve(algo, resp.Status, time.Since(t0).Seconds())
+			answered = true
 			resCh <- resp
 		})
 		if !admitted {
@@ -240,6 +285,9 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 		if errors.As(runErr, &apiErr) {
 			if apiErr == errQueueFull {
 				s.rejected.Add(1)
+				// Shed with advice: a fresh Error per rejection, carrying
+				// the Retry-After the pressure model computed right now.
+				return nil, s.shedError()
 			}
 			return nil, apiErr
 		}
@@ -282,6 +330,93 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	return &resp, nil
 }
 
+// observeSolve records one solver execution in the per-algo/status
+// latency histogram and remembers the series handle so the shedding
+// advice can aggregate over every series created so far.
+func (s *Server) observeSolve(algo, status string, seconds float64) {
+	h := s.reg.Histogram("bcc_solve_seconds", "Solver execution time by algorithm and final status.",
+		obs.Labels{"algo": algo, "status": status}, solveBuckets)
+	s.solveHistMu.Lock()
+	seen := false
+	for _, have := range s.solveHists {
+		if have == h {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		s.solveHists = append(s.solveHists, h)
+	}
+	s.solveHistMu.Unlock()
+	h.Observe(seconds)
+}
+
+// avgSolveSeconds aggregates mean solve latency across every
+// bcc_solve_seconds series (all algos and statuses). It reports ok =
+// false before the first completed solve.
+func (s *Server) avgSolveSeconds() (float64, bool) {
+	s.solveHistMu.Lock()
+	hists := append([]*obs.Histogram(nil), s.solveHists...)
+	s.solveHistMu.Unlock()
+	var count uint64
+	var sum float64
+	for _, h := range hists {
+		count += h.Count()
+		sum += h.Sum()
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}
+
+// retryAfterSeconds is the adaptive shedding advice: the estimated time
+// to drain the work already ahead of a new arrival — (queued + running)
+// solves spread over the workers, each taking the observed mean solve
+// latency — clamped to [1s, 60s] and rounded up to whole seconds, the
+// granularity the Retry-After header speaks.
+func (s *Server) retryAfterSeconds() int {
+	avg, ok := s.avgSolveSeconds()
+	if !ok {
+		return 1 // no history yet: advise the minimum, not a guess
+	}
+	pool := s.pool.Snapshot()
+	ahead := float64(pool.QueueDepth) + float64(s.inflight.Load())
+	secs := (ahead + 1) * avg / float64(pool.Workers)
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
+// shedError builds the 429 answer for a full queue, carrying the
+// current Retry-After advice in both the JSON body and (via writeError)
+// the HTTP header.
+func (s *Server) shedError() *Error {
+	e := errorf(http.StatusTooManyRequests, "server overloaded: worker queue full, retry later")
+	e.RetryAfterSeconds = s.retryAfterSeconds()
+	return e
+}
+
+// recoveredResponse is the answer for a solve whose worker panicked
+// outside the solver guard's own containment: the trivially feasible
+// empty plan, status=recovered, with the panic recorded as the solver
+// error — same contract as the in-solver degradation ladder's floor.
+func recoveredResponse(fp, algo string, in *bcc.Instance, p any) *SolveResponse {
+	return &SolveResponse{
+		Fingerprint: fp,
+		Algo:        algo,
+		Status:      bcc.Recovered.String(),
+		Budget:      in.Budget(),
+		Queries:     in.NumQueries(),
+		SolverError: fmt.Sprintf("recovered panic on pool worker: %v", p),
+	}
+}
+
 // cacheKey extends the instance fingerprint with every request parameter
 // that changes the answer. The deadline is deliberately excluded: it
 // changes how long we search, not what the full answer is, and truncated
@@ -294,12 +429,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if apiErr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
 		s.badRequests.Add(1)
-		writeJSON(w, apiErr.Code, apiErr)
+		writeError(w, apiErr)
 		return
 	}
 	resp, apiErr := s.Solve(r.Context(), &req)
 	if apiErr != nil {
-		writeJSON(w, apiErr.Code, apiErr)
+		writeError(w, apiErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -309,18 +444,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var batch BatchRequest
 	if apiErr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &batch); apiErr != nil {
 		s.badRequests.Add(1)
-		writeJSON(w, apiErr.Code, apiErr)
+		writeError(w, apiErr)
 		return
 	}
 	if len(batch.Requests) == 0 {
 		s.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorf(http.StatusBadRequest, "batch has no requests"))
+		writeError(w, errorf(http.StatusBadRequest, "batch has no requests"))
 		return
 	}
 	if len(batch.Requests) > s.cfg.MaxBatch {
 		s.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest,
-			errorf(http.StatusBadRequest, "batch of %d exceeds the %d-request cap", len(batch.Requests), s.cfg.MaxBatch))
+		writeError(w, errorf(http.StatusBadRequest, "batch of %d exceeds the %d-request cap", len(batch.Requests), s.cfg.MaxBatch))
 		return
 	}
 	// Items run concurrently; the pool bounds actual solver parallelism
@@ -331,9 +465,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// These goroutines are outside net/http's per-request panic
+			// recovery: a contained failure answers the one item, not
+			// the process.
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					items[i] = BatchItem{
+						Error: fmt.Sprintf("internal panic: %v", p),
+						Code:  http.StatusInternalServerError,
+					}
+				}
+			}()
 			resp, apiErr := s.Solve(r.Context(), &batch.Requests[i])
 			if apiErr != nil {
-				items[i] = BatchItem{Error: apiErr.Msg, Code: apiErr.Code}
+				items[i] = BatchItem{Error: apiErr.Msg, Code: apiErr.Code, RetryAfterSeconds: apiErr.RetryAfterSeconds}
 				return
 			}
 			items[i] = BatchItem{Result: resp}
@@ -343,8 +489,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: items})
 }
 
+// handleHealthz is the load-balancer probe: 200 while serving, 503 once
+// draining so routers take the instance out of rotation while in-flight
+// requests finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SnapshotStats is the /v1/statz view of the crash-safe cache
+// persistence, captured as one struct (see Server.snapshotStats).
+type SnapshotStats struct {
+	// Saves / SaveErrors count SaveSnapshot outcomes.
+	Saves      uint64 `json:"saves"`
+	SaveErrors uint64 `json:"save_errors"`
+	// RestoredEntries counts cache entries brought back by
+	// RestoreSnapshot across all loads; LoadErrors counts rejected
+	// (missing, corrupt, version-mismatched) snapshot files.
+	RestoredEntries uint64 `json:"restored_entries"`
+	LoadErrors      uint64 `json:"load_errors"`
+	// LastSaveUnixMS is the wall clock of the last successful save
+	// (0 = never); AgeSeconds is derived from it (-1 = never).
+	LastSaveUnixMS int64   `json:"last_save_unix_ms"`
+	AgeSeconds     float64 `json:"age_seconds"`
 }
 
 // Statz is the GET /v1/statz body.
@@ -361,7 +531,11 @@ type Statz struct {
 	Rejected        uint64           `json:"rejected"`
 	BadRequests     uint64           `json:"bad_requests"`
 	DeadlineResults uint64           `json:"deadline_results"`
+	PanicsRecovered uint64           `json:"panics_recovered"`
+	Draining        bool             `json:"draining"`
+	RetryAfterHint  int              `json:"retry_after_hint_seconds"`
 	Cache           solvecache.Stats `json:"cache"`
+	Snapshot        SnapshotStats    `json:"snapshot"`
 }
 
 // snapshot captures every statz field in one pass, in an order that
@@ -387,9 +561,104 @@ func (s *Server) snapshot() Statz {
 	st.Rejected = s.rejected.Load()
 	st.BadRequests = s.badRequests.Load()
 	st.DeadlineResults = s.deadlineResults.Load()
+	st.PanicsRecovered = s.panics.Load()
 	st.Requests = s.requests.Load()
+	st.Draining = s.draining.Load()
+	st.RetryAfterHint = s.retryAfterSeconds()
+	st.Snapshot = s.snapshotStats()
 	st.UptimeSeconds = time.Since(s.start).Seconds()
 	return st
+}
+
+// Statz returns the single-snapshot operational counters — the
+// programmatic form of GET /v1/statz, used by embedders (cmd/bccload's
+// chaos mode) that hold the *Server directly.
+func (s *Server) Statz() Statz { return s.snapshot() }
+
+// snapshotStats captures the persistence counters in dominance order
+// (error counters before their totals would matter if one derived from
+// the other; here the only invariant is that age is computed from the
+// same timestamp that is reported).
+func (s *Server) snapshotStats() SnapshotStats {
+	st := SnapshotStats{
+		Saves:           s.snapSaves.Load(),
+		SaveErrors:      s.snapSaveErrors.Load(),
+		RestoredEntries: s.snapRestored.Load(),
+		LoadErrors:      s.snapLoadErrors.Load(),
+		AgeSeconds:      -1,
+	}
+	if ns := s.snapLastUnixNS.Load(); ns != 0 {
+		st.LastSaveUnixMS = ns / int64(time.Millisecond)
+		st.AgeSeconds = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	return st
+}
+
+// snapshotAgeSeconds is the bcc_snapshot_age_seconds gauge: seconds
+// since the last successful save, -1 before the first one.
+func (s *Server) snapshotAgeSeconds() float64 {
+	ns := s.snapLastUnixNS.Load()
+	if ns == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, ns)).Seconds()
+}
+
+// SaveSnapshot persists the solution cache to path in the bccsnap/1
+// format (atomic rename; see internal/solvecache). Panics from armed
+// snapshot faults are contained into the returned error so a periodic
+// snapshot timer can never take the server down.
+func (s *Server) SaveSnapshot(path string) (n int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("snapshot save panicked: %v", p)
+		}
+		if err != nil {
+			s.snapSaveErrors.Add(1)
+		}
+	}()
+	n, err = solvecache.Save(path, s.cache, func(v any) ([]byte, error) {
+		resp, ok := v.(*SolveResponse)
+		if !ok {
+			return nil, fmt.Errorf("unexpected cache value %T", v)
+		}
+		return json.Marshal(resp)
+	})
+	if err == nil {
+		s.snapSaves.Add(1)
+		s.snapLastUnixNS.Store(time.Now().UnixNano())
+	}
+	return n, err
+}
+
+// RestoreSnapshot loads a snapshot written by SaveSnapshot. Corrupt or
+// version-mismatched files (and armed load faults) are contained into
+// the returned error and counted; the caller logs and starts cold.
+func (s *Server) RestoreSnapshot(path string) (n int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("snapshot load panicked: %v", p)
+		}
+		if err != nil {
+			s.snapLoadErrors.Add(1)
+		}
+	}()
+	n, err = solvecache.Load(path, s.cache, func(raw []byte) (any, error) {
+		var resp SolveResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return nil, err
+		}
+		// Restored answers always present as cache hits; scrub the
+		// per-request fields of whoever originally solved them.
+		resp.Cached, resp.Shared, resp.DurationMS = false, false, 0
+		return &resp, nil
+	})
+	if err == nil {
+		s.snapRestored.Add(uint64(n))
+	}
+	return n, err
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -408,6 +677,16 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 		return errorf(http.StatusBadRequest, "decoding request: %v", err)
 	}
 	return nil
+}
+
+// writeError renders an API error, mirroring any retry advice into the
+// standard Retry-After header (delay-seconds form) so plain HTTP
+// clients and proxies see it without parsing the JSON body.
+func writeError(w http.ResponseWriter, apiErr *Error) {
+	if apiErr.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", apiErr.RetryAfterSeconds))
+	}
+	writeJSON(w, apiErr.Code, apiErr)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {

@@ -1,0 +1,221 @@
+package solvecache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// payload is the stand-in for the server's cached response objects.
+type payload struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func encodePayload(v any) ([]byte, error) { return json.Marshal(v) }
+
+func decodePayload(raw []byte) (any, error) {
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func snapPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "cache.bccsnap")
+}
+
+func TestSnapshotRoundTripPreservesEntriesAndRecency(t *testing.T) {
+	src := New(10, 0)
+	for i := 0; i < 4; i++ {
+		src.Put(fmt.Sprintf("k%d", i), &payload{Name: "v", N: i})
+	}
+	src.Get("k1") // bump k1 to most-recent
+
+	path := snapPath(t)
+	n, err := Save(path, src, encodePayload)
+	if err != nil || n != 4 {
+		t.Fatalf("Save = (%d, %v), want (4, nil)", n, err)
+	}
+
+	dst := New(10, 0)
+	restored, err := Load(path, dst, decodePayload)
+	if err != nil || restored != 4 {
+		t.Fatalf("Load = (%d, %v), want (4, nil)", restored, err)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := dst.Get(fmt.Sprintf("k%d", i))
+		if !ok {
+			t.Fatalf("k%d missing after restore", i)
+		}
+		if p := v.(*payload); p.N != i {
+			t.Errorf("k%d = %+v", i, p)
+		}
+	}
+
+	// Recency survived: with capacity 2, importing again must keep the
+	// two entries that were most recent at save time (k1 bumped, then
+	// k3 was the newest insert).
+	small := New(2, 0)
+	if _, err := Load(path, small, decodePayload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := small.Get("k1"); !ok {
+		t.Error("most-recent entry k1 evicted on restore into a small cache")
+	}
+	if _, ok := small.Get("k3"); !ok {
+		t.Error("second-most-recent entry k3 evicted on restore into a small cache")
+	}
+}
+
+func TestSnapshotHonorsAbsoluteExpiry(t *testing.T) {
+	src := New(10, time.Hour)
+	src.Put("fresh", &payload{Name: "fresh"})
+	// Hand-expire one entry by injecting a past-expiry export.
+	path := snapPath(t)
+	if _, err := Save(path, src, encodePayload); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(10, 0)
+	clock := time.Now()
+	dst.now = func() time.Time { return clock }
+	if n, err := Load(path, dst, decodePayload); err != nil || n != 1 {
+		t.Fatalf("Load = (%d, %v)", n, err)
+	}
+	// Advance the restored cache past the original absolute expiry: the
+	// entry must lapse even though this cache has no TTL of its own.
+	dst.now = func() time.Time { return clock.Add(2 * time.Hour) }
+	if _, ok := dst.Get("fresh"); ok {
+		t.Error("entry outlived its pre-restart TTL")
+	}
+
+	// A snapshot restored after everything expired inserts nothing.
+	late := New(10, 0)
+	late.now = func() time.Time { return clock.Add(3 * time.Hour) }
+	if n, err := Load(path, late, decodePayload); err != nil || n != 0 {
+		t.Errorf("expired snapshot restored %d entries (%v), want 0", n, err)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	src := New(10, 0)
+	src.Put("k", &payload{Name: "v", N: 1})
+	path := snapPath(t)
+	if _, err := Save(path, src, encodePayload); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"flipped body byte": append(append([]byte{}, good[:len(good)-3]...), good[len(good)-3]^0x40, good[len(good)-2], good[len(good)-1]),
+		"truncated":         good[:len(good)-5],
+		"wrong version":     []byte(strings.Replace(string(good), "bccsnap/1", "bccsnap/9", 1)),
+		"no header":         []byte("garbage with no newline"),
+		"empty":             {},
+		"random junk":       []byte("\x00\x01\x02leftover from some other tool\n{}"),
+	}
+	for name, data := range cases {
+		p := filepath.Join(t.TempDir(), "bad.bccsnap")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst := New(10, 0)
+		n, err := Load(p, dst, decodePayload)
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: err = %v, want *FormatError", name, err)
+		}
+		if n != 0 || dst.Len() != 0 {
+			t.Errorf("%s: corrupt snapshot restored %d entries", name, n)
+		}
+	}
+
+	// A missing file is a distinct, not-a-FormatError condition.
+	_, err = Load(filepath.Join(t.TempDir(), "nope.bccsnap"), New(10, 0), decodePayload)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestSnapshotSaveIsAtomicUnderFault(t *testing.T) {
+	src := New(10, 0)
+	src.Put("k", &payload{Name: "old", N: 1})
+	path := snapPath(t)
+	if _, err := Save(path, src, encodePayload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm a panic at the save point: the crash happens before the temp
+	// file replaces the good snapshot, which must stay intact.
+	guard.Arm("solvecache.snapshot.save", guard.PanicFault("chaos: save"))
+	defer guard.DisarmAll()
+	src.Put("k", &payload{Name: "new", N: 2})
+	func() {
+		defer func() { recover() }()
+		_, _ = Save(path, src, encodePayload)
+		t.Error("armed save fault did not fire")
+	}()
+	guard.DisarmAll()
+
+	dst := New(10, 0)
+	if n, err := Load(path, dst, decodePayload); err != nil || n != 1 {
+		t.Fatalf("Load after failed save = (%d, %v)", n, err)
+	}
+	v, _ := dst.Get("k")
+	if p := v.(*payload); p.Name != "old" {
+		t.Errorf("interrupted save corrupted the previous snapshot: %+v", p)
+	}
+}
+
+func TestSnapshotSkipsUnencodableValues(t *testing.T) {
+	src := New(10, 0)
+	src.Put("good", &payload{Name: "v"})
+	src.Put("bad", make(chan int)) // json.Marshal rejects channels
+	path := snapPath(t)
+	n, err := Save(path, src, encodePayload)
+	if err != nil || n != 1 {
+		t.Fatalf("Save = (%d, %v), want the one encodable entry and no error", n, err)
+	}
+	dst := New(10, 0)
+	if restored, err := Load(path, dst, decodePayload); err != nil || restored != 1 {
+		t.Fatalf("Load = (%d, %v)", restored, err)
+	}
+}
+
+func TestExportSharesValuesImportOverwrites(t *testing.T) {
+	c := New(2, 0)
+	c.Put("a", &payload{Name: "a"})
+	entries := c.Export()
+	if len(entries) != 1 || entries[0].Key != "a" {
+		t.Fatalf("export = %+v", entries)
+	}
+	// Import over an existing key replaces the value in place.
+	entries[0].Value = &payload{Name: "a2"}
+	if n := c.Import(entries); n != 1 {
+		t.Fatalf("Import = %d", n)
+	}
+	v, _ := c.Get("a")
+	if v.(*payload).Name != "a2" {
+		t.Errorf("import did not overwrite: %+v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", c.Len())
+	}
+	// Storage-disabled caches import nothing.
+	if n := New(0, 0).Import(entries); n != 0 {
+		t.Errorf("capacity-0 cache imported %d entries", n)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // Outcome reports how Do obtained its value.
@@ -182,7 +184,15 @@ func (c *Cache) Stats() Stats {
 // A waiter whose ctx fires before the leader finishes gets ctx.Err();
 // the leader itself runs fn to completion regardless of ctx, so its
 // value still lands in the cache for the next caller.
+//
+// Fault-injection points (armed by chaos tests, free otherwise): the
+// "solvecache.get" point fires on every Do entry and "solvecache.put"
+// before a leader stores its value — both outside the cache lock, so an
+// armed delay stalls the request, not the whole cache, and an armed
+// panic unwinds without wedging the mutex (the leader's deferred flight
+// cleanup still runs, so waiters get ErrLeaderAborted, never a hang).
 func (c *Cache) Do(ctx context.Context, key string, fn func() (value any, cacheable bool, err error)) (any, Outcome, error) {
+	guard.Inject("solvecache.get")
 	c.mu.Lock()
 	if v, ok := c.getLocked(key); ok {
 		c.mu.Unlock()
@@ -218,7 +228,72 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (value any, cachea
 	f.val, f.err = value, err
 	completed = true
 	if err == nil && cacheable {
+		guard.Inject("solvecache.put")
 		c.Put(key, value)
 	}
 	return value, Miss, err
+}
+
+// Entry is one exported cache record, as handed out by Export and
+// accepted by Import. Expires is absolute (zero means no expiry), so a
+// snapshot restored after a restart honors the original TTL rather than
+// granting entries a fresh lease.
+type Entry struct {
+	Key     string
+	Expires time.Time
+	Value   any
+}
+
+// Export captures the live entries most-recently-used first, skipping
+// already-expired ones. The values are the cached values themselves —
+// shared, not copied — so callers must treat them as read-only, same as
+// a Get hit.
+func (c *Cache) Export() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]Entry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !e.expires.IsZero() && now.After(e.expires) {
+			continue
+		}
+		out = append(out, Entry{Key: e.key, Expires: e.expires, Value: e.value})
+	}
+	return out
+}
+
+// Import inserts entries produced by Export (most-recently-used first),
+// preserving their absolute expiries and relative recency: entries are
+// pushed least-recent-first so the first slice element ends up at the
+// front of the LRU. Already-expired entries are skipped, existing keys
+// are overwritten, and capacity pressure evicts as usual. It reports
+// how many entries were actually inserted.
+func (c *Cache) Import(entries []Entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return 0
+	}
+	now := c.now()
+	added := 0
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if !e.Expires.IsZero() && now.After(e.Expires) {
+			continue
+		}
+		if el, ok := c.entries[e.Key]; ok {
+			ent := el.Value.(*entry)
+			ent.value, ent.expires = e.Value, e.Expires
+			c.lru.MoveToFront(el)
+		} else {
+			c.entries[e.Key] = c.lru.PushFront(&entry{key: e.Key, value: e.Value, expires: e.Expires})
+		}
+		added++
+		for c.lru.Len() > c.capacity {
+			c.removeLocked(c.lru.Back())
+			c.stats.Evictions++
+		}
+	}
+	return added
 }
