@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke load chaos
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke load chaos
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,10 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout=30m ./...
 
-## bench-json: regenerate BENCH_PR3.json, the versioned machine-readable
+## bench-json: regenerate BENCH_PR5.json, the versioned machine-readable
 ## benchmark report (ns/op, allocs, per-stage time splits per algorithm).
 bench-json:
-	$(GO) run ./cmd/bccbench -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/bccbench -bench-json BENCH_PR5.json
 
 ## figures: print the reproduced tables for every figure (Small preset).
 figures:
@@ -56,18 +56,29 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFromFormat -fuzztime 10s ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/dataset/
 
-## ci: what .github/workflows/ci.yml runs — build (including the server
-## and load-driver binaries), tests, vet, the race detector over the
-## concurrent/guarded packages and the serving/resilience stack, the
-## chaos soak, a fuzz smoke, and a one-iteration benchmark smoke.
+## cluster-smoke: the scale-out acceptance scenario under the race
+## detector — a bccgate gateway over two in-process backends, checking
+## fingerprint affinity (re-sent instances hit the warm cache on the
+## same backend), kill-and-reroute, ordered scatter-gather, plus a
+## 10-second load soak through the degraded fleet.
+cluster-smoke:
+	$(GO) test -race -run TestClusterSmoke -v ./internal/cluster/ -cluster.soak 10s
+
+## ci: what .github/workflows/ci.yml runs — build (including the server,
+## gateway and load-driver binaries), tests, vet, the race detector over
+## the concurrent/guarded packages and the serving/resilience stack, the
+## chaos soak, the cluster smoke, a fuzz smoke, and a one-iteration
+## benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
+	$(GO) build -o /dev/null ./cmd/bccgate
 	$(GO) build -o /dev/null ./cmd/bccload
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/
 	$(MAKE) soak-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 

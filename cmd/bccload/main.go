@@ -6,6 +6,13 @@
 //
 //	bccload -addr http://localhost:8080 -concurrency 8 -duration 10s
 //
+// Against several services at once — e.g. a bccgate gateway next to its
+// backends, or two gateway replicas — with per-target outcome counts in
+// the report (each target gets its own client, so one target's breaker
+// opening never gates the others):
+//
+//	bccload -targets http://gate:8090,http://backend-1:8080 -duration 10s
+//
 // Self-contained chaos mode — no external server needed: -chaos starts
 // an in-process bccserver on a loopback port, arms probabilistic panic
 // and stall faults at the serving stack's injection points
@@ -48,6 +55,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "service base URL (ignored with -chaos)")
+		targets     = flag.String("targets", "", "comma-separated service base URLs to spread load across (overrides -addr; adds per-target counts)")
 		concurrency = flag.Int("concurrency", 8, "concurrent load workers")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
 		instances   = flag.Int("instances", 8, "distinct synthetic instances in the workload")
@@ -74,6 +82,9 @@ func main() {
 	base := *addr
 	var chaosSrv *chaosServer
 	if *chaos {
+		if *targets != "" {
+			log.Fatalf("bccload: -chaos and -targets are mutually exclusive")
+		}
 		var err error
 		chaosSrv, err = startChaosServer(*faultSpec, *seed)
 		if err != nil {
@@ -84,19 +95,44 @@ func main() {
 		log.Printf("bccload: chaos server on %s, faults: %s", base, *faultSpec)
 	}
 
-	reg := obs.NewRegistry()
-	cl, err := client.New(client.Config{
-		BaseURL:     base,
-		MaxAttempts: *attempts,
-		// A ratio policy suits chaos runs: scattered induced faults must
-		// not latch the breaker open the way a consecutive-only policy
-		// would under a high-failure burst.
-		Breaker:        &resilience.BreakerConfig{FailureRatio: 0.6, Cooldown: 2 * time.Second},
-		DisableBreaker: *noBreaker,
-		Registry:       reg,
-	})
-	if err != nil {
-		log.Fatalf("bccload: %v", err)
+	newClient := func(baseURL string) *client.Client {
+		cl, err := client.New(client.Config{
+			BaseURL:     baseURL,
+			MaxAttempts: *attempts,
+			// A ratio policy suits chaos runs: scattered induced faults must
+			// not latch the breaker open the way a consecutive-only policy
+			// would under a high-failure burst.
+			Breaker:        &resilience.BreakerConfig{FailureRatio: 0.6, Cooldown: 2 * time.Second},
+			DisableBreaker: *noBreaker,
+			Registry:       obs.NewRegistry(),
+		})
+		if err != nil {
+			log.Fatalf("bccload: %v", err)
+		}
+		return cl
+	}
+
+	// -targets spreads the run over several services (each with its own
+	// client, so one target's breaker opening never gates another) and
+	// the report gains per-target outcome rows.
+	var loadTargets []loadgen.Target
+	targetDesc := base
+	if *targets != "" {
+		for _, u := range strings.Split(*targets, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			loadTargets = append(loadTargets, loadgen.Target{Name: u, Client: newClient(u)})
+		}
+		if len(loadTargets) == 0 {
+			log.Fatalf("bccload: -targets %q names no usable URL", *targets)
+		}
+		targetDesc = fmt.Sprintf("%d targets (%s)", len(loadTargets), *targets)
+	}
+	var cl *client.Client
+	if len(loadTargets) == 0 {
+		cl = newClient(base)
 	}
 
 	reqs := loadgen.SyntheticWorkload(*instances, *seed)
@@ -105,9 +141,10 @@ func main() {
 		reqs[i].DeadlineMS = *deadlineMS
 	}
 
-	log.Printf("bccload: driving %d workers against %s for %v", *concurrency, base, *duration)
+	log.Printf("bccload: driving %d workers against %s for %v", *concurrency, targetDesc, *duration)
 	rep, err := loadgen.Run(context.Background(), loadgen.Config{
 		Client:      cl,
+		Targets:     loadTargets,
 		Requests:    reqs,
 		Concurrency: *concurrency,
 		Duration:    *duration,

@@ -62,6 +62,7 @@ func main() {
 		warm        = flag.String("warm", "", "JSON instance to solve and cache at startup (e.g. examples/instances/quickstart.json)")
 		snapshot    = flag.String("snapshot", "", "cache snapshot file: restored at boot, saved periodically and on drain")
 		snapEvery   = flag.Duration("snapshot-interval", 5*time.Minute, "how often to rewrite the cache snapshot (0 disables the timer)")
+		backendID   = flag.String("backend-id", "", "stable backend identity for the X-BCC-Backend header (empty = hostname-pid-random)")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /metrics")
 		version     = flag.Bool("version", false, "print build information and exit")
@@ -81,6 +82,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		MaxBodyBytes:    *maxBody,
 		MaxBatch:        *maxBatch,
+		BackendID:       *backendID,
 	})
 
 	if *snapshot != "" {
@@ -133,8 +135,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("bccserver: listening on %s (workers=%d queue=%d cache=%d ttl=%v)",
-		*addr, *workers, *queue, *cacheSize, *cacheTTL)
+	log.Printf("bccserver: listening on %s as backend %s (workers=%d queue=%d cache=%d ttl=%v)",
+		*addr, srv.BackendID(), *workers, *queue, *cacheSize, *cacheTTL)
 
 	select {
 	case err := <-errCh:

@@ -61,6 +61,26 @@ type Config struct {
 	Registry *obs.Registry
 	// MaxResponseBytes caps response bodies (default 32 MiB).
 	MaxResponseBytes int64
+	// OnCallStart / OnCallEnd, when non-nil, observe every logical call
+	// (Solve and SolveBatch each count one, however many attempts it
+	// takes) keyed by the base URL it targeted after any CallOpts
+	// override. They are the per-backend in-flight and latency
+	// accounting hooks of the bccgate routing tier: the cluster bumps a
+	// per-backend gauge on start and folds the elapsed time into that
+	// backend's latency estimate on end. Both may be called from many
+	// goroutines at once and must not block.
+	OnCallStart func(baseURL string)
+	OnCallEnd   func(baseURL string, elapsed time.Duration, err error)
+}
+
+// CallOpts adjusts one call. The zero value (and a nil pointer) means
+// the client's defaults.
+type CallOpts struct {
+	// BaseURL, when non-empty, overrides the client's base URL for this
+	// call only. A routing tier (bccgate) keeps one client — one retry
+	// policy, one metrics registration — and directs each request at the
+	// backend its hash ranking chose.
+	BaseURL string
 }
 
 // HTTPError is a non-2xx answer from the service, carrying any
@@ -110,6 +130,9 @@ type Client struct {
 	maxBody  int64
 	registry *obs.Registry
 
+	onCallStart func(string)
+	onCallEnd   func(string, time.Duration, error)
+
 	requests  atomic.Uint64 // logical calls (Solve / SolveBatch each count 1)
 	successes atomic.Uint64
 	failures  atomic.Uint64
@@ -131,7 +154,10 @@ func New(cfg Config) (*Client, error) {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
-	c := &Client{base: base, http: httpc, maxBody: maxBody, registry: cfg.Registry}
+	c := &Client{
+		base: base, http: httpc, maxBody: maxBody, registry: cfg.Registry,
+		onCallStart: cfg.OnCallStart, onCallEnd: cfg.OnCallEnd,
+	}
 
 	if !cfg.DisableBreaker {
 		bcfg := resilience.BreakerConfig{}
@@ -196,8 +222,13 @@ func (c *Client) Breaker() *resilience.Breaker { return c.breaker }
 
 // Solve runs one request through POST /v1/solve with retries.
 func (c *Client) Solve(ctx context.Context, req *api.SolveRequest) (*api.SolveResponse, error) {
+	return c.SolveOpts(ctx, req, nil)
+}
+
+// SolveOpts is Solve with per-call options (e.g. a backend override).
+func (c *Client) SolveOpts(ctx context.Context, req *api.SolveRequest, opts *CallOpts) (*api.SolveResponse, error) {
 	var out api.SolveResponse
-	if err := c.call(ctx, "/v1/solve", req, &out); err != nil {
+	if err := c.call(ctx, opts, "/v1/solve", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -209,8 +240,13 @@ func (c *Client) Solve(ctx context.Context, req *api.SolveRequest) (*api.SolveRe
 // caller's to inspect, deliberately not retried here — retrying a
 // whole batch for one shed item would re-solve the others.
 func (c *Client) SolveBatch(ctx context.Context, reqs []api.SolveRequest) (*api.BatchResponse, error) {
+	return c.SolveBatchOpts(ctx, reqs, nil)
+}
+
+// SolveBatchOpts is SolveBatch with per-call options.
+func (c *Client) SolveBatchOpts(ctx context.Context, reqs []api.SolveRequest, opts *CallOpts) (*api.BatchResponse, error) {
 	var out api.BatchResponse
-	if err := c.call(ctx, "/v1/solve/batch", &api.BatchRequest{Requests: reqs}, &out); err != nil {
+	if err := c.call(ctx, opts, "/v1/solve/batch", &api.BatchRequest{Requests: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -237,16 +273,29 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
-// call drives one logical API call through the retrier.
-func (c *Client) call(ctx context.Context, path string, in, out any) error {
+// call drives one logical API call through the retrier. opts may carry
+// a per-call base-URL override; the accounting hooks see the resolved
+// target.
+func (c *Client) call(ctx context.Context, opts *CallOpts, path string, in, out any) error {
+	base := c.base
+	if opts != nil && opts.BaseURL != "" {
+		base = strings.TrimRight(opts.BaseURL, "/")
+	}
 	c.requests.Add(1)
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encoding request: %w", err)
 	}
+	if c.onCallStart != nil {
+		c.onCallStart(base)
+	}
+	start := time.Now()
 	err = c.retrier.Do(ctx, func(actx context.Context) error {
-		return c.post(actx, path, body, out)
+		return c.post(actx, base, path, body, out)
 	})
+	if c.onCallEnd != nil {
+		c.onCallEnd(base, time.Since(start), err)
+	}
 	if err != nil {
 		c.failures.Add(1)
 		if errors.Is(err, resilience.ErrOpen) {
@@ -259,8 +308,8 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 }
 
 // post performs one HTTP attempt.
-func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+func (c *Client) post(ctx context.Context, base, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

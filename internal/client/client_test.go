@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -355,5 +356,86 @@ func TestHealthz(t *testing.T) {
 func TestNewRejectsEmptyBaseURL(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("want error for missing BaseURL")
+	}
+}
+
+// TestCallOptsBaseURLOverride routes one call of a shared client at a
+// second backend; both the request and the accounting hooks must see
+// the overridden target, and the default base must be untouched after.
+func TestCallOptsBaseURLOverride(t *testing.T) {
+	var hitsA, hitsB atomic.Int32
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitsA.Add(1)
+		w.Write(okBody())
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitsB.Add(1)
+		w.Write(okBody())
+	}))
+	defer b.Close()
+
+	var mu sync.Mutex
+	var started, ended []string
+	var slept []time.Duration
+	c := newClient(t, a.URL, &slept, Config{
+		OnCallStart: func(base string) {
+			mu.Lock()
+			started = append(started, base)
+			mu.Unlock()
+		},
+		OnCallEnd: func(base string, elapsed time.Duration, err error) {
+			mu.Lock()
+			ended = append(ended, base)
+			mu.Unlock()
+			if elapsed < 0 {
+				t.Errorf("negative elapsed %v", elapsed)
+			}
+			if err != nil {
+				t.Errorf("hook saw error %v on a clean call", err)
+			}
+		},
+	})
+
+	if _, err := c.SolveOpts(context.Background(), quickReq(), &CallOpts{BaseURL: b.URL + "/"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(context.Background(), quickReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SolveBatchOpts(context.Background(), []api.SolveRequest{*quickReq()}, &CallOpts{BaseURL: b.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if hitsA.Load() != 1 || hitsB.Load() != 2 {
+		t.Errorf("hits A=%d B=%d, want 1 and 2", hitsA.Load(), hitsB.Load())
+	}
+	wantTargets := []string{b.URL, a.URL, b.URL}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range wantTargets {
+		if started[i] != want || ended[i] != want {
+			t.Errorf("call %d: hooks saw start=%q end=%q, want %q", i, started[i], ended[i], want)
+		}
+	}
+}
+
+// The end hook reports the terminal error so a routing tier can fold
+// failures into per-backend health.
+func TestCallEndHookSeesError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // dead backend: every attempt is a transport error
+
+	var gotErr error
+	var slept []time.Duration
+	c := newClient(t, url, &slept, Config{
+		MaxAttempts: 1,
+		OnCallEnd:   func(_ string, _ time.Duration, err error) { gotErr = err },
+	})
+	if _, err := c.Solve(context.Background(), quickReq()); err == nil {
+		t.Fatal("want error against a dead server")
+	}
+	if gotErr == nil {
+		t.Error("OnCallEnd saw a nil error for a failed call")
 	}
 }

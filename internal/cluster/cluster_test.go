@@ -1,0 +1,497 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// fakeBackend is a scriptable stand-in for a bccserver: canned solve
+// answers, a switchable healthz status and an injectable solve delay —
+// just enough wire compatibility for the shared client to talk to it.
+type fakeBackend struct {
+	id      string
+	srv     *httptest.Server
+	hits    atomic.Int64
+	delayNS atomic.Int64
+	healthz atomic.Int32
+}
+
+func newFakeBackend(t *testing.T, id string) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{id: id}
+	f.healthz.Store(http.StatusOK)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		if d := f.delayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		w.Header().Set(api.BackendHeader, f.id)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.SolveResponse{Fingerprint: "fake", Algo: "abcc", Status: "complete"})
+	})
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		var br api.BatchRequest
+		_ = json.NewDecoder(r.Body).Decode(&br)
+		items := make([]api.BatchItem, len(br.Requests))
+		for i := range items {
+			items[i] = api.BatchItem{Result: &api.SolveResponse{Fingerprint: "fake", Algo: "abcc", Status: "complete"}}
+		}
+		w.Header().Set(api.BackendHeader, f.id)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.BatchResponse{Responses: items})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.BackendHeader, f.id)
+		w.WriteHeader(int(f.healthz.Load()))
+		_, _ = w.Write([]byte(`{}`))
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newRealBackend runs a full in-process bccserver behind httptest.
+func newRealBackend(t *testing.T, id string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, Queue: 32, BackendID: id})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// newTestCluster builds a cluster with test-friendly defaults: hedging
+// off (tests that want it opt in), a long probe interval (tests drive
+// probes explicitly via ProbeNow or rely on in-band failure detection).
+func newTestCluster(t *testing.T, urls []string, mut func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Backends:      urls,
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+		HedgeAfter:    -1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mustFingerprint(t *testing.T, req *api.SolveRequest) string {
+	t.Helper()
+	fp, apiErr := RouteFingerprint(req)
+	if apiErr != nil {
+		t.Fatalf("RouteFingerprint: %v", apiErr)
+	}
+	return fp
+}
+
+// An instance re-sent through the cluster must land on the same backend
+// and come back as a cache hit — the whole point of fingerprint
+// affinity.
+func TestSolveAffinity(t *testing.T) {
+	_, tsA := newRealBackend(t, "aff-a")
+	_, tsB := newRealBackend(t, "aff-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+
+	ctx := context.Background()
+	for i, req := range loadgen.SyntheticWorkload(5, 1) {
+		fp := mustFingerprint(t, &req)
+		resp1, route1, err := c.Solve(ctx, &req, fp)
+		if err != nil {
+			t.Fatalf("req %d first solve: %v", i, err)
+		}
+		if resp1.Cached {
+			t.Fatalf("req %d: first solve of a distinct instance came back cached", i)
+		}
+		if !route1.Affinity {
+			t.Fatalf("req %d: first solve with all backends healthy was not an affinity pick", i)
+		}
+		resp2, route2, err := c.Solve(ctx, &req, fp)
+		if err != nil {
+			t.Fatalf("req %d second solve: %v", i, err)
+		}
+		if !resp2.Cached {
+			t.Fatalf("req %d: re-sent instance was not a cache hit (routed to %s after %s)",
+				i, route2.BackendURL, route1.BackendURL)
+		}
+		if route2.BackendURL != route1.BackendURL {
+			t.Fatalf("req %d: affinity broke: %s then %s", i, route1.BackendURL, route2.BackendURL)
+		}
+		if want := Top(fp, c.Backends()); route1.BackendURL != want {
+			t.Fatalf("req %d: routed to %s, rendezvous-first is %s", i, route1.BackendURL, want)
+		}
+	}
+	st := c.Stats()
+	if st.FallbackPicks != 0 {
+		t.Fatalf("healthy cluster used %d fallback picks", st.FallbackPicks)
+	}
+	if st.AffinityPicks != 10 {
+		t.Fatalf("affinity picks = %d, want 10", st.AffinityPicks)
+	}
+}
+
+// Killing the affinity backend mid-run must not fail the request: the
+// first call discovers the death in-band and fails over to the
+// secondary; subsequent calls route around the corpse entirely.
+func TestSolveFailoverOnDeadBackend(t *testing.T) {
+	_, tsA := newRealBackend(t, "fo-a")
+	_, tsB := newRealBackend(t, "fo-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+
+	req := loadgen.SyntheticWorkload(1, 3)[0]
+	fp := mustFingerprint(t, &req)
+	top := Top(fp, c.Backends())
+	var other string
+	if top == tsA.URL {
+		tsA.Close()
+		other = tsB.URL
+	} else {
+		tsB.Close()
+		other = tsA.URL
+	}
+
+	ctx := context.Background()
+	resp, route, err := c.Solve(ctx, &req, fp)
+	if err != nil {
+		t.Fatalf("solve with dead affinity backend: %v", err)
+	}
+	if !route.FailedOver {
+		t.Fatalf("route = %+v, want FailedOver", route)
+	}
+	if route.BackendURL != other {
+		t.Fatalf("answered by %s, want the surviving backend %s", route.BackendURL, other)
+	}
+	if resp.Status == "" {
+		t.Fatal("failover answer has no status")
+	}
+	if got := c.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+
+	// The transport failure marked the corpse unhealthy, so the next call
+	// is routed directly (no failover) even though no probe ran.
+	_, route2, err := c.Solve(ctx, &req, fp)
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	if route2.BackendURL != other || route2.FailedOver {
+		t.Fatalf("second route = %+v, want direct pick of %s", route2, other)
+	}
+}
+
+// When the affinity backend reports draining, routing must fall back to
+// another backend without failing the request.
+func TestSolveFallbackWhenAffinityDraining(t *testing.T) {
+	fa := newFakeBackend(t, "drain-a")
+	fb := newFakeBackend(t, "drain-b")
+	c := newTestCluster(t, []string{fa.srv.URL, fb.srv.URL}, nil)
+
+	const fp = "bccfp/1:drain-test"
+	top := Top(fp, c.Backends())
+	slow, fast := fa, fb
+	if top == fb.srv.URL {
+		slow, fast = fb, fa
+	}
+	slow.healthz.Store(http.StatusServiceUnavailable)
+	c.ProbeNow()
+
+	resp, route, err := c.Solve(context.Background(), &api.SolveRequest{}, fp)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if route.Affinity {
+		t.Fatal("pick of a draining affinity backend was reported as an affinity hit")
+	}
+	if route.BackendURL != fast.srv.URL {
+		t.Fatalf("routed to %s, want the serving backend %s", route.BackendURL, fast.srv.URL)
+	}
+	if route.BackendID != fast.id {
+		t.Fatalf("route.BackendID = %q, want the probed ID %q", route.BackendID, fast.id)
+	}
+	if resp.Status != "complete" {
+		t.Fatalf("status = %q", resp.Status)
+	}
+	if slow.hits.Load() != 0 {
+		t.Fatalf("draining backend still received %d solves", slow.hits.Load())
+	}
+}
+
+// With every backend ineligible, Solve must answer ErrNoBackends
+// immediately rather than hanging or guessing.
+func TestSolveNoEligibleBackend(t *testing.T) {
+	fa := newFakeBackend(t, "none-a")
+	fb := newFakeBackend(t, "none-b")
+	c := newTestCluster(t, []string{fa.srv.URL, fb.srv.URL}, nil)
+	fa.healthz.Store(http.StatusServiceUnavailable)
+	fb.healthz.Store(http.StatusServiceUnavailable)
+	c.ProbeNow()
+
+	if n := c.EligibleBackends(); n != 0 {
+		t.Fatalf("EligibleBackends = %d, want 0", n)
+	}
+	_, _, err := c.Solve(context.Background(), &api.SolveRequest{}, "bccfp/1:x")
+	if !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v, want ErrNoBackends", err)
+	}
+	if got := c.Stats().NoBackend; got != 1 {
+		t.Fatalf("no-backend counter = %d, want 1", got)
+	}
+}
+
+// A hedged request must fire after the configured delay and win when
+// the primary is slow — and the loser's cancellation must not be
+// charged against the slow backend's breaker.
+func TestSolveHedgeWins(t *testing.T) {
+	fa := newFakeBackend(t, "hedge-a")
+	fb := newFakeBackend(t, "hedge-b")
+	c := newTestCluster(t, []string{fa.srv.URL, fb.srv.URL}, func(cfg *Config) {
+		cfg.HedgeAfter = 20 * time.Millisecond
+	})
+
+	const fp = "bccfp/1:hedge-test"
+	top := Top(fp, c.Backends())
+	slow, fast := fa, fb
+	if top == fb.srv.URL {
+		slow, fast = fb, fa
+	}
+	slow.delayNS.Store(int64(2 * time.Second))
+
+	start := time.Now()
+	resp, route, err := c.Solve(context.Background(), &api.SolveRequest{}, fp)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged solve took %v, the hedge did not rescue the tail", elapsed)
+	}
+	if !route.Hedged || !route.HedgeWon {
+		t.Fatalf("route = %+v, want Hedged and HedgeWon", route)
+	}
+	if route.BackendURL != fast.srv.URL {
+		t.Fatalf("answered by %s, want the fast backend %s", route.BackendURL, fast.srv.URL)
+	}
+	if resp.Status != "complete" {
+		t.Fatalf("status = %q", resp.Status)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", st.Hedges, st.HedgeWins)
+	}
+	// The canceled primary must not count as a backend failure.
+	for _, b := range st.Backends {
+		if b.URL == slow.srv.URL && b.Breaker.ConsecutiveFailures > 0 {
+			t.Fatalf("hedge loser charged the slow backend's breaker: %+v", b.Breaker)
+		}
+	}
+}
+
+// The auto hedge delay must stay silent until enough latency samples
+// exist, then track the configured quantile within the clamp bounds.
+func TestHedgeDelayAuto(t *testing.T) {
+	f := newFakeBackend(t, "auto")
+	c := newTestCluster(t, []string{f.srv.URL}, func(cfg *Config) {
+		cfg.HedgeAfter = 0 // auto
+	})
+	if _, ok := c.hedgeDelay(); ok {
+		t.Fatal("auto hedge active with no samples")
+	}
+	for i := 0; i < hedgeMinSamples; i++ {
+		c.latHist.Observe(0.05)
+	}
+	d, ok := c.hedgeDelay()
+	if !ok {
+		t.Fatalf("auto hedge still inactive after %d samples", hedgeMinSamples)
+	}
+	if d < hedgeDelayMin || d > hedgeDelayMax {
+		t.Fatalf("auto hedge delay %v outside [%v, %v]", d, hedgeDelayMin, hedgeDelayMax)
+	}
+	// Fixed and disabled overrides win regardless of samples.
+	c.cfg.HedgeAfter = 42 * time.Millisecond
+	if d, ok := c.hedgeDelay(); !ok || d != 42*time.Millisecond {
+		t.Fatalf("fixed hedge delay = %v/%v", d, ok)
+	}
+	c.cfg.HedgeAfter = -1
+	if _, ok := c.hedgeDelay(); ok {
+		t.Fatal("disabled hedging still reports a delay")
+	}
+}
+
+// Scatter-gather must reassemble in input order: every item's response
+// carries the fingerprint of the request at the same index, independent
+// of which backend shard answered it.
+func TestSolveBatchOrdering(t *testing.T) {
+	_, tsA := newRealBackend(t, "sg-a")
+	_, tsB := newRealBackend(t, "sg-b")
+	_, tsC := newRealBackend(t, "sg-c")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL, tsC.URL}, nil)
+
+	reqs := loadgen.SyntheticWorkload(10, 2)
+	reqs = append(reqs, reqs[0], reqs[4]) // duplicates must stay positional
+	fps := make([]string, len(reqs))
+	for i := range reqs {
+		fps[i] = mustFingerprint(t, &reqs[i])
+	}
+
+	resp := c.SolveBatch(context.Background(), reqs, fps)
+	if len(resp.Responses) != len(reqs) {
+		t.Fatalf("got %d items for %d requests", len(resp.Responses), len(reqs))
+	}
+	for i, item := range resp.Responses {
+		if item.Result == nil {
+			t.Fatalf("item %d: no result (error %q code %d)", i, item.Error, item.Code)
+		}
+		if item.Result.Fingerprint != fps[i] {
+			t.Fatalf("item %d: fingerprint %s, want %s — order not preserved", i, item.Result.Fingerprint, fps[i])
+		}
+	}
+}
+
+// A backend dying under a batch must cost only a re-route, not answers:
+// its shard is retried on the survivors and every item still gets a
+// result, in order.
+func TestSolveBatchKilledBackend(t *testing.T) {
+	_, tsA := newRealBackend(t, "kill-a")
+	_, tsB := newRealBackend(t, "kill-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+	tsB.Close() // dies after the initial probe: the cluster still trusts it
+
+	reqs := loadgen.SyntheticWorkload(16, 5)
+	fps := make([]string, len(reqs))
+	for i := range reqs {
+		fps[i] = mustFingerprint(t, &reqs[i])
+	}
+	resp := c.SolveBatch(context.Background(), reqs, fps)
+	if len(resp.Responses) != len(reqs) {
+		t.Fatalf("got %d items for %d requests", len(resp.Responses), len(reqs))
+	}
+	for i, item := range resp.Responses {
+		if item.Result == nil {
+			t.Fatalf("item %d lost to the dead backend: error %q code %d", i, item.Error, item.Code)
+		}
+		if item.Result.Fingerprint != fps[i] {
+			t.Fatalf("item %d: fingerprint %s, want %s", i, item.Result.Fingerprint, fps[i])
+		}
+	}
+}
+
+// With the whole fleet dead, a batch must still return one item per
+// request — each a structured error, never a hang or a zero value.
+func TestSolveBatchAllBackendsDead(t *testing.T) {
+	fa := newFakeBackend(t, "dead-a")
+	fb := newFakeBackend(t, "dead-b")
+	c := newTestCluster(t, []string{fa.srv.URL, fb.srv.URL}, nil)
+	fa.srv.Close()
+	fb.srv.Close()
+
+	reqs := loadgen.SyntheticWorkload(4, 6)
+	fps := make([]string, len(reqs))
+	for i := range reqs {
+		fps[i] = mustFingerprint(t, &reqs[i])
+	}
+	resp := c.SolveBatch(context.Background(), reqs, fps)
+	if len(resp.Responses) != len(reqs) {
+		t.Fatalf("got %d items for %d requests", len(resp.Responses), len(reqs))
+	}
+	for i, item := range resp.Responses {
+		if item.Result != nil {
+			t.Fatalf("item %d has a result from a dead fleet", i)
+		}
+		if item.Error == "" || item.Code == 0 {
+			t.Fatalf("item %d: unstructured failure %+v", i, item)
+		}
+	}
+}
+
+// SIGHUP-style membership reload must keep the surviving backends'
+// state: accumulated request counts survive, only genuinely new members
+// start fresh — and the removed member stops being routable.
+func TestSetBackendsPreservesState(t *testing.T) {
+	fa := newFakeBackend(t, "m-a")
+	fb := newFakeBackend(t, "m-b")
+	fc := newFakeBackend(t, "m-c")
+	c := newTestCluster(t, []string{fa.srv.URL, fb.srv.URL}, nil)
+
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Solve(ctx, &api.SolveRequest{}, "bccfp/1:reload"); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	before := map[string]uint64{}
+	for _, b := range c.Stats().Backends {
+		before[b.URL] = b.Requests
+	}
+
+	if err := c.SetBackends([]string{fa.srv.URL, fb.srv.URL, fc.srv.URL}); err != nil {
+		t.Fatalf("SetBackends: %v", err)
+	}
+	st := c.Stats()
+	if len(st.Backends) != 3 {
+		t.Fatalf("membership size %d after reload, want 3", len(st.Backends))
+	}
+	for _, b := range st.Backends {
+		if b.URL == fc.srv.URL {
+			if b.Requests != 0 {
+				t.Fatalf("new member starts with %d requests", b.Requests)
+			}
+			continue
+		}
+		if b.Requests != before[b.URL] {
+			t.Fatalf("member %s: requests %d after reload, want %d", b.URL, b.Requests, before[b.URL])
+		}
+	}
+
+	if err := c.SetBackends([]string{fc.srv.URL}); err != nil {
+		t.Fatalf("SetBackends shrink: %v", err)
+	}
+	_, route, err := c.Solve(ctx, &api.SolveRequest{}, "bccfp/1:reload")
+	if err != nil {
+		t.Fatalf("solve after shrink: %v", err)
+	}
+	if route.BackendURL != fc.srv.URL {
+		t.Fatalf("routed to removed member %s", route.BackendURL)
+	}
+	if err := c.SetBackends(nil); err == nil {
+		t.Fatal("SetBackends(nil) should refuse to empty the membership")
+	}
+}
+
+// A request the backend rejects as invalid (HTTP 400) must come back to
+// the caller as that rejection, not trigger failover — every backend
+// would answer the same.
+func TestSolveNonRetryableNoFailover(t *testing.T) {
+	_, tsA := newRealBackend(t, "nr-a")
+	_, tsB := newRealBackend(t, "nr-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+
+	req := loadgen.SyntheticWorkload(1, 9)[0]
+	req.Algo = "no-such-algo"
+	fp := mustFingerprint(t, &req)
+	_, _, err := c.Solve(context.Background(), &req, fp)
+	if err == nil {
+		t.Fatal("invalid algo was accepted")
+	}
+	if c.Stats().Failovers != 0 {
+		t.Fatal("a 400 answer triggered failover")
+	}
+}

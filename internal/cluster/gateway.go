@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// GatewayConfig tunes the HTTP front of a Cluster. The zero value gets
+// the same body/batch limits as internal/server, so a client that fits
+// a backend fits the gateway.
+type GatewayConfig struct {
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatch caps the number of requests in one batch (default 64).
+	MaxBatch int
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Gateway mounts a Cluster behind the same HTTP surface as a single
+// bccserver — POST /v1/solve, POST /v1/solve/batch, GET /v1/healthz,
+// GET /v1/statz, GET /metrics — so clients (and bccload) need not know
+// whether they talk to one backend or a routed fleet. The one addition
+// to the contract: the X-BCC-Backend response header names the backend
+// that actually answered, so affinity is observable with curl -i.
+type Gateway struct {
+	cl    *Cluster
+	cfg   GatewayConfig
+	reg   *obs.Registry
+	start time.Time
+
+	requests    atomic.Uint64
+	badRequests atomic.Uint64
+	panics      atomic.Uint64
+	draining    atomic.Bool
+}
+
+// NewGateway wraps c. The gateway shares the cluster's metric registry,
+// so one /metrics scrape covers routing and HTTP serving alike.
+func NewGateway(c *Cluster, cfg GatewayConfig) *Gateway {
+	g := &Gateway{cl: c, cfg: cfg.withDefaults(), reg: c.Registry(), start: time.Now()}
+	g.reg.GaugeFunc("bcc_gate_uptime_seconds", "Seconds since the gateway started.", nil,
+		func() float64 { return time.Since(g.start).Seconds() })
+	g.reg.CounterFunc("bcc_gate_requests_total", "Requests accepted by the gateway (batch items count).", nil,
+		func() float64 { return float64(g.requests.Load()) })
+	g.reg.CounterFunc("bcc_gate_bad_requests_total", "Requests failing gateway-side validation (4xx).", nil,
+		func() float64 { return float64(g.badRequests.Load()) })
+	g.reg.CounterFunc("bcc_gate_panics_recovered_total", "Gateway handler panics contained into responses.", nil,
+		func() float64 { return float64(g.panics.Load()) })
+	g.reg.GaugeFunc("bcc_gate_draining", "1 once BeginDrain was called (healthz answers 503), else 0.", nil,
+		func() float64 {
+			if g.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	return g
+}
+
+// Cluster exposes the routed cluster (tests, statz embedders).
+func (g *Gateway) Cluster() *Cluster { return g.cl }
+
+// BeginDrain flips /v1/healthz to 503 so an upstream balancer stops
+// sending traffic while in-flight requests finish — the same drain
+// contract the backends themselves honor.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Handler returns the gateway's route table, instrumented like the
+// backend server's.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", g.instrument("/v1/solve", g.handleSolve))
+	mux.HandleFunc("POST /v1/solve/batch", g.instrument("/v1/solve/batch", g.handleBatch))
+	mux.HandleFunc("GET /v1/healthz", g.instrument("/v1/healthz", g.handleHealthz))
+	mux.HandleFunc("GET /v1/statz", g.instrument("/v1/statz", g.handleStatz))
+	mux.HandleFunc("GET /metrics", g.instrument("/metrics", g.handleMetrics))
+	return mux
+}
+
+// RouteFingerprint computes the routing key for one request: the same
+// canonical fingerprint the backend will derive, including the budget
+// override (two requests differing only in budget are different
+// instances, cached separately, and may legitimately live on different
+// backends). Validation failures mirror the backend's 400s so a bad
+// request is rejected at the edge without spending a backend call.
+func RouteFingerprint(req *api.SolveRequest) (string, *api.Error) {
+	in, err := dataset.FromFormat(req.Instance)
+	if err != nil {
+		return "", api.Errorf(http.StatusBadRequest, "invalid instance: %v", err)
+	}
+	if req.Budget != nil {
+		b := *req.Budget
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return "", api.Errorf(http.StatusBadRequest, "invalid budget override %v", b)
+		}
+		in = in.WithBudget(b)
+	}
+	return in.Fingerprint(), nil
+}
+
+func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	var req api.SolveRequest
+	if apiErr := decodeJSON(w, r, g.cfg.MaxBodyBytes, &req); apiErr != nil {
+		g.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	fp, apiErr := RouteFingerprint(&req)
+	if apiErr != nil {
+		g.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	resp, route, err := g.cl.Solve(r.Context(), &req, fp)
+	if err != nil {
+		writeError(w, routeError(err))
+		return
+	}
+	w.Header().Set(api.BackendHeader, route.BackendID)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch api.BatchRequest
+	if apiErr := decodeJSON(w, r, g.cfg.MaxBodyBytes, &batch); apiErr != nil {
+		g.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		g.badRequests.Add(1)
+		writeError(w, api.Errorf(http.StatusBadRequest, "batch has no requests"))
+		return
+	}
+	if len(batch.Requests) > g.cfg.MaxBatch {
+		g.badRequests.Add(1)
+		writeError(w, api.Errorf(http.StatusBadRequest, "batch of %d exceeds the %d-request cap", len(batch.Requests), g.cfg.MaxBatch))
+		return
+	}
+	g.requests.Add(uint64(len(batch.Requests)))
+
+	// Fingerprint every item up front: invalid items are answered at the
+	// edge, valid ones go through scatter-gather. Indices are preserved so
+	// the merged response is in input order regardless of routing.
+	items := make([]api.BatchItem, len(batch.Requests))
+	var routed []api.SolveRequest
+	var fps []string
+	var routedIdx []int
+	for i := range batch.Requests {
+		fp, apiErr := RouteFingerprint(&batch.Requests[i])
+		if apiErr != nil {
+			g.badRequests.Add(1)
+			items[i] = api.BatchItem{Error: apiErr.Msg, Code: apiErr.Code}
+			continue
+		}
+		routed = append(routed, batch.Requests[i])
+		fps = append(fps, fp)
+		routedIdx = append(routedIdx, i)
+	}
+	if len(routed) > 0 {
+		sub := g.cl.SolveBatch(r.Context(), routed, fps)
+		for k, item := range sub.Responses {
+			items[routedIdx[k]] = item
+		}
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Responses: items})
+}
+
+// handleHealthz answers 200 while the gateway is serving AND at least
+// one backend is eligible — a gateway that can only answer 503s to every
+// solve is not healthy, whatever its own process state.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	eligible := g.cl.EligibleBackends()
+	if eligible == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no eligible backend", "backends": len(g.cl.Backends())})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "eligible_backends": eligible})
+}
+
+// GatewayStatz is the GET /v1/statz body of a gateway: its own serving
+// counters plus the full cluster view.
+type GatewayStatz struct {
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         obs.Build `json:"build"`
+	Draining      bool      `json:"draining"`
+	Requests      uint64    `json:"requests"`
+	BadRequests   uint64    `json:"bad_requests"`
+	Panics        uint64    `json:"panics_recovered"`
+	Cluster       Stats     `json:"cluster"`
+}
+
+func (g *Gateway) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, GatewayStatz{
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		Build:         obs.ReadBuild(),
+		Draining:      g.draining.Load(),
+		Requests:      g.requests.Load(),
+		BadRequests:   g.badRequests.Load(),
+		Panics:        g.panics.Load(),
+		Cluster:       g.cl.Stats(),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WritePrometheus(w)
+}
+
+// instrument mirrors the backend server's middleware: per-route/status
+// latency and count series plus panic containment into a JSON 500.
+func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				g.panics.Add(1)
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						api.Errorf(http.StatusInternalServerError, "internal panic: %v", p))
+				}
+			}
+			labels := obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}
+			g.reg.Histogram("bcc_gate_http_request_seconds", "Gateway HTTP request latency by route and status.",
+				labels, obs.DefBuckets).Observe(time.Since(start).Seconds())
+			g.reg.Counter("bcc_gate_http_requests_total", "Gateway HTTP requests by route and status.", labels).Inc()
+		}()
+		h(sw, r)
+	}
+}
+
+// routeError folds a routing failure into the API error shape. A
+// backend's own HTTP answer passes through with its code and retry
+// advice; cluster-level conditions map to the gateway's status: 503
+// when nothing was eligible, 504 when the caller's deadline ran out
+// first, 502 when the fleet was reachable but failed.
+func routeError(err error) *api.Error {
+	var he *client.HTTPError
+	if errors.As(err, &he) {
+		e := &api.Error{Code: he.StatusCode, Msg: he.Msg}
+		if he.RetryAfter > 0 {
+			e.RetryAfterSeconds = int(he.RetryAfter / time.Second)
+		}
+		return e
+	}
+	switch {
+	case errors.Is(err, ErrNoBackends), errors.Is(err, resilience.ErrOpen):
+		e := api.Errorf(http.StatusServiceUnavailable, "no backend available: %v", err)
+		e.RetryAfterSeconds = 1
+		return e
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return api.Errorf(http.StatusGatewayTimeout, "request deadline exceeded while routing: %v", err)
+	default:
+		return api.Errorf(http.StatusBadGateway, "backend call failed: %v", err)
+	}
+}
+
+// statusWriter, decodeJSON, writeError and writeJSON intentionally
+// mirror internal/server's unexported helpers — the packages must not
+// import each other (server is a backend, cluster fronts backends), and
+// the HTTP contract of both must stay byte-identical.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) *api.Error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return api.Errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return api.Errorf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeError(w http.ResponseWriter, apiErr *api.Error) {
+	if apiErr.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", apiErr.RetryAfterSeconds))
+	}
+	writeJSON(w, apiErr.Code, apiErr)
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

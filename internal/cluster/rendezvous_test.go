@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func backendIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return ids
+}
+
+// Rankings must be a pure function of (key, set of ids): input order is
+// irrelevant, repeated calls agree, and Top is exactly the head of the
+// full ranking.
+func TestRankDeterministicAndOrderInvariant(t *testing.T) {
+	ids := backendIDs(6)
+	reversed := make([]string, len(ids))
+	for i, id := range ids {
+		reversed[len(ids)-1-i] = id
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("bccfp/1:%04d", i)
+		a := Rank(key, ids)
+		b := Rank(key, reversed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %q: ranking depends on input order:\n  %v\n  %v", key, a, b)
+		}
+		if got := Top(key, ids); got != a[0] {
+			t.Fatalf("key %q: Top=%q but Rank[0]=%q", key, got, a[0])
+		}
+		if len(a) != len(ids) {
+			t.Fatalf("key %q: ranking has %d entries, want %d", key, len(a), len(ids))
+		}
+	}
+	if Top("anything", nil) != "" {
+		t.Fatal("Top of no ids should be empty")
+	}
+	if got := Rank("anything", nil); len(got) != 0 {
+		t.Fatalf("Rank of no ids should be empty, got %v", got)
+	}
+}
+
+// Key assignment over 8 backends must be statistically uniform: a
+// chi-square over 20k keys with 7 degrees of freedom stays far below
+// 29.9 (the p≈1e-4 critical value) for a well-mixed hash. The keys are
+// fixed, so this is a deterministic regression gate on the score
+// mixing, not a flaky statistical test.
+func TestTopUniformity(t *testing.T) {
+	ids := backendIDs(8)
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[Top(fmt.Sprintf("bccfp/1:%06d", i), ids)]++
+	}
+	expected := float64(keys) / float64(len(ids))
+	chi2 := 0.0
+	for _, id := range ids {
+		d := float64(counts[id]) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 29.9 {
+		t.Fatalf("chi-square %.1f over %d backends exceeds 29.9; counts=%v", chi2, len(ids), counts)
+	}
+	for _, id := range ids {
+		if counts[id] == 0 {
+			t.Fatalf("backend %s received no keys at all: %v", id, counts)
+		}
+	}
+}
+
+// Removing one backend must re-home exactly the keys that ranked it
+// first — every other key keeps its assignment (HRW's minimal-movement
+// property), so a leave invalidates only ~1/N of the fleet's cache
+// affinity.
+func TestMinimalMovementOnLeave(t *testing.T) {
+	ids := backendIDs(8)
+	removed := ids[3]
+	remaining := append(append([]string(nil), ids[:3]...), ids[4:]...)
+	const keys = 20000
+	moved, ownedByRemoved := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("bccfp/1:%06d", i)
+		before := Top(key, ids)
+		after := Top(key, remaining)
+		if before == removed {
+			ownedByRemoved++
+			if after == removed {
+				t.Fatalf("key %q still maps to the removed backend", key)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved from %s to %s although %s stayed a member", key, before, after, before)
+		}
+	}
+	if moved != ownedByRemoved {
+		t.Fatalf("moved %d keys but the removed backend owned %d", moved, ownedByRemoved)
+	}
+	frac := float64(moved) / float64(keys)
+	if frac < 0.08 || frac > 0.18 {
+		t.Fatalf("leave moved %.1f%% of keys, want ~12.5%%", 100*frac)
+	}
+}
+
+// Adding a backend must only pull keys onto the newcomer — no key may
+// move between two backends that were both already members — and the
+// pulled share must be ~1/(N+1).
+func TestMinimalMovementOnJoin(t *testing.T) {
+	ids := backendIDs(8)
+	joined := append(append([]string(nil), ids...), "http://backend-new:8080")
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("bccfp/1:%06d", i)
+		before := Top(key, ids)
+		after := Top(key, joined)
+		if after == before {
+			continue
+		}
+		if after != "http://backend-new:8080" {
+			t.Fatalf("key %q moved from %s to %s on a join; only moves onto the new backend are allowed", key, before, after)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(keys)
+	if frac < 0.07 || frac > 0.16 {
+		t.Fatalf("join moved %.1f%% of keys, want ~11.1%%", 100*frac)
+	}
+}
+
+// The full ranking (not just Top) must also be stable under member
+// removal: deleting one id from the input deletes exactly that entry
+// from the output, preserving the relative order of the rest. Failover
+// and hedging lean on this — the "second choice" is stable even as
+// other members churn.
+func TestRankStableUnderRemoval(t *testing.T) {
+	ids := backendIDs(6)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("bccfp/1:%04d", i)
+		full := Rank(key, ids)
+		for drop := 0; drop < len(ids); drop++ {
+			subset := make([]string, 0, len(ids)-1)
+			for j, id := range ids {
+				if j != drop {
+					subset = append(subset, id)
+				}
+			}
+			got := Rank(key, subset)
+			want := make([]string, 0, len(ids)-1)
+			for _, id := range full {
+				if id != ids[drop] {
+					want = append(want, id)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("key %q without %s: rank %v, want %v", key, ids[drop], got, want)
+			}
+		}
+	}
+}

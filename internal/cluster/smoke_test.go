@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/loadgen"
+)
+
+// clusterSoak extends TestClusterSmoke with a timed load phase through
+// the gateway (make cluster-smoke runs it at 10s). Zero keeps the test
+// short for plain `go test`.
+var clusterSoak = flag.Duration("cluster.soak", 0, "extra load-soak duration for TestClusterSmoke")
+
+// postSolve sends one request to the gateway the way a plain HTTP
+// client would, returning the decoded response and the backend header.
+func postSolve(t *testing.T, gatewayURL string, req *api.SolveRequest) (*api.SolveResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(gatewayURL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out api.SolveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decoding solve response: %v\n%s", err, raw)
+	}
+	return &out, resp.Header.Get(api.BackendHeader)
+}
+
+// TestClusterSmoke is the PR's acceptance scenario end to end, over
+// real HTTP on both hops (client → gateway → backends):
+//
+//  1. warm N distinct instances through the gateway, re-send each, and
+//     require cached=true from the same backend (X-BCC-Backend match) —
+//     fingerprint affinity is doing its job;
+//  2. kill the backend that served instance 0 and require the re-sent
+//     key to be re-routed and still answered with a valid status;
+//  3. push a batch through the degraded fleet and require every item
+//     answered in input order.
+//
+// With -cluster.soak > 0 (make cluster-smoke) a loadgen phase hammers
+// the degraded gateway and requires a high success rate and zero
+// transport-level failures.
+func TestClusterSmoke(t *testing.T) {
+	backends := map[string]struct {
+		srv interface{ BackendID() string }
+		ts  *httptest.Server
+	}{}
+	srvA, tsA := newRealBackend(t, "smoke-a")
+	srvB, tsB := newRealBackend(t, "smoke-b")
+	backends["smoke-a"] = struct {
+		srv interface{ BackendID() string }
+		ts  *httptest.Server
+	}{srvA, tsA}
+	backends["smoke-b"] = struct {
+		srv interface{ BackendID() string }
+		ts  *httptest.Server
+	}{srvB, tsB}
+
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, func(cfg *Config) {
+		cfg.ProbeInterval = 100 * time.Millisecond
+	})
+	gw := NewGateway(c, GatewayConfig{})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	// Phase 1: affinity. Each re-sent instance must be a cache hit on the
+	// same backend that solved it.
+	reqs := loadgen.SyntheticWorkload(5, 7)
+	firstBackend := make([]string, len(reqs))
+	for i := range reqs {
+		resp1, id1 := postSolve(t, gts.URL, &reqs[i])
+		if resp1.Cached {
+			t.Fatalf("instance %d: cached on first contact", i)
+		}
+		if id1 != "smoke-a" && id1 != "smoke-b" {
+			t.Fatalf("instance %d: unexpected backend header %q", i, id1)
+		}
+		resp2, id2 := postSolve(t, gts.URL, &reqs[i])
+		if !resp2.Cached {
+			t.Fatalf("instance %d: re-sent instance missed the cache (first on %s, then on %s)", i, id1, id2)
+		}
+		if id2 != id1 {
+			t.Fatalf("instance %d: affinity broke across sends: %s then %s", i, id1, id2)
+		}
+		firstBackend[i] = id1
+	}
+
+	// Phase 2: kill the backend owning instance 0; the key must re-route
+	// and still be answered.
+	victim := backends[firstBackend[0]]
+	survivorID := "smoke-a"
+	if firstBackend[0] == "smoke-a" {
+		survivorID = "smoke-b"
+	}
+	victim.ts.Close()
+
+	resp3, id3 := postSolve(t, gts.URL, &reqs[0])
+	if id3 != survivorID {
+		t.Fatalf("after killing %s the key was answered by %q, want %q", firstBackend[0], id3, survivorID)
+	}
+	if resp3.Status == "" {
+		t.Fatal("re-routed answer carries no status")
+	}
+
+	// Phase 3: a batch through the degraded fleet — complete, ordered,
+	// every item answered.
+	fps := make([]string, len(reqs))
+	for i := range reqs {
+		fps[i] = mustFingerprint(t, &reqs[i])
+	}
+	body, _ := json.Marshal(api.BatchRequest{Requests: reqs})
+	bresp, err := http.Post(gts.URL+"/v1/solve/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve/batch: %v", err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch answered HTTP %d", bresp.StatusCode)
+	}
+	var batch api.BatchResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&batch); err != nil {
+		t.Fatalf("decoding batch: %v", err)
+	}
+	if len(batch.Responses) != len(reqs) {
+		t.Fatalf("batch answered %d items for %d requests", len(batch.Responses), len(reqs))
+	}
+	for i, item := range batch.Responses {
+		if item.Result == nil {
+			t.Fatalf("batch item %d lost in the degraded fleet: %q (code %d)", i, item.Error, item.Code)
+		}
+		if item.Result.Fingerprint != fps[i] {
+			t.Fatalf("batch item %d out of order: fingerprint %s, want %s", i, item.Result.Fingerprint, fps[i])
+		}
+	}
+
+	// The gateway's health must still be green with one backend down.
+	hresp, err := http.Get(gts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("GET /v1/healthz: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway healthz = %d with a surviving backend", hresp.StatusCode)
+	}
+
+	// Optional soak: sustained load through the degraded gateway.
+	if *clusterSoak > 0 {
+		cl, err := client.New(client.Config{BaseURL: gts.URL, MaxAttempts: 2, DisableBreaker: true})
+		if err != nil {
+			t.Fatalf("client for soak: %v", err)
+		}
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			Client:      cl,
+			Requests:    reqs,
+			Concurrency: 4,
+			Duration:    *clusterSoak,
+			BatchEvery:  7,
+		})
+		if err != nil {
+			t.Fatalf("soak: %v", err)
+		}
+		t.Logf("soak report:\n%s", rep.String())
+		if rep.Ops == 0 {
+			t.Fatal("soak produced no operations")
+		}
+		if rep.Errors["transport"] > 0 {
+			t.Fatalf("soak saw %d transport failures through the gateway", rep.Errors["transport"])
+		}
+		if rep.OK < rep.Ops*9/10 {
+			t.Fatalf("soak success rate too low: %d ok of %d ops", rep.OK, rep.Ops)
+		}
+		st := c.Stats()
+		t.Logf("cluster after soak: affinity=%d fallback=%d hedges=%d won=%d failovers=%d",
+			st.AffinityPicks, st.FallbackPicks, st.Hedges, st.HedgeWins, st.Failovers)
+	}
+}
+
+// The gateway must reject malformed input at the edge with the same
+// contract as a backend, and serve its observability endpoints.
+func TestGatewayEdgeBehavior(t *testing.T) {
+	_, ts := newRealBackend(t, "edge-a")
+	c := newTestCluster(t, []string{ts.URL}, nil)
+	gw := NewGateway(c, GatewayConfig{MaxBatch: 2})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(gts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	if code, _ := post("/v1/solve", "{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON answered %d, want 400", code)
+	}
+	if code, _ := post("/v1/solve", `{"bogus_field": 1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field answered %d, want 400", code)
+	}
+	if code, body := post("/v1/solve", `{"instance":{"queries":[]}}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid instance answered %d: %s", code, body)
+	}
+	if code, _ := post("/v1/solve/batch", `{"requests":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty batch answered %d, want 400", code)
+	}
+	req := loadgen.SyntheticWorkload(1, 11)[0]
+	one, _ := json.Marshal(req)
+	over := fmt.Sprintf(`{"requests":[%s,%s,%s]}`, one, one, one)
+	if code, _ := post("/v1/solve/batch", over); code != http.StatusBadRequest {
+		t.Fatalf("over-cap batch answered %d, want 400", code)
+	}
+
+	// A batch mixing valid and invalid items answers 200 with per-item
+	// errors in place.
+	mixed := fmt.Sprintf(`{"requests":[%s,{"instance":{"queries":[]}}]}`, one)
+	code, body := post("/v1/solve/batch", mixed)
+	if code != http.StatusOK {
+		t.Fatalf("mixed batch answered %d: %s", code, body)
+	}
+	var batch api.BatchResponse
+	if err := json.Unmarshal([]byte(body), &batch); err != nil {
+		t.Fatalf("decoding mixed batch: %v", err)
+	}
+	if len(batch.Responses) != 2 || batch.Responses[0].Result == nil || batch.Responses[1].Code != http.StatusBadRequest {
+		t.Fatalf("mixed batch items wrong: %+v", batch.Responses)
+	}
+
+	for _, path := range []string{"/v1/statz", "/metrics"} {
+		resp, err := http.Get(gts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s answered %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(raw), "bcc_gate_backends") {
+			t.Fatalf("metrics exposition lacks cluster series:\n%s", raw)
+		}
+		if path == "/v1/statz" && !strings.Contains(string(raw), `"cluster"`) {
+			t.Fatalf("statz lacks cluster section:\n%s", raw)
+		}
+	}
+
+	// Drain: healthz flips to 503 while solves keep answering.
+	gw.BeginDrain()
+	hresp, err := http.Get(gts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("GET /v1/healthz: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining gateway healthz = %d, want 503", hresp.StatusCode)
+	}
+	if code, body := post("/v1/solve", string(one)); code != http.StatusOK {
+		t.Fatalf("draining gateway refused a solve: %d %s", code, body)
+	}
+}

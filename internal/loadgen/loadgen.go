@@ -23,10 +23,22 @@ import (
 	"repro/internal/resilience"
 )
 
-// Config tunes a load run. Client and Requests are required.
-type Config struct {
-	// Client sends the traffic.
+// Target is one service a load run drives: a name for the report (its
+// base URL in bccload) and the client that reaches it.
+type Target struct {
+	Name   string
 	Client *client.Client
+}
+
+// Config tunes a load run. Requests plus either Client or Targets are
+// required.
+type Config struct {
+	// Client sends the traffic. Ignored when Targets is set.
+	Client *client.Client
+	// Targets, when non-empty, spreads the load round-robin across
+	// several services (e.g. the gateway next to its backends, or two
+	// gateway replicas) and adds per-target outcome counts to the report.
+	Targets []Target
 	// Requests is the workload, issued round-robin across workers. A few
 	// distinct instances (SyntheticWorkload) exercise both cache hits and
 	// real solves.
@@ -46,6 +58,13 @@ type Config struct {
 	OpDelay time.Duration
 }
 
+// TargetReport is one target's share of a multi-target run.
+type TargetReport struct {
+	Ops    uint64 `json:"ops"`
+	OK     uint64 `json:"ok"`
+	Failed uint64 `json:"failed"`
+}
+
 // Report tallies one load run. Maps are keyed by solve status
 // ("complete", "deadline", "recovered", ...) and error class
 // ("http-429", "http-5xx", "breaker-open", "transport", ...).
@@ -58,8 +77,11 @@ type Report struct {
 	CacheHits  uint64            `json:"cache_hits"`
 	Statuses   map[string]uint64 `json:"statuses,omitempty"`
 	Errors     map[string]uint64 `json:"errors,omitempty"`
-	Elapsed    time.Duration     `json:"elapsed_ns"`
-	Client     client.Stats      `json:"client"`
+	// Targets breaks the outcomes down per target; present only when the
+	// run drove more than one.
+	Targets map[string]*TargetReport `json:"targets,omitempty"`
+	Elapsed time.Duration            `json:"elapsed_ns"`
+	Client  client.Stats             `json:"client"`
 }
 
 // tally is one worker's private counters, merged into the Report at the
@@ -67,10 +89,26 @@ type Report struct {
 type tally struct {
 	ops, ok, failed, batchItems, itemErrors, cacheHits uint64
 	statuses, errors                                   map[string]uint64
+	targets                                            map[string]*TargetReport
 }
 
 func newTally() *tally {
-	return &tally{statuses: map[string]uint64{}, errors: map[string]uint64{}}
+	return &tally{
+		statuses: map[string]uint64{},
+		errors:   map[string]uint64{},
+		targets:  map[string]*TargetReport{},
+	}
+}
+
+// target returns the worker-private per-target row, creating it on
+// first use.
+func (t *tally) target(name string) *TargetReport {
+	tr := t.targets[name]
+	if tr == nil {
+		tr = &TargetReport{}
+		t.targets[name] = tr
+	}
+	return tr
 }
 
 func (t *tally) result(resp *api.SolveResponse) {
@@ -116,8 +154,17 @@ func Classify(err error) string {
 // where requests vanish unanswered shows up as transport errors, never
 // as a hang.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	if cfg.Client == nil {
-		return nil, errors.New("loadgen: Client is required")
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		if cfg.Client == nil {
+			return nil, errors.New("loadgen: Client or Targets is required")
+		}
+		targets = []Target{{Name: "default", Client: cfg.Client}}
+	}
+	for _, tg := range targets {
+		if tg.Client == nil {
+			return nil, fmt.Errorf("loadgen: target %q has no client", tg.Name)
+		}
 	}
 	if len(cfg.Requests) == 0 {
 		return nil, errors.New("loadgen: empty workload")
@@ -149,19 +196,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			defer wg.Done()
 			for seq := worker; ctx.Err() == nil; seq++ {
 				t.ops++
+				// Each op picks its target round-robin; a whole batch call
+				// goes to one target so its per-target row stays meaningful.
+				tg := targets[seq%len(targets)]
+				tt := t.target(tg.Name)
+				tt.Ops++
 				if cfg.BatchEvery > 0 && int(t.ops)%cfg.BatchEvery == 0 {
 					reqs := make([]api.SolveRequest, 0, batchSize)
 					for i := 0; i < batchSize; i++ {
 						reqs = append(reqs, cfg.Requests[(seq+i)%len(cfg.Requests)])
 					}
-					resp, err := cfg.Client.SolveBatch(ctx, reqs)
+					resp, err := tg.Client.SolveBatch(ctx, reqs)
 					if err != nil {
 						if ctx.Err() != nil {
 							t.ops-- // cut off by the run clock, not a real outcome
+							tt.Ops--
 							continue
 						}
 						t.failure(err)
+						tt.Failed++
 					} else {
+						tt.OK++
 						t.ok++
 						for _, item := range resp.Responses {
 							t.batchItems++
@@ -178,16 +233,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					}
 				} else {
 					req := cfg.Requests[seq%len(cfg.Requests)]
-					resp, err := cfg.Client.Solve(ctx, &req)
+					resp, err := tg.Client.Solve(ctx, &req)
 					switch {
 					case err != nil && ctx.Err() != nil:
 						// The run's own clock cut this op off mid-flight; it says
 						// nothing about the server, drop it from the tally.
 						t.ops--
+						tt.Ops--
 					case err != nil:
 						t.failure(err)
+						tt.Failed++
 					default:
 						t.result(resp)
+						tt.OK++
 					}
 				}
 				if cfg.OpDelay > 0 {
@@ -207,7 +265,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Statuses: map[string]uint64{},
 		Errors:   map[string]uint64{},
 		Elapsed:  time.Since(start),
-		Client:   cfg.Client.Stats(),
+		// The headline client stats come from the first target; a
+		// multi-target run reads per-target outcomes from Targets instead.
+		Client: targets[0].Client.Stats(),
 	}
 	for _, t := range tallies {
 		rep.Ops += t.ops
@@ -221,6 +281,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		for k, v := range t.errors {
 			rep.Errors[k] += v
+		}
+		if len(targets) > 1 {
+			if rep.Targets == nil {
+				rep.Targets = map[string]*TargetReport{}
+			}
+			for name, tt := range t.targets {
+				agg := rep.Targets[name]
+				if agg == nil {
+					agg = &TargetReport{}
+					rep.Targets[name] = agg
+				}
+				agg.Ops += tt.Ops
+				agg.OK += tt.OK
+				agg.Failed += tt.Failed
+			}
 		}
 	}
 	return rep, nil
@@ -238,6 +313,17 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "cache hits=%d\n", r.CacheHits)
 	writeMap(&b, "statuses", r.Statuses)
 	writeMap(&b, "errors", r.Errors)
+	if len(r.Targets) > 0 {
+		names := make([]string, 0, len(r.Targets))
+		for name := range r.Targets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tt := r.Targets[name]
+			fmt.Fprintf(&b, "target %s: ops=%d ok=%d failed=%d\n", name, tt.Ops, tt.OK, tt.Failed)
+		}
+	}
 	fmt.Fprintf(&b, "client: requests=%d retries=%d breaker=%s opens=%d open-rejects=%d\n",
 		r.Client.Requests, r.Client.Retries, r.Client.Breaker.State,
 		r.Client.Breaker.Opens, r.Client.BreakerOpenRejects)

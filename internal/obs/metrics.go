@@ -117,6 +117,38 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// it returns the upper bound of the first bucket at which the cumulative
+// count reaches q of the total — the same upper-bound estimate a
+// Prometheus histogram_quantile yields at bucket resolution. Values in
+// the +Inf overflow bucket are reported as the largest finite bound.
+// With no observations it returns 0, false. The bucket snapshot is taken
+// the same way the exposition writer takes it, so a concurrent Observe
+// can only shift the estimate by one sample, never tear it.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if q <= 0 || q > 1 || len(h.uppers) == 0 {
+		return 0, false
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, false
+	}
+	need := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += counts[i]
+		if cum >= need {
+			return upper, true
+		}
+	}
+	return h.uppers[len(h.uppers)-1], true
+}
+
 func (h *Histogram) writeExposition(w io.Writer, name, labels string) error {
 	// Snapshot the per-bucket counts first, then derive the total from
 	// that same snapshot: `_count` and the +Inf bucket are always equal

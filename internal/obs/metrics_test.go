@@ -97,6 +97,39 @@ func TestHistogramZeroObservations(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile pins the upper-bound estimate: the q-quantile is
+// the bound of the first bucket whose cumulative count reaches q·total,
+// and overflow observations report the largest finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bcc_q", "h", nil, []float64{0.01, 0.1, 1})
+	if _, ok := h.Quantile(0.9); ok {
+		t.Fatalf("empty histogram reported a quantile")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // le=0.01
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // le=1
+	}
+	if got, ok := h.Quantile(0.5); !ok || got != 0.01 {
+		t.Fatalf("p50 = %v,%v, want 0.01,true", got, ok)
+	}
+	if got, ok := h.Quantile(0.95); !ok || got != 1 {
+		t.Fatalf("p95 = %v,%v, want 1,true", got, ok)
+	}
+	h.Observe(50) // +Inf overflow clamps to the largest finite bound
+	if got, ok := h.Quantile(1); !ok || got != 1 {
+		t.Fatalf("p100 = %v,%v, want 1,true", got, ok)
+	}
+	if _, ok := h.Quantile(0); ok {
+		t.Fatalf("q=0 must report not-ok")
+	}
+	if _, ok := h.Quantile(1.5); ok {
+		t.Fatalf("q>1 must report not-ok")
+	}
+}
+
 func TestHistogramBadBucketsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

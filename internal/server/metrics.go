@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -115,6 +116,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Every response names the process that produced it, so a caller
+		// behind bccgate can verify fingerprint affinity with curl -i.
+		w.Header().Set(api.BackendHeader, s.cfg.BackendID)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {

@@ -25,11 +25,13 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +66,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxBatch caps the number of requests in one batch (default 64).
 	MaxBatch int
+	// BackendID is this process's stable identity, sent on every response
+	// as the X-BCC-Backend header and reported in /v1/statz so affinity
+	// routing through bccgate is debuggable end to end. Empty means a
+	// generated "<hostname>-<pid>-<4 random hex>" ID.
+	BackendID string
 }
 
 func (c Config) withDefaults() Config {
@@ -91,7 +98,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 64
 	}
+	if c.BackendID == "" {
+		c.BackendID = defaultBackendID()
+	}
 	return c
+}
+
+// defaultBackendID builds the generated per-process identity. The random
+// suffix distinguishes restarts of the same binary on the same host, so
+// a gateway's statz never conflates the old and new incarnation.
+func defaultBackendID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "bcc"
+	}
+	var suffix [2]byte
+	if _, err := crand.Read(suffix[:]); err != nil {
+		// A broken entropy source must not stop the server; pid alone
+		// still distinguishes processes on one host.
+		return fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	return fmt.Sprintf("%s-%d-%x", host, os.Getpid(), suffix)
 }
 
 // Server wires the cache, the worker pool and the HTTP handlers. Create
@@ -145,6 +172,10 @@ func New(cfg Config) *Server {
 // Registry exposes the metrics registry (tests, and embedders that want
 // to add their own series next to the server's).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// BackendID returns this process's stable identity — the value of every
+// response's X-BCC-Backend header.
+func (s *Server) BackendID() string { return s.cfg.BackendID }
 
 // Close stops admission and drains in-flight and queued solves. It
 // implies BeginDrain, so a health check racing a shutdown sees 503.
@@ -519,6 +550,7 @@ type SnapshotStats struct {
 
 // Statz is the GET /v1/statz body.
 type Statz struct {
+	BackendID       string           `json:"backend_id"`
 	UptimeSeconds   float64          `json:"uptime_seconds"`
 	Goroutines      int              `json:"goroutines"`
 	Build           obs.Build        `json:"build"`
@@ -547,6 +579,7 @@ type Statz struct {
 // single-snapshot accessors for the same reason.
 func (s *Server) snapshot() Statz {
 	st := Statz{
+		BackendID:  s.cfg.BackendID,
 		Goroutines: runtime.NumGoroutine(),
 		Build:      obs.ReadBuild(),
 		Cache:      s.cache.Stats(),
