@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke load chaos
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke jobs-smoke load chaos
 
 build:
 	$(GO) build ./...
@@ -51,10 +51,12 @@ soak-smoke:
 	$(GO) test -race -run TestChaosSoak -v ./internal/server/ -soak 10s
 
 ## fuzz-smoke: a short native-fuzz pass over the instance decode paths
-## (FuzzRead and the server-facing FuzzFromFormat).
+## (FuzzRead and the server-facing FuzzFromFormat) and the bccjob/1
+## durable job-record codec.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFromFormat -fuzztime 10s ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz FuzzJobRecord -fuzztime 10s ./internal/jobs/
 
 ## cluster-smoke: the scale-out acceptance scenario under the race
 ## detector — a bccgate gateway over two in-process backends, checking
@@ -64,11 +66,21 @@ fuzz-smoke:
 cluster-smoke:
 	$(GO) test -race -run TestClusterSmoke -v ./internal/cluster/ -cluster.soak 10s
 
+## jobs-smoke: the durable-jobs acceptance pair, both under the race
+## detector — a 10-second chaos run over internal/jobs with panic
+## faults armed at every jobs.* point (append/checkpoint/resume), and
+## the kill-and-resume soak: a real bccserver process SIGKILLed
+## mid-GMC3-job, restarted on the same -jobs-dir, and required to
+## finish the same job from its checkpoint (resumed counter > 0).
+jobs-smoke:
+	$(GO) test -race -run TestJobsChaosSoak -v ./internal/jobs/ -jobs.chaos 10s
+	$(GO) test -race -run TestKillResume -v -timeout 15m ./cmd/bccserver/ -jobs.soak
+
 ## ci: what .github/workflows/ci.yml runs — build (including the server,
 ## gateway and load-driver binaries), tests, vet, the race detector over
 ## the concurrent/guarded packages and the serving/resilience stack, the
-## chaos soak, the cluster smoke, a fuzz smoke, and a one-iteration
-## benchmark smoke.
+## chaos soak, the cluster smoke, the durable-jobs smoke, a fuzz smoke,
+## and a one-iteration benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
@@ -76,9 +88,10 @@ ci:
 	$(GO) build -o /dev/null ./cmd/bccload
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/
 	$(MAKE) soak-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) jobs-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 

@@ -236,6 +236,12 @@ type (
 	LogOptions = querylog.Options
 	// LogStats reports what ParseQueryLog kept and dropped.
 	LogStats = querylog.Stats
+	// LogWindow bounds timestamped ingestion to [From, To).
+	LogWindow = querylog.Window
+	// TimedLogOptions configures ParseQueryLogTimed.
+	TimedLogOptions = querylog.TimedOptions
+	// TimedLogStats adds window accounting to LogStats.
+	TimedLogStats = querylog.TimedStats
 )
 
 // ParseQueryLog reads a "terms<TAB>count" search log into a Builder with
@@ -243,6 +249,13 @@ type (
 // Instance.
 func ParseQueryLog(r io.Reader, opts LogOptions) (*Builder, LogStats, error) {
 	return querylog.Parse(r, opts)
+}
+
+// ParseQueryLogTimed reads a timestamped "ts<TAB>terms<TAB>count" search
+// log, keeping only events inside opts.Window (lines may be in any time
+// order; repeated queries accumulate).
+func ParseQueryLogTimed(r io.Reader, opts TimedLogOptions) (*Builder, TimedLogStats, error) {
+	return querylog.ParseTimed(r, opts)
 }
 
 // Serving: the resilient HTTP client for a bccserver instance.
@@ -263,7 +276,19 @@ type (
 	SolveResponse = api.SolveResponse
 	// BatchResponse holds per-item results/errors of a batch call.
 	BatchResponse = api.BatchResponse
+	// JobRequest / JobStatus / JobProgress / JobList are the wire types
+	// of the durable async solve-job endpoints (POST /v1/jobs and
+	// friends); Client.SubmitJob / JobStatus / JobResult / AwaitJob /
+	// CancelJob speak them.
+	JobRequest  = api.JobRequest
+	JobStatus   = api.JobStatus
+	JobProgress = api.JobProgress
+	JobList     = api.JobList
 )
+
+// JobTerminal reports whether a job state string is final (completed,
+// failed or canceled).
+func JobTerminal(state string) bool { return api.JobTerminal(state) }
 
 // NewClient builds a resilient service client.
 func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }

@@ -22,10 +22,19 @@
 // members. SIGINT/SIGTERM drains gracefully: /v1/healthz flips to 503
 // first, then in-flight requests finish.
 //
+// Async jobs route through the gateway too: a submission is pinned to
+// its fingerprint-affine backend, the gateway hands out its own job ID,
+// and if the owning backend dies mid-job the next poll transparently
+// resubmits the job to a survivor (once) under the same ID — the status
+// body reports the move via "resubmitted" and "backend". GET /v1/jobs
+// scatter-gathers the listing across all eligible backends.
+//
 // Endpoints (same shapes as bccserver):
 //
 //	POST /v1/solve        route one solve by fingerprint affinity
 //	POST /v1/solve/batch  scatter-gather by per-item affinity
+//	POST /v1/jobs         submit a durable async job to its affine backend
+//	GET  /v1/jobs         merged job listing; /v1/jobs/{id}[/result|/cancel] per job
 //	GET  /v1/healthz      200 while serving and ≥1 backend is eligible
 //	GET  /v1/statz        gateway + per-backend routing counters
 //	GET  /metrics         Prometheus text exposition

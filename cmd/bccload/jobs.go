@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// Job-mode load (-jobs): every op submits a durable async job, polls it
+// to a terminal state through the job API, and classifies the outcome.
+// The report proves the durability contract under load (and chaos): a
+// submission the server acknowledged must never be lost, whatever the
+// faults did to the run.
+
+// jobTarget pairs a client with its display name for per-target rows.
+type jobTarget struct {
+	name string
+	cl   *client.Client
+}
+
+// jobsReport tallies one job-mode run.
+type jobsReport struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	// Resumed counts completed jobs that survived at least one resume
+	// (crash or drain recovery) on the way — a subset of Completed.
+	Resumed  uint64 `json:"resumed"`
+	Failed   uint64 `json:"failed"`
+	Canceled uint64 `json:"canceled"`
+	// Rejected counts submissions the service refused up front (429 full
+	// store, 503 draining, ...) — never durably accepted, so not at risk.
+	Rejected uint64 `json:"rejected"`
+	// Lost counts jobs the service accepted but never answered a
+	// terminal state for. The durability contract makes any non-zero
+	// value a bug.
+	Lost uint64 `json:"lost"`
+}
+
+func (r *jobsReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs: submitted=%d completed=%d (resumed=%d) failed=%d canceled=%d rejected=%d lost=%d\n",
+		r.Submitted, r.Completed, r.Resumed, r.Failed, r.Canceled, r.Rejected, r.Lost)
+	if r.Lost > 0 {
+		b.WriteString("WARNING: accepted jobs were lost — the durability contract is broken\n")
+	}
+	return b.String()
+}
+
+// runJobsLoad drives concurrency workers submitting and awaiting jobs
+// for the given duration. Every cancelEvery-th submission is canceled
+// right away to exercise that path (0 disables). Jobs in flight when
+// the clock runs out are still awaited (with a grace period) — walking
+// away from them would misreport slow jobs as lost.
+func runJobsLoad(targets []jobTarget, reqs []api.SolveRequest, concurrency int, duration, poll time.Duration, jobDeadlineMS int64, cancelEvery int) *jobsReport {
+	rep := &jobsReport{}
+	var (
+		submitted, completed, resumed, failed, canceled, rejected, lost atomic.Uint64
+		ops                                                             atomic.Uint64
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				n := ops.Add(1)
+				req := reqs[int(n)%len(reqs)]
+				t := targets[int(n)%len(targets)]
+				jreq := &api.JobRequest{SolveRequest: req, JobDeadlineMS: jobDeadlineMS}
+
+				subCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				st, err := t.cl.SubmitJob(subCtx, jreq)
+				cancel()
+				if err != nil {
+					rejected.Add(1)
+					continue
+				}
+				submitted.Add(1)
+
+				if cancelEvery > 0 && n%uint64(cancelEvery) == 0 {
+					cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					_, _ = t.cl.CancelJob(cctx, st.ID)
+					cancel()
+					// Fall through to await: a cancel can race completion, and
+					// either terminal answer is a correctly tracked job.
+				}
+
+				// Grace beyond the run end: an accepted job deserves its
+				// terminal answer before we judge it lost.
+				grace := time.Until(deadline) + duration + 30*time.Second
+				actx, cancelAwait := context.WithTimeout(context.Background(), grace)
+				result, final, err := t.cl.AwaitJob(actx, st.ID, poll)
+				cancelAwait()
+				switch {
+				case err != nil:
+					lost.Add(1)
+				case final == nil:
+					lost.Add(1)
+				case final.State == api.JobCompleted && result != nil:
+					completed.Add(1)
+					if final.Resumes > 0 {
+						resumed.Add(1)
+					}
+				case final.State == api.JobCanceled:
+					canceled.Add(1)
+				case final.State == api.JobFailed:
+					failed.Add(1)
+				default:
+					lost.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Submitted = submitted.Load()
+	rep.Completed = completed.Load()
+	rep.Resumed = resumed.Load()
+	rep.Failed = failed.Load()
+	rep.Canceled = canceled.Load()
+	rep.Rejected = rejected.Load()
+	rep.Lost = lost.Load()
+	if rep.Lost > 0 {
+		log.Printf("bccload: %d accepted jobs lost — durability contract violated", rep.Lost)
+	}
+	return rep
+}

@@ -25,6 +25,17 @@
 //	bccload -chaos -duration 10s
 //	bccload -chaos -faults "server.admit:0.05,solvecache.get:0.02" -duration 5s
 //
+// Job mode (-jobs) drives the durable async job API instead of the
+// synchronous solve path: every op submits a job, polls it to a
+// terminal state, and the report classifies outcomes as completed /
+// resumed / failed / canceled / rejected / lost. It composes with
+// -chaos (the in-process server gets a throwaway jobs directory and
+// accepts jobs.* fault points) and a non-zero "lost" count exits 1 —
+// an accepted job that vanishes is a durability bug, not noise:
+//
+//	bccload -chaos -jobs -duration 10s
+//	bccload -chaos -jobs -faults "jobs.store.append:0.05,jobs.checkpoint:0.1" -duration 5s
+//
 // The final report tallies ops, statuses, error classes, cache hits and
 // the client's breaker state; -json emits it machine-readable.
 package main
@@ -69,9 +80,12 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a self-contained in-process server with armed faults")
 		faultSpec   = flag.String("faults", "server.admit:0.02,server.pool.dequeue:0.02,solvecache.get:0.01,solvecache.put:0.01,core.phase:0.02",
 			"chaos faults as point:probability,... (panic faults; with -chaos)")
-		opDelay = flag.Duration("op-delay", 0, "pause between one worker's ops (0 = closed loop)")
-		jsonOut = flag.Bool("json", false, "print the report as JSON")
-		version = flag.Bool("version", false, "print build information and exit")
+		jobsMode        = flag.Bool("jobs", false, "drive the async job API: submit, poll to terminal, classify completed/resumed/canceled/lost")
+		jobsPoll        = flag.Duration("jobs-poll", 100*time.Millisecond, "status poll interval in -jobs mode")
+		jobsCancelEvery = flag.Int("jobs-cancel-every", 8, "cancel every Nth submitted job in -jobs mode (0 disables)")
+		opDelay         = flag.Duration("op-delay", 0, "pause between one worker's ops (0 = closed loop)")
+		jsonOut         = flag.Bool("json", false, "print the report as JSON")
+		version         = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -138,7 +152,39 @@ func main() {
 	reqs := loadgen.SyntheticWorkload(*instances, *seed)
 	for i := range reqs {
 		reqs[i].Algo = *algo
-		reqs[i].DeadlineMS = *deadlineMS
+		if !*jobsMode {
+			// Jobs ignore the per-request deadline; -deadline-ms becomes the
+			// job-level deadline in the jobs branch below instead.
+			reqs[i].DeadlineMS = *deadlineMS
+		}
+	}
+
+	if *jobsMode {
+		var jts []jobTarget
+		for _, lt := range loadTargets {
+			jts = append(jts, jobTarget{name: lt.Name, cl: lt.Client})
+		}
+		if len(jts) == 0 {
+			jts = []jobTarget{{name: base, cl: cl}}
+		}
+		log.Printf("bccload: driving %d job workers against %s for %v", *concurrency, targetDesc, *duration)
+		jrep := runJobsLoad(jts, reqs, *concurrency, *duration, *jobsPoll, *deadlineMS, *jobsCancelEvery)
+		if chaosSrv != nil {
+			chaosSrv.drainAndReport(jts[0].cl)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(jrep); err != nil {
+				log.Fatalf("bccload: %v", err)
+			}
+			return
+		}
+		fmt.Print(jrep.String())
+		if jrep.Lost > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	log.Printf("bccload: driving %d workers against %s for %v", *concurrency, targetDesc, *duration)
@@ -180,6 +226,7 @@ type chaosServer struct {
 	httpSrv *http.Server
 	baseURL string
 	points  []string
+	jobsDir string
 }
 
 // startChaosServer listens on an ephemeral loopback port and arms the
@@ -195,10 +242,26 @@ func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
 		Queue:           8,
 		CacheTTL:        time.Minute,
 		DefaultDeadline: 5 * time.Second,
+		// Short checkpoint slices so -jobs chaos runs exercise several
+		// checkpoints per job, not one long slice.
+		JobCheckpointInterval: 200 * time.Millisecond,
 	})
+
+	// Jobs are always on for the chaos server (a throwaway store dir) so
+	// -chaos composes with -jobs and with jobs.* fault points.
+	jobsDir, err := os.MkdirTemp("", "bccload-jobs-")
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.OpenJobs(jobsDir, log.Printf); err != nil {
+		os.RemoveAll(jobsDir)
+		return nil, err
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		srv.Close()
+		os.RemoveAll(jobsDir)
 		return nil, err
 	}
 	httpSrv := &http.Server{
@@ -214,7 +277,7 @@ func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
 		}
 	}()
 
-	cs := &chaosServer{srv: srv, httpSrv: httpSrv, baseURL: "http://" + ln.Addr().String()}
+	cs := &chaosServer{srv: srv, httpSrv: httpSrv, baseURL: "http://" + ln.Addr().String(), jobsDir: jobsDir}
 	points, err := armFaults(faultSpec, seed)
 	if err != nil {
 		cs.stop()
@@ -279,6 +342,9 @@ func (c *chaosServer) drainAndReport(cl *client.Client) {
 	st := c.srv.Statz()
 	out, _ := json.MarshalIndent(st, "", "  ")
 	fmt.Printf("server statz after drain:\n%s\n", out)
+	if c.jobsDir != "" {
+		os.RemoveAll(c.jobsDir)
+	}
 }
 
 func (c *chaosServer) stopListener() {
@@ -291,4 +357,7 @@ func (c *chaosServer) stop() {
 	guard.DisarmAll()
 	c.stopListener()
 	c.srv.Close()
+	if c.jobsDir != "" {
+		os.RemoveAll(c.jobsDir)
+	}
 }

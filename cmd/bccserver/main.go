@@ -11,6 +11,8 @@
 //	          [-deadline 30s] [-max-deadline 2m]
 //	          [-warm instance.json] [-drain 15s]
 //	          [-snapshot cache.bccsnap] [-snapshot-interval 5m]
+//	          [-jobs-dir /var/lib/bcc/jobs] [-job-workers N]
+//	          [-job-checkpoint 2s] [-job-deadline 10m]
 //
 // With -snapshot the solution cache survives restarts: the file is
 // restored at boot (a missing, corrupt or version-mismatched snapshot
@@ -18,13 +20,22 @@
 // rewritten atomically every -snapshot-interval, and saved one last
 // time on graceful drain.
 //
+// With -jobs-dir the async job endpoints (POST /v1/jobs and friends)
+// come up, backed by a crash-safe store in that directory: jobs run in
+// checkpointed anytime slices on a dedicated worker pool, and on
+// restart with the same directory incomplete jobs are requeued and
+// warm-started from their last checkpoint. Without the flag the job
+// routes answer 501.
+//
 // Endpoints:
 //
-//	POST /v1/solve        solve one instance (see internal/server.SolveRequest)
-//	POST /v1/solve/batch  solve many in one call
-//	GET  /v1/healthz      liveness
-//	GET  /v1/statz        counters: cache hits, queue depth, shed requests, ...
-//	GET  /metrics         Prometheus text exposition
+//	POST /v1/solve            solve one instance (see internal/server.SolveRequest)
+//	POST /v1/solve/batch      solve many in one call
+//	POST /v1/jobs             submit a durable async solve job (with -jobs-dir)
+//	GET  /v1/jobs             list jobs; /v1/jobs/{id}[/result|/cancel] per job
+//	GET  /v1/healthz          liveness
+//	GET  /v1/statz            counters: cache hits, queue depth, shed requests, ...
+//	GET  /metrics             Prometheus text exposition
 //
 // With -debug-addr a second listener serves net/http/pprof and /metrics,
 // kept off the main address so profiling never faces production traffic.
@@ -63,6 +74,12 @@ func main() {
 		snapshot    = flag.String("snapshot", "", "cache snapshot file: restored at boot, saved periodically and on drain")
 		snapEvery   = flag.Duration("snapshot-interval", 5*time.Minute, "how often to rewrite the cache snapshot (0 disables the timer)")
 		backendID   = flag.String("backend-id", "", "stable backend identity for the X-BCC-Backend header (empty = hostname-pid-random)")
+		jobsDir     = flag.String("jobs-dir", "", "directory for the durable async-job store (empty = job endpoints answer 501)")
+		jobWorkers  = flag.Int("job-workers", 2, "async-job worker pool size (with -jobs-dir)")
+		jobMaxJobs  = flag.Int("job-max-jobs", 256, "max jobs tracked at once; a full store answers 429 (with -jobs-dir)")
+		jobCkpt     = flag.Duration("job-checkpoint", 2*time.Second, "initial checkpoint slice length for async jobs (doubles per slice)")
+		jobDeadline = flag.Duration("job-deadline", 10*time.Minute, "default cumulative solve deadline per async job")
+		jobMaxDl    = flag.Duration("job-max-deadline", time.Hour, "cap on any requested async-job deadline")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /metrics")
 		version     = flag.Bool("version", false, "print build information and exit")
@@ -74,16 +91,31 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		Queue:           *queue,
-		CacheSize:       *cacheSize,
-		CacheTTL:        *cacheTTL,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxBodyBytes:    *maxBody,
-		MaxBatch:        *maxBatch,
-		BackendID:       *backendID,
+		Workers:               *workers,
+		Queue:                 *queue,
+		CacheSize:             *cacheSize,
+		CacheTTL:              *cacheTTL,
+		DefaultDeadline:       *deadline,
+		MaxDeadline:           *maxDeadline,
+		MaxBodyBytes:          *maxBody,
+		MaxBatch:              *maxBatch,
+		BackendID:             *backendID,
+		JobWorkers:            *jobWorkers,
+		JobMaxJobs:            *jobMaxJobs,
+		JobCheckpointInterval: *jobCkpt,
+		JobDefaultDeadline:    *jobDeadline,
+		JobMaxDeadline:        *jobMaxDl,
 	})
+
+	if *jobsDir != "" {
+		// OpenJobs scans the store, requeues incomplete jobs (warm-started
+		// from their last checkpoint) and logs what it resumed.
+		if err := srv.OpenJobs(*jobsDir, log.Printf); err != nil {
+			log.Fatalf("bccserver: opening job store %s: %v", *jobsDir, err)
+		}
+		log.Printf("bccserver: durable jobs on %s (workers=%d checkpoint=%v deadline=%v)",
+			*jobsDir, *jobWorkers, *jobCkpt, *jobDeadline)
+	}
 
 	if *snapshot != "" {
 		restoreSnapshot(srv, *snapshot)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the test binary's race instrumentation so the
+// soak builds its bccserver subprocess the same way.
+const raceEnabled = false

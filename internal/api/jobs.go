@@ -1,0 +1,102 @@
+package api
+
+// Job wire types: the bodies of the durable async solve-job endpoints.
+//
+//	POST /v1/jobs              JobRequest  → 202 JobStatus
+//	GET  /v1/jobs              → 200 JobList
+//	GET  /v1/jobs/{id}         → 200 JobStatus
+//	GET  /v1/jobs/{id}/result  → 200 SolveResponse (completed)
+//	                             202 JobStatus     (queued/running)
+//	                             409 Error         (failed/canceled)
+//	POST /v1/jobs/{id}/cancel  → 200 JobStatus
+//
+// A job is a solve that outlives any single HTTP request: the server
+// persists it in a crash-safe store (internal/jobs, bccjob/1 records),
+// runs it in checkpointed anytime slices, and resumes it from the last
+// checkpoint after a restart. The same types travel through bcc.Client
+// and the bccgate gateway.
+
+// Job states. A submitted job is queued, runs to one of the three
+// terminal states, and — after a crash — reappears as queued with its
+// resume counter bumped.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobCompleted = "completed"
+	JobFailed    = "failed"
+	JobCanceled  = "canceled"
+)
+
+// JobTerminal reports whether a job state is final.
+func JobTerminal(state string) bool {
+	return state == JobCompleted || state == JobFailed || state == JobCanceled
+}
+
+// JobRequest is the body of POST /v1/jobs: a solve request plus the
+// job-level deadline. The embedded request's DeadlineMS is ignored for
+// jobs (slices are sized by the server's checkpoint interval);
+// JobDeadlineMS bounds the total solve wall-clock across all slices and
+// resumes instead.
+type JobRequest struct {
+	SolveRequest
+	// JobDeadlineMS caps the job's cumulative solve time (across crashes
+	// and resumes). 0 means the server's default job deadline.
+	JobDeadlineMS int64 `json:"job_deadline_ms,omitempty"`
+}
+
+// JobProgress is the anytime view of a running (or checkpointed) job:
+// the incumbent the last completed slice left behind.
+type JobProgress struct {
+	// Slices counts completed solve slices (checkpoints written).
+	Slices int `json:"slices"`
+	// ElapsedMS is cumulative solve wall-clock across all slices,
+	// surviving restarts.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Status is the last slice's anytime status (deadline until the
+	// final slice completes).
+	Status string `json:"status,omitempty"`
+	// Utility/Cost/Covered describe the incumbent plan.
+	Utility float64 `json:"utility"`
+	Cost    float64 `json:"cost"`
+	Covered int     `json:"covered"`
+	// Achieved is set for algo=gmc3: whether the incumbent reaches the
+	// target.
+	Achieved *bool `json:"achieved,omitempty"`
+	// CheckpointUnixMS is when the incumbent was last persisted.
+	CheckpointUnixMS int64 `json:"checkpoint_unix_ms,omitempty"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id} (and the 202 form of the
+// result endpoint).
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Stage is a human-oriented phase label: "queued", "solving (slice
+	// 3)", "completed", ...
+	Stage       string `json:"stage,omitempty"`
+	Algo        string `json:"algo,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// CreatedUnixMS / UpdatedUnixMS bracket the job's lifetime so far.
+	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
+	UpdatedUnixMS int64 `json:"updated_unix_ms,omitempty"`
+	// Attempts counts run starts (1 + resumes); Resumes counts restarts
+	// from a persisted record after a crash or drain.
+	Attempts int `json:"attempts,omitempty"`
+	Resumes  int `json:"resumes,omitempty"`
+	// Progress is the incumbent checkpoint, when one exists.
+	Progress *JobProgress `json:"progress,omitempty"`
+	// Error carries the failure reason for state=failed (and the cancel
+	// cause for canceled, when one was given).
+	Error string `json:"error,omitempty"`
+	// Resubmitted is set by the gateway when the job was transparently
+	// resubmitted to another backend after its original owner died.
+	Resubmitted bool `json:"resubmitted,omitempty"`
+	// Backend is set by the gateway: the backend URL currently owning
+	// the job.
+	Backend string `json:"backend,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}

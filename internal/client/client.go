@@ -336,7 +336,11 @@ func (c *Client) post(ctx context.Context, base, path string, body []byte, out a
 // error message and retry advice from the JSON body and the standard
 // Retry-After header (the header wins when both are present).
 func httpError(resp *http.Response, data []byte) *HTTPError {
-	he := &HTTPError{StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	return newHTTPError(resp.StatusCode, resp.Header, data)
+}
+
+func newHTTPError(code int, header http.Header, data []byte) *HTTPError {
+	he := &HTTPError{StatusCode: code, Msg: strings.TrimSpace(string(data))}
 	var body struct {
 		Error             string `json:"error"`
 		RetryAfterSeconds int    `json:"retry_after_seconds"`
@@ -347,7 +351,7 @@ func httpError(resp *http.Response, data []byte) *HTTPError {
 			he.RetryAfter = time.Duration(body.RetryAfterSeconds) * time.Second
 		}
 	}
-	if h := resp.Header.Get("Retry-After"); h != "" {
+	if h := header.Get("Retry-After"); h != "" {
 		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
 			he.RetryAfter = time.Duration(secs) * time.Second
 		}

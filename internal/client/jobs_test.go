@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// fakeJobServer emulates the job endpoints' status-code protocol: a
+// submitted job answers queued, then running for `runningPolls` status
+// fetches, then completed; the result endpoint mirrors that with
+// 202/200. One job at a time is plenty for protocol tests.
+type fakeJobServer struct {
+	runningPolls int32
+	polls        atomic.Int32
+	failJob      bool  // job ends failed instead of completed
+	status500s   int32 // first N status fetches answer 500 (retry fodder)
+	s500         atomic.Int32
+}
+
+func (f *fakeJobServer) state() string {
+	if f.polls.Load() <= f.runningPolls {
+		return api.JobRunning
+	}
+	if f.failJob {
+		return api.JobFailed
+	}
+	return api.JobCompleted
+}
+
+func (f *fakeJobServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req api.JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "fakejob0000000001", State: api.JobQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if f.s500.Add(1) <= f.status500s {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		f.polls.Add(1)
+		st := api.JobStatus{ID: r.PathValue("id"), State: f.state()}
+		if st.State == api.JobFailed {
+			st.Error = "synthetic failure"
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		switch f.state() {
+		case api.JobRunning:
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(api.JobStatus{ID: r.PathValue("id"), State: api.JobRunning})
+		case api.JobFailed:
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"error": "job ended failed: synthetic failure"})
+		default:
+			json.NewEncoder(w).Encode(api.SolveResponse{Fingerprint: "fp", Status: "complete", Utility: 7})
+		}
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobStatus{ID: r.PathValue("id"), State: api.JobCanceled})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(api.JobList{Jobs: []api.JobStatus{{ID: "fakejob0000000001", State: f.state()}}})
+	})
+	return mux
+}
+
+func TestSubmitAwaitJobCompletes(t *testing.T) {
+	f := &fakeJobServer{runningPolls: 2}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	st, err := c.SubmitJob(context.Background(), &api.JobRequest{SolveRequest: *quickReq()})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if st.ID == "" || st.State != api.JobQueued {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// While running, the result endpoint answers 202 + status.
+	result, running, err := c.JobResult(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("JobResult while running: %v", err)
+	}
+	if result != nil || running == nil || running.State != api.JobRunning {
+		t.Fatalf("mid-flight result = %v status = %+v", result, running)
+	}
+
+	result, final, err := c.AwaitJob(context.Background(), st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("AwaitJob: %v", err)
+	}
+	if final.State != api.JobCompleted || result == nil || result.Utility != 7 {
+		t.Fatalf("awaited: status %+v result %+v", final, result)
+	}
+}
+
+func TestAwaitJobFailedReturnsStatusNotError(t *testing.T) {
+	f := &fakeJobServer{runningPolls: 1, failJob: true}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	result, st, err := c.AwaitJob(context.Background(), "fakejob0000000001", time.Millisecond)
+	if err != nil {
+		t.Fatalf("AwaitJob on failed job: %v", err)
+	}
+	if result != nil || st.State != api.JobFailed || st.Error == "" {
+		t.Fatalf("result %v status %+v, want nil result + failed status with reason", result, st)
+	}
+
+	// A direct result fetch surfaces the 409 as ErrJobNotCompleted.
+	if _, _, err := c.JobResult(context.Background(), st.ID); !errors.Is(err, ErrJobNotCompleted) {
+		t.Fatalf("JobResult on failed job: %v, want ErrJobNotCompleted", err)
+	}
+}
+
+func TestJobStatusRetriesTransient500(t *testing.T) {
+	f := &fakeJobServer{runningPolls: 0, status500s: 2}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	st, err := c.JobStatus(context.Background(), "fakejob0000000001")
+	if err != nil {
+		t.Fatalf("JobStatus: %v", err)
+	}
+	if st.State != api.JobCompleted {
+		t.Fatalf("state = %q", st.State)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want 2 backoffs for 2 transient 500s", slept)
+	}
+}
+
+func TestCancelAndListJobs(t *testing.T) {
+	f := &fakeJobServer{runningPolls: 1000}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	st, err := c.CancelJob(context.Background(), "fakejob0000000001")
+	if err != nil || st.State != api.JobCanceled {
+		t.Fatalf("CancelJob: %+v / %v", st, err)
+	}
+	list, err := c.ListJobs(context.Background())
+	if err != nil || len(list.Jobs) != 1 {
+		t.Fatalf("ListJobs: %+v / %v", list, err)
+	}
+}

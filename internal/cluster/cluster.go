@@ -190,6 +190,13 @@ type Cluster struct {
 	failovers     atomic.Uint64
 	noBackend     atomic.Uint64
 
+	// Async-job tracking (jobs.go): external job ID -> owning backend.
+	jobsMu          sync.Mutex
+	trackedJobs     map[string]*gateJob
+	jobSubmits      atomic.Uint64
+	jobResubmits    atomic.Uint64
+	jobsDroppedLive atomic.Uint64
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	loopWG   sync.WaitGroup
@@ -828,6 +835,7 @@ type Stats struct {
 	Failovers     uint64          `json:"failovers"`
 	NoBackend     uint64          `json:"no_backend"`
 	HedgeDelayMS  float64         `json:"hedge_delay_ms"`
+	Jobs          JobStats        `json:"jobs"`
 	Client        client.Stats    `json:"client"`
 }
 
@@ -840,6 +848,7 @@ func (c *Cluster) Stats() Stats {
 		HedgeWins:     c.hedgeWins.Load(),
 		Failovers:     c.failovers.Load(),
 		NoBackend:     c.noBackend.Load(),
+		Jobs:          c.jobStats(),
 		Client:        c.cl.Stats(),
 	}
 	if d, ok := c.hedgeDelay(); ok {
@@ -901,6 +910,7 @@ func (c *Cluster) initMetrics() {
 			}
 			return 0
 		})
+	c.initJobMetrics()
 }
 
 // registerBackendMetrics registers the labeled per-backend series once

@@ -95,6 +95,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", g.instrument("/v1/solve", g.handleSolve))
 	mux.HandleFunc("POST /v1/solve/batch", g.instrument("/v1/solve/batch", g.handleBatch))
+	mux.HandleFunc("POST /v1/jobs", g.instrument("/v1/jobs", g.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", g.instrument("/v1/jobs", g.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", g.instrument("/v1/jobs/{id}", g.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.instrument("/v1/jobs/{id}/result", g.handleJobResult))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", g.instrument("/v1/jobs/{id}/cancel", g.handleJobCancel))
 	mux.HandleFunc("GET /v1/healthz", g.instrument("/v1/healthz", g.handleHealthz))
 	mux.HandleFunc("GET /v1/statz", g.instrument("/v1/statz", g.handleStatz))
 	mux.HandleFunc("GET /metrics", g.instrument("/metrics", g.handleMetrics))

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// newJobsBackend is newRealBackend with the async job subsystem enabled
+// over a per-test jobs directory.
+func newJobsBackend(t *testing.T, id string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, Queue: 32, BackendID: id})
+	if err := srv.OpenJobs(t.TempDir(), t.Logf); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// gatewayJSON drives one gateway call the way a plain HTTP client
+// would, returning the status code and raw body.
+func gatewayJSON(t *testing.T, method, url string, in any) (int, []byte) {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// awaitGatewayJob polls the gateway until the job reaches a terminal
+// state.
+func awaitGatewayJob(t *testing.T, gatewayURL, id string) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, raw := gatewayJSON(t, http.MethodGet, gatewayURL+"/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: HTTP %d: %s", id, code, raw)
+		}
+		var st api.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decoding status: %v\n%s", err, raw)
+		}
+		if api.JobTerminal(st.State) {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return api.JobStatus{}
+}
+
+// A job submitted through the gateway must complete on a backend and be
+// observable end to end under its external ID: status, result, and the
+// scatter-gathered listing.
+func TestGatewayJobLifecycle(t *testing.T) {
+	_, tsA := newJobsBackend(t, "job-a")
+	_, tsB := newJobsBackend(t, "job-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+	gw := NewGateway(c, GatewayConfig{})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	req := loadgen.SyntheticWorkload(1, 21)[0]
+	code, raw := gatewayJSON(t, http.MethodPost, gts.URL+"/v1/jobs", api.JobRequest{SolveRequest: req})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit answered HTTP %d: %s", code, raw)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding submit answer: %v\n%s", err, raw)
+	}
+	if st.ID == "" || st.State != api.JobQueued {
+		t.Fatalf("submit status = %+v", st)
+	}
+	if st.Backend != tsA.URL && st.Backend != tsB.URL {
+		t.Fatalf("submit status names backend %q, not a member", st.Backend)
+	}
+
+	final := awaitGatewayJob(t, gts.URL, st.ID)
+	if final.State != api.JobCompleted {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if final.ID != st.ID {
+		t.Fatalf("status ID drifted: submitted %s, polled %s", st.ID, final.ID)
+	}
+	if final.Resubmitted {
+		t.Fatal("healthy-path job reported as resubmitted")
+	}
+
+	code, raw = gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/"+st.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result answered HTTP %d: %s", code, raw)
+	}
+	var result api.SolveResponse
+	if err := json.Unmarshal(raw, &result); err != nil {
+		t.Fatalf("decoding result: %v\n%s", err, raw)
+	}
+	if result.Status != "complete" || result.Fingerprint == "" {
+		t.Fatalf("result = %+v", result)
+	}
+
+	code, raw = gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list answered HTTP %d: %s", code, raw)
+	}
+	var list api.JobList
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatalf("decoding list: %v\n%s", err, raw)
+	}
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == st.ID {
+			found = true
+			if j.Backend == "" {
+				t.Fatalf("listed job has no backend: %+v", j)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("external ID %s missing from the listing: %+v", st.ID, list.Jobs)
+	}
+
+	if got := c.Stats().Jobs; got.Submitted != 1 || got.Tracked != 1 || got.Resubmitted != 0 {
+		t.Fatalf("job stats = %+v", got)
+	}
+}
+
+// Killing the backend that owns a job must not lose it: the next poll
+// detects the dead owner and transparently resubmits the job to a
+// survivor, keeping the external ID and flagging Resubmitted.
+func TestGatewayJobResubmitsWhenOwnerDies(t *testing.T) {
+	_, tsA := newJobsBackend(t, "rs-a")
+	_, tsB := newJobsBackend(t, "rs-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+	gw := NewGateway(c, GatewayConfig{})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	req := loadgen.SyntheticWorkload(1, 33)[0]
+	code, raw := gatewayJSON(t, http.MethodPost, gts.URL+"/v1/jobs", api.JobRequest{SolveRequest: req})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit answered HTTP %d: %s", code, raw)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding submit answer: %v\n%s", err, raw)
+	}
+
+	// Kill the owning backend and let the prober see the corpse so the
+	// loss detector can trust the transport failure.
+	survivor := tsB.URL
+	if st.Backend == tsB.URL {
+		survivor = tsA.URL
+	}
+	if st.Backend == tsA.URL {
+		tsA.Close()
+	} else {
+		tsB.Close()
+	}
+	c.ProbeNow()
+
+	// The first poll lands on the corpse, detects the loss, resubmits to
+	// the survivor, and answers under the same external ID.
+	code, raw = gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/"+st.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("poll after owner death answered HTTP %d: %s", code, raw)
+	}
+	var moved api.JobStatus
+	if err := json.Unmarshal(raw, &moved); err != nil {
+		t.Fatalf("decoding moved status: %v\n%s", err, raw)
+	}
+	if moved.ID != st.ID {
+		t.Fatalf("external ID changed across resubmission: %s then %s", st.ID, moved.ID)
+	}
+	if !moved.Resubmitted || moved.Backend != survivor {
+		t.Fatalf("moved status = %+v, want Resubmitted on %s", moved, survivor)
+	}
+
+	final := awaitGatewayJob(t, gts.URL, st.ID)
+	if final.State != api.JobCompleted {
+		t.Fatalf("resubmitted job ended %s: %s", final.State, final.Error)
+	}
+	code, raw = gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/"+st.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result after resubmission answered HTTP %d: %s", code, raw)
+	}
+	if got := c.Stats().Jobs; got.Resubmitted != 1 {
+		t.Fatalf("resubmitted counter = %d, want 1", got.Resubmitted)
+	}
+
+	// The metrics exposition carries the job series.
+	code, raw = gatewayJSON(t, http.MethodGet, gts.URL+"/metrics", nil)
+	if code != http.StatusOK || !strings.Contains(string(raw), "bcc_gate_job_resubmits_total 1") {
+		t.Fatalf("metrics after resubmission (HTTP %d) lack bcc_gate_job_resubmits_total 1", code)
+	}
+}
+
+// Gateway-side job edges: unknown IDs are the gateway's own 404, a
+// malformed submission dies at the edge, and a failed job's result
+// keeps the backend's 409 contract through the routing tier.
+func TestGatewayJobEdges(t *testing.T) {
+	_, ts := newJobsBackend(t, "edge-j")
+	c := newTestCluster(t, []string{ts.URL}, nil)
+	gw := NewGateway(c, GatewayConfig{})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	if code, _ := gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/deadbeef00000000", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job answered HTTP %d, want 404", code)
+	}
+	if code, _ := gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/deadbeef00000000/result", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job result answered HTTP %d, want 404", code)
+	}
+	resp, err := http.Post(gts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submission answered HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// A canceled job's result answers 409 through the gateway. Cancel can
+	// race completion on a tiny instance, so tolerate the completed path
+	// but require the canceled one to keep the 409 contract.
+	req := loadgen.SyntheticWorkload(1, 55)[0]
+	code, raw := gatewayJSON(t, http.MethodPost, gts.URL+"/v1/jobs", api.JobRequest{SolveRequest: req})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit answered HTTP %d: %s", code, raw)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding submit answer: %v\n%s", err, raw)
+	}
+	code, raw = gatewayJSON(t, http.MethodPost, gts.URL+"/v1/jobs/"+st.ID+"/cancel", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel answered HTTP %d: %s", code, raw)
+	}
+	final := awaitGatewayJob(t, gts.URL, st.ID)
+	if final.State == api.JobCanceled {
+		if code, _ := gatewayJSON(t, http.MethodGet, gts.URL+"/v1/jobs/"+st.ID+"/result", nil); code != http.StatusConflict {
+			t.Fatalf("canceled job's result answered HTTP %d, want 409", code)
+		}
+	}
+}

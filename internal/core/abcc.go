@@ -47,6 +47,14 @@ type Options struct {
 	// IG1 greedy (used by ablation benchmarks). With the floor enabled
 	// (default), A^BCC never returns less utility than IG1.
 	DisableGreedyFloor bool
+	// Warm seeds the run with a previously found feasible plan — the
+	// incumbent of an earlier checkpoint (internal/jobs) or a prior
+	// anytime slice. Sets that fit the remaining budget are selected
+	// before any phase runs, so a warm-started run never returns less
+	// utility than the incumbent: phases and greedy fills only add, and
+	// MC3 only adopts strictly cheaper re-coverings. Sets that no longer
+	// fit (e.g. after a budget override) are skipped, not fatal.
+	Warm []propset.Set
 	// QK tunes the inner Quadratic Knapsack solver.
 	QK qk.Options
 }
@@ -193,6 +201,16 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
 			t.Add(c.Props)
+		}
+	}
+	// Warm start: restore the incumbent before any optimization so even
+	// the bottom rung of the degradation ladder keeps prior progress.
+	for _, w := range opts.Warm {
+		if t.Has(w) {
+			continue
+		}
+		if t.Cost()+in.Cost(w) <= in.Budget()+1e-9 {
+			t.Add(w)
 		}
 	}
 

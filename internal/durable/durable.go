@@ -1,0 +1,145 @@
+// Package durable is the shared crash-safe persistence layer under the
+// bccsnap/1 cache snapshots and the bccjob/1 job records: one atomic
+// file writer and one framed-record codec, so every on-disk format in
+// the system detects truncation, bit rot and torn writes the same way.
+//
+// The file layout is a single ASCII header line
+//
+//	<format-tag> <crc32c-hex> <body-length>\n
+//
+// followed by exactly body-length bytes of payload. The checksum
+// (CRC-32/Castagnoli over the body) plus the explicit length make a
+// reader reject anything that is not a complete, untouched record.
+//
+// WriteFileAtomic writes a temp file in the target's directory, fsyncs
+// it, renames it into place, and then fsyncs the directory itself. The
+// directory fsync is what upgrades the guarantee from "survives a
+// process crash" to "survives power loss": without it, the rename may
+// still sit only in the directory's in-memory metadata when the machine
+// dies, and the file comes back missing even though its bytes were
+// durable.
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// castagnoli is the CRC-32/Castagnoli table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FormatError reports a framed record that cannot be trusted: wrong
+// version tag, bad checksum, truncated body, or a malformed header. It
+// is a distinct type so callers can treat "corrupt record" (quarantine,
+// log, start cold) differently from I/O errors.
+type FormatError struct {
+	Path   string
+	Reason string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("durable: record %s: %s", e.Path, e.Reason)
+}
+
+// EncodeRecord frames body under the given format tag: header line plus
+// payload, ready for WriteFileAtomic.
+func EncodeRecord(format string, body []byte) []byte {
+	header := fmt.Sprintf("%s %08x %d\n", format, crc32.Checksum(body, castagnoli), len(body))
+	out := make([]byte, 0, len(header)+len(body))
+	out = append(out, header...)
+	out = append(out, body...)
+	return out
+}
+
+// DecodeRecord validates a framed record against the expected format
+// tag and returns its body. Anything untrustworthy — missing header,
+// version mismatch, length mismatch, checksum failure — comes back as a
+// *FormatError naming path (used only for error text).
+func DecodeRecord(format, path string, data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, &FormatError{Path: path, Reason: "missing header line"}
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("malformed header %q", string(data[:nl]))}
+	}
+	if fields[0] != format {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("version %q, want %q", fields[0], format)}
+	}
+	wantCRC, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("bad checksum field %q", fields[1])}
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("bad length field %q", fields[2])}
+	}
+	body := data[nl+1:]
+	if len(body) != wantLen {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("body is %d bytes, header says %d (truncated?)", len(body), wantLen)}
+	}
+	if got := crc32.Checksum(body, castagnoli); got != uint32(wantCRC) {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("checksum %08x, header says %08x", got, uint32(wantCRC))}
+	}
+	return body, nil
+}
+
+// WriteFileAtomic writes data to path so that readers (and crash
+// recovery) only ever see the old content or the complete new content:
+// temp file in the same directory, fsync, rename into place, fsync the
+// directory. A failure at any step leaves the previous file intact.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making renames and unlinks inside it
+// durable against power loss. Filesystems that refuse to fsync a
+// directory handle (some network or FUSE mounts) degrade to the
+// rename-only guarantee rather than failing the write.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+// isSyncUnsupported reports fsync errors that mean "this filesystem
+// cannot sync a directory" rather than "your data did not land".
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EBADF)
+}

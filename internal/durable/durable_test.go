@@ -1,0 +1,79 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	body := []byte(`{"hello":"world"}`)
+	framed := EncodeRecord("bccjob/1", body)
+	got, err := DecodeRecord("bccjob/1", "x", framed)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("body = %q, want %q", got, body)
+	}
+}
+
+func TestRecordRejectsCorruption(t *testing.T) {
+	body := []byte(`{"n":42}`)
+	good := EncodeRecord("bccjob/1", body)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"no header":      []byte("garbage with no newline"),
+		"short header":   []byte("bccjob/1 deadbeef\nx"),
+		"wrong version":  EncodeRecord("bccjob/2", body),
+		"truncated body": good[:len(good)-3],
+		"flipped bit":    flip(good, len(good)-1),
+		"bad crc field":  []byte("bccjob/1 zzzzzzzz 8\n{\"n\":42}"),
+		"bad len field":  []byte("bccjob/1 00000000 -1\n{\"n\":42}"),
+		"appended bytes": append(append([]byte{}, good...), "extra"...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeRecord("bccjob/1", "x", data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: err = %v, want *FormatError", name, err)
+			}
+		}
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatalf("WriteFileAtomic overwrite: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("content = %q, want %q", got, "two")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1 (temp files must be cleaned up)", len(entries))
+	}
+}

@@ -38,6 +38,13 @@ type Options struct {
 	BinarySearchSteps int
 	// MaxInnerRounds caps the per-guess A^BCC repetitions. Default 8.
 	MaxInnerRounds int
+	// Warm seeds the run with a previously found plan — the incumbent of
+	// an earlier checkpoint (internal/jobs). It is installed as the
+	// initial best-effort result (and, when it already reaches the
+	// target, as the initial cheapest achieving result after trimming),
+	// so a warm-started run never reports less utility — or, once
+	// achieving, higher cost — than the incumbent.
+	Warm []propset.Set
 	// Core tunes the inner A^BCC solver.
 	Core core.Options
 }
@@ -138,6 +145,21 @@ func SolveCtx(ctx context.Context, in *model.Instance, target float64, opts Opti
 	}()
 	if g.Tripped() {
 		return finish()
+	}
+
+	// Warm start: adopt the checkpointed incumbent as the floor before
+	// any search runs, so even an immediately-tripped resumed run keeps
+	// prior progress.
+	if len(opts.Warm) > 0 {
+		t := cover.New(in)
+		for _, w := range opts.Warm {
+			t.Add(w)
+		}
+		if t.Utility() >= target-1e-9 {
+			trimToTarget(t, target)
+			best = resultFrom(t, target, 0, start)
+		}
+		bestEffort = resultFrom(t, target, 0, start)
 	}
 
 	// Upper bound: the MC3 full-coverage cost (covers every coverable

@@ -1,0 +1,57 @@
+package gmc3
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/propset"
+)
+
+// A warm-started run given an achieving incumbent must stay achieving
+// and never report a higher cost, even when the deadline leaves no room
+// to search: the checkpoint/resume path of internal/jobs depends on
+// resumed slices never regressing.
+func TestWarmStartKeepsAchievingIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInstance(rng, 8, 20, 3)
+	target := in.TotalUtility() * 0.6
+	incumbent := Solve(in, target, Options{Seed: 1})
+	if !incumbent.Achieved {
+		t.Fatal("incumbent did not achieve the target; pick an easier target")
+	}
+
+	var warm []propset.Set
+	for _, c := range incumbent.Solution.Classifiers() {
+		warm = append(warm, c.Props)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res := SolveCtx(ctx, in, target, Options{Seed: 1, Warm: warm})
+	if !res.Achieved {
+		t.Fatalf("warm-started run lost the achieved target (utility %v, target %v)", res.Utility, target)
+	}
+	if res.Cost > incumbent.Cost+1e-9 {
+		t.Errorf("warm-started cost %v regressed above incumbent %v", res.Cost, incumbent.Cost)
+	}
+}
+
+// A non-achieving incumbent still floors the best-effort answer.
+func TestWarmStartFloorsBestEffort(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := randomInstance(rng, 8, 20, 3)
+	target := in.TotalUtility() // everything: partial plans stay non-achieving
+	partial := SolveIG1(in, in.TotalUtility()*0.4)
+
+	var warm []propset.Set
+	for _, c := range partial.Solution.Classifiers() {
+		warm = append(warm, c.Props)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res := SolveCtx(ctx, in, target, Options{Seed: 1, Warm: warm})
+	if res.Utility < partial.Utility-1e-9 {
+		t.Errorf("warm-started utility %v below incumbent floor %v", res.Utility, partial.Utility)
+	}
+}

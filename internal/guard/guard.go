@@ -27,6 +27,13 @@
 //	ecc.solve        the A^ECC entry
 //	partial.solve    the partial-cover greedy entry
 //	overlap.round    every overlap-aware greedy round
+//
+// and through the durability layer (internal/jobs), so the chaos
+// harness can kill the process between any two writes:
+//
+//	jobs.store.append  every bccjob/1 record write (submit + transitions)
+//	jobs.checkpoint    every incumbent checkpoint between solve slices
+//	jobs.resume        every requeue of a persisted job at startup
 package guard
 
 import (

@@ -1,0 +1,191 @@
+package jobs
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/guard"
+)
+
+// jobsChaosFor is how long the chaos soak keeps crashing and restarting
+// managers. CI passes 10s via `make jobs-smoke`; the default keeps
+// plain `go test ./...` fast.
+var jobsChaosFor = flag.Duration("jobs.chaos", 2*time.Second, "duration of the jobs chaos soak")
+
+// everyNth panics on every n-th call — a deterministic fault that fires
+// across goroutines without flakiness (same helper as the server's
+// chaos harness).
+func everyNth(n uint64, msg string) func() {
+	var calls atomic.Uint64
+	return func() {
+		if calls.Add(1)%n == 0 {
+			panic(msg)
+		}
+	}
+}
+
+// TestJobsChaosSoak is the acceptance soak for the durability contract:
+// with faults armed at every jobs.* guard point and the manager
+// repeatedly crash-stopped (no graceful drain) and reopened over the
+// same directory, every job whose submit succeeded must end in a
+// terminal state — completed, canceled or failed-with-reason — and the
+// resumed counter must show warm restarts actually happened. No
+// goroutine leaks, no torn records.
+func TestJobsChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	dir := t.TempDir()
+	baseline := runtime.NumGoroutine()
+
+	guard.Arm("jobs.store.append", everyNth(13, "chaos: store append"))
+	guard.Arm("jobs.checkpoint", everyNth(5, "chaos: checkpoint"))
+	guard.Arm("jobs.resume", everyNth(7, "chaos: resume"))
+	defer guard.DisarmAll()
+
+	// The fake solver needs several slices per job so crashes land
+	// mid-flight: ~25ms of work per unit toward 6 units.
+	newSolver := func() *fakeSolver {
+		return &fakeSolver{perSlice: 2, total: 6, sliceDur: 25 * time.Millisecond}
+	}
+
+	submitted := make(map[string]bool)
+	var (
+		submitFailures int
+		generations    int
+	)
+
+	deadline := time.Now().Add(*jobsChaosFor)
+	for time.Now().Before(deadline) {
+		generations++
+		m, err := Open(Config{
+			Dir:                dir,
+			Workers:            3,
+			CheckpointInterval: 15 * time.Millisecond,
+			DefaultDeadline:    30 * time.Second,
+			Solve:              newSolver().solve,
+		})
+		if err != nil {
+			t.Fatalf("generation %d: Open: %v", generations, err)
+		}
+
+		// Submit a burst; armed append faults will reject some — those
+		// callers got an error and no ID, which is a contract-conform
+		// outcome, not a lost job.
+		for i := 0; i < 6; i++ {
+			st, err := m.Submit(&api.JobRequest{}, "abcc", fmt.Sprintf("fp-%d-%d", generations, i))
+			if err != nil {
+				submitFailures++
+				continue
+			}
+			submitted[st.ID] = true
+		}
+		// Cancel an occasional job to exercise that path too.
+		if generations%3 == 0 {
+			for id := range submitted {
+				_, _ = m.Cancel(id)
+				break
+			}
+		}
+
+		// Let jobs make progress, then crash without warning.
+		time.Sleep(80 * time.Millisecond)
+		m.abort()
+	}
+
+	// Final generation: no faults, generous time — everything must
+	// drain to a terminal state.
+	guard.DisarmAll()
+	final, err := Open(Config{
+		Dir:                dir,
+		Workers:            4,
+		CheckpointInterval: 15 * time.Millisecond,
+		DefaultDeadline:    30 * time.Second,
+		Solve:              (&fakeSolver{perSlice: 6, total: 6}).solve,
+	})
+	if err != nil {
+		t.Fatalf("final Open: %v", err)
+	}
+	for id := range submitted {
+		st := awaitTerminal(t, final, id, 10*time.Second)
+		switch st.State {
+		case api.JobCompleted, api.JobCanceled:
+		case api.JobFailed:
+			if st.Error == "" {
+				t.Errorf("job %s failed without a reason", id)
+			}
+		default:
+			t.Errorf("job %s ended in non-terminal state %q", id, st.State)
+		}
+	}
+	stats := final.Stats()
+	if stats.Resumed == 0 {
+		t.Error("bcc_jobs_resumed_total = 0 after crash/restart cycles")
+	}
+	final.Close()
+	t.Logf("chaos: %d generations, %d jobs submitted, %d submit rejections, final stats %+v",
+		generations, len(submitted), submitFailures, stats)
+
+	// Re-scan the directory: no torn records may remain (quarantines,
+	// if the crash timing produced any, were renamed aside and counted;
+	// atomic writes should make them impossible).
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := store.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Quarantined != 0 {
+		t.Errorf("%d torn record(s) after the soak; atomic writes should prevent any", scan.Quarantined)
+	}
+	for id := range submitted {
+		found := false
+		for _, rec := range scan.Records {
+			if rec.ID == id {
+				found = true
+				if !api.JobTerminal(rec.State) {
+					t.Errorf("job %s persisted in non-terminal state %q after drain", id, rec.State)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Errorf("job %s silently vanished from the store", id)
+		}
+	}
+
+	// Goroutine hygiene: all workers across all generations must be gone.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(leakDeadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func awaitTerminal(t *testing.T, m *Manager, id string, timeout time.Duration) *api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if api.JobTerminal(st.State) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := m.Get(id)
+	t.Fatalf("job %s never reached a terminal state (last: %+v)", id, st)
+	return nil
+}

@@ -1,0 +1,57 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// FuzzJobRecord hammers the bccjob/1 decoder the same way FuzzFromFormat
+// hammers the dataset parser: arbitrary bytes must either decode into a
+// record that re-encodes to an equivalent record, or fail cleanly —
+// never panic, never return a half-valid record (empty ID, unknown
+// state) that the store would then trust.
+func FuzzJobRecord(f *testing.F) {
+	seed := func(r *Record) {
+		data, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	ach := true
+	seed(&Record{ID: "0123456789abcdef", State: api.JobQueued, Algo: "abcc",
+		Fingerprint: "fp", Request: &api.JobRequest{}, CreatedUnixMS: 1, DeadlineMS: 1000})
+	seed(&Record{ID: "ffff0000ffff0000", State: api.JobRunning, Algo: "gmc3",
+		Fingerprint: "fp", Request: &api.JobRequest{JobDeadlineMS: 5000}, Attempts: 2, Resumes: 1,
+		Checkpoint: &Checkpoint{Status: "deadline", Utility: 3.5, Cost: 2, Covered: 7, Achieved: &ach,
+			Classifiers: []api.PlanClassifier{{Props: []string{"a", "b"}, Cost: 2}}, Slices: 3, ElapsedMS: 1234}})
+	seed(&Record{ID: "00aa11bb22cc33dd", State: api.JobCompleted, Algo: "abcc", Fingerprint: "fp",
+		Result: &api.SolveResponse{Status: "complete", Utility: 9}})
+	f.Add([]byte("bccjob/1 00000000 0\n"))
+	f.Add([]byte("bccjob/2 deadbeef 4\nnope"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeRecord("fuzz", data)
+		if err != nil {
+			return
+		}
+		if rec.ID == "" || !validStates[rec.State] {
+			t.Fatalf("decoder accepted a half-valid record: %+v", rec)
+		}
+		re, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded record: %v", err)
+		}
+		rec2, err := decodeRecord("fuzz2", re)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded record: %v", err)
+		}
+		b1, _ := encodeRecord(rec2)
+		if !bytes.Equal(re, b1) {
+			t.Fatalf("encode/decode not idempotent:\n%q\n%q", re, b1)
+		}
+	})
+}

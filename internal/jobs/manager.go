@@ -1,0 +1,840 @@
+package jobs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// SolveFunc runs one anytime solve slice for a job: solve req under
+// ctx's deadline, warm-started from cp (nil on the first slice), and
+// return the anytime response. internal/server supplies this (it owns
+// validation, fingerprinting and the solver dispatch), which keeps this
+// package free of a dependency on the solver stack — and testable with
+// a fake solver.
+type SolveFunc func(ctx context.Context, req *api.JobRequest, cp *Checkpoint) (*api.SolveResponse, error)
+
+// Config tunes a Manager. Dir and Solve are required; the zero value of
+// everything else gets sensible defaults.
+type Config struct {
+	// Dir is the job store directory.
+	Dir string
+	// Workers is the dedicated job worker count (default 2). Jobs run on
+	// their own small pool, separate from the server's interactive solve
+	// pool, so a long background solve never starves a synchronous
+	// request.
+	Workers int
+	// MaxJobs bounds queued+running jobs (default 256); submits beyond
+	// it are rejected with ErrQueueFull.
+	MaxJobs int
+	// CheckpointInterval is the first solve slice's duration (default
+	// 2s). Slices double from there (2s, 4s, 8s, ...): early checkpoints
+	// land quickly, while a long solve eventually gets a slice big
+	// enough to run to completion, keeping total re-solve overhead
+	// within 2× of a single uninterrupted run.
+	CheckpointInterval time.Duration
+	// DefaultDeadline applies when a request carries no job_deadline_ms
+	// (default 10m); MaxDeadline caps any requested deadline (default
+	// 1h). The deadline charges cumulative solve wall-clock, surviving
+	// restarts.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Solve runs one slice (required).
+	Solve SolveFunc
+	// Registry, when non-nil, receives the bcc_jobs_* metric families.
+	Registry *obs.Registry
+	// Logf, when non-nil, receives startup/resume/quarantine log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 256
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 2 * time.Second
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 10 * time.Minute
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = time.Hour
+	}
+	return c
+}
+
+// Submission failure sentinels, mapped to HTTP codes by the server.
+var (
+	// ErrQueueFull: too many queued+running jobs (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed: the manager is draining (HTTP 503).
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound: no such job (HTTP 404).
+	ErrNotFound = errors.New("jobs: not found")
+)
+
+// jobDurationBuckets suit background solves: seconds to an hour.
+var jobDurationBuckets = []float64{0.05, 0.25, 1, 5, 15, 60, 300, 900, 3600}
+
+// job is the in-memory side of one record: the mutable state shared by
+// the worker running it, cancellation, and status queries.
+type job struct {
+	mu          sync.Mutex
+	rec         *Record
+	canceled    bool               // Cancel was called; runner finalizes
+	cancelSlice context.CancelFunc // non-nil while a slice is running
+	lastResp    *api.SolveResponse // most recent slice response (this process)
+}
+
+// Manager owns the store, the worker pool and the in-memory job table.
+// Create one with Open (which also requeues persisted incomplete jobs)
+// and Close it to drain: in-flight jobs checkpoint and are persisted
+// back to queued, so the next Open resumes them.
+type Manager struct {
+	cfg   Config
+	store *Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	crash  atomic.Bool // test hook: skip the graceful requeue persist
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	queue chan string
+
+	queued      atomic.Int64
+	running     atomic.Int64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	resumed     atomic.Uint64
+	checkpoints atomic.Uint64
+	cpErrors    atomic.Uint64
+	storeErrors atomic.Uint64
+	quarantined atomic.Uint64
+
+	durations *obs.Histogram
+}
+
+// Stats is the /v1/statz view of the subsystem.
+type Stats struct {
+	Queued           int64  `json:"queued"`
+	Running          int64  `json:"running"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	Canceled         uint64 `json:"canceled"`
+	Resumed          uint64 `json:"resumed"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	CheckpointErrors uint64 `json:"checkpoint_errors"`
+	StoreErrors      uint64 `json:"store_errors"`
+	Quarantined      uint64 `json:"quarantined"`
+}
+
+// Open builds a Manager over cfg.Dir, scans the store, requeues every
+// incomplete job (counting jobs that had started as resumed), and
+// starts the workers. Corrupt records are quarantined and counted,
+// never fatal.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Solve == nil {
+		return nil, errors.New("jobs: Config.Solve is required")
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		store:  store,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+		// 2× headroom: the admission check (live < MaxJobs) and the
+		// enqueue are not one atomic step, and a channel send must never
+		// block a submit handler.
+		queue: make(chan string, 2*cfg.MaxJobs),
+	}
+	if cfg.Registry != nil {
+		m.initMetrics(cfg.Registry)
+	}
+	if err := m.resumeFromStore(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// resumeFromStore scans the store and requeues incomplete jobs. The
+// jobs.resume fault point fires per requeued job; an armed panic is
+// contained and counted, but the job is requeued regardless — losing a
+// submitted job is the one failure mode this subsystem exists to rule
+// out.
+func (m *Manager) resumeFromStore() error {
+	scan, err := m.store.Scan()
+	if err != nil {
+		return err
+	}
+	if scan.Quarantined > 0 {
+		m.quarantined.Add(uint64(scan.Quarantined))
+		m.logf("jobs: quarantined %d corrupt record(s) in %s", scan.Quarantined, m.store.Dir())
+	}
+	for _, rec := range scan.Records {
+		j := &job{rec: rec}
+		m.jobs[rec.ID] = j
+		if api.JobTerminal(rec.State) {
+			continue
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					m.storeErrors.Add(1)
+					m.logf("jobs: contained resume fault for %s: %v", rec.ID, p)
+				}
+			}()
+			guard.Inject("jobs.resume")
+		}()
+		if rec.State == api.JobRunning || rec.Checkpoint != nil {
+			// The job had started before the restart: count a genuine
+			// resume (it will warm-start from its checkpoint, if any).
+			rec.Resumes++
+			m.resumed.Add(1)
+		}
+		rec.State = api.JobQueued
+		rec.UpdatedUnixMS = time.Now().UnixMilli()
+		if err := m.store.Put(rec); err != nil {
+			// The old record still says running; a crash before the next
+			// transition just resumes it again. Degrade, don't drop.
+			m.storeErrors.Add(1)
+		}
+		m.queued.Add(1)
+		m.queue <- rec.ID
+		m.logf("jobs: requeued %s (algo %s, %d resume(s))", rec.ID, rec.Algo, rec.Resumes)
+	}
+	return nil
+}
+
+func (m *Manager) initMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("bcc_jobs_queued", "Jobs waiting for a job worker.", nil,
+		func() float64 { return float64(m.queued.Load()) })
+	reg.GaugeFunc("bcc_jobs_running", "Jobs currently solving on a job worker.", nil,
+		func() float64 { return float64(m.running.Load()) })
+	reg.CounterFunc("bcc_jobs_completed_total", "Jobs finished with a result.", nil,
+		func() float64 { return float64(m.completed.Load()) })
+	reg.CounterFunc("bcc_jobs_failed_total", "Jobs finished with an error.", nil,
+		func() float64 { return float64(m.failed.Load()) })
+	reg.CounterFunc("bcc_jobs_canceled_total", "Jobs canceled by the caller.", nil,
+		func() float64 { return float64(m.canceled.Load()) })
+	reg.CounterFunc("bcc_jobs_resumed_total", "Jobs requeued from a persisted record after a restart.", nil,
+		func() float64 { return float64(m.resumed.Load()) })
+	reg.CounterFunc("bcc_jobs_checkpoints_total", "Incumbent checkpoints persisted between solve slices.", nil,
+		func() float64 { return float64(m.checkpoints.Load()) })
+	reg.CounterFunc("bcc_jobs_checkpoint_errors_total", "Checkpoint writes that failed or were faulted (degraded, not fatal).", nil,
+		func() float64 { return float64(m.cpErrors.Load()) })
+	reg.CounterFunc("bcc_jobs_store_errors_total", "Job record writes that failed outside checkpointing.", nil,
+		func() float64 { return float64(m.storeErrors.Load()) })
+	reg.CounterFunc("bcc_jobs_quarantined_total", "Corrupt job records quarantined at startup.", nil,
+		func() float64 { return float64(m.quarantined.Load()) })
+	m.durations = reg.Histogram("bcc_jobs_duration_seconds",
+		"Cumulative solve wall-clock of finished jobs (across resumes).", nil, jobDurationBuckets)
+}
+
+// Stats captures the counters in one pass.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Queued:           m.queued.Load(),
+		Running:          m.running.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		Canceled:         m.canceled.Load(),
+		Resumed:          m.resumed.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		CheckpointErrors: m.cpErrors.Load(),
+		StoreErrors:      m.storeErrors.Load(),
+		Quarantined:      m.quarantined.Load(),
+	}
+}
+
+// newID returns a 16-hex-char random job ID.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generating id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Submit validates nothing about the solve itself (the server did that
+// before calling); it assigns an ID, clamps the job deadline, persists
+// the queued record and enqueues it. A successful return means the job
+// is durable: from here it can only end in a terminal state.
+func (m *Manager) Submit(req *api.JobRequest, algo, fingerprint string) (*api.JobStatus, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	deadline := m.cfg.DefaultDeadline
+	if req.JobDeadlineMS > 0 {
+		deadline = time.Duration(req.JobDeadlineMS) * time.Millisecond
+	}
+	if deadline > m.cfg.MaxDeadline {
+		deadline = m.cfg.MaxDeadline
+	}
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().UnixMilli()
+	rec := &Record{
+		ID:            id,
+		State:         api.JobQueued,
+		Algo:          algo,
+		Fingerprint:   fingerprint,
+		Request:       req,
+		CreatedUnixMS: now,
+		UpdatedUnixMS: now,
+		DeadlineMS:    deadline.Milliseconds(),
+	}
+
+	m.mu.Lock()
+	live := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !api.JobTerminal(j.rec.State) {
+			live++
+		}
+		j.mu.Unlock()
+	}
+	if live >= m.cfg.MaxJobs {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.mu.Unlock()
+
+	// The durability gate: the caller only gets an ID after the record
+	// is on disk. A failed (or faulted) append answers an error — the
+	// caller never holds an ID that could silently vanish.
+	if err := m.store.Put(rec); err != nil {
+		m.storeErrors.Add(1)
+		return nil, fmt.Errorf("jobs: persisting submission: %w", err)
+	}
+
+	// Snapshot the answer before the job becomes visible to workers —
+	// one may start mutating the record the instant it is enqueued.
+	st := rec.Status()
+	j := &job{rec: rec}
+	m.mu.Lock()
+	if m.closed.Load() {
+		m.mu.Unlock()
+		_ = m.store.Delete(id)
+		return nil, ErrClosed
+	}
+	m.jobs[id] = j
+	m.evictTerminalLocked()
+	m.mu.Unlock()
+	m.queued.Add(1)
+	m.queue <- id
+	return st, nil
+}
+
+// evictTerminalLocked bounds the in-memory table: terminal jobs beyond
+// 8× MaxJobs (oldest first) are dropped from the map — their records
+// stay on disk, and Get falls back to the store.
+func (m *Manager) evictTerminalLocked() {
+	limit := m.cfg.MaxJobs * 8
+	if len(m.jobs) <= limit {
+		return
+	}
+	type aged struct {
+		id string
+		ts int64
+	}
+	var terminal []aged
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		if api.JobTerminal(j.rec.State) {
+			terminal = append(terminal, aged{id, j.rec.UpdatedUnixMS})
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].ts < terminal[k].ts })
+	for _, t := range terminal {
+		if len(m.jobs) <= limit {
+			break
+		}
+		delete(m.jobs, t.id)
+	}
+}
+
+// lookup finds a job in memory, falling back to the store for evicted
+// terminal records.
+func (m *Manager) lookup(id string) (*job, *Record, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if ok {
+		return j, nil, nil
+	}
+	rec, err := m.store.Get(id)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, err
+	}
+	return nil, rec, nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (*api.JobStatus, error) {
+	j, rec, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if j != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.rec.Status(), nil
+	}
+	return rec.Status(), nil
+}
+
+// Result returns a job's terminal result, or its status when the job is
+// still queued/running (result == nil then).
+func (m *Manager) Result(id string) (*api.SolveResponse, *api.JobStatus, error) {
+	j, rec, err := m.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j != nil {
+		j.mu.Lock()
+		rec = j.rec
+		defer j.mu.Unlock()
+	}
+	return rec.Result, rec.Status(), nil
+}
+
+// List returns every known job's status, newest first.
+func (m *Manager) List() []*api.JobStatus {
+	m.mu.Lock()
+	out := make([]*api.JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		out = append(out, j.rec.Status())
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].CreatedUnixMS != out[k].CreatedUnixMS {
+			return out[i].CreatedUnixMS > out[k].CreatedUnixMS
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Cancel asks a job to stop. A queued job finalizes immediately; a
+// running one stops at its next slice boundary (the slice context is
+// canceled right away). Canceling a terminal job is a no-op answering
+// the current status.
+func (m *Manager) Cancel(id string) (*api.JobStatus, error) {
+	j, rec, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if j == nil {
+		return rec.Status(), nil // evicted ⇒ terminal already
+	}
+	j.mu.Lock()
+	if api.JobTerminal(j.rec.State) {
+		defer j.mu.Unlock()
+		return j.rec.Status(), nil
+	}
+	j.canceled = true
+	wasQueued := j.rec.State == api.JobQueued
+	if j.cancelSlice != nil {
+		j.cancelSlice()
+	}
+	if wasQueued {
+		// Not picked up yet: finalize here; the worker skips canceled
+		// queued jobs when it dequeues the stale ID.
+		m.finalizeLocked(j, api.JobCanceled, nil, "canceled before start")
+	}
+	defer j.mu.Unlock()
+	return j.rec.Status(), nil
+}
+
+// Close drains gracefully: no new submits, running slices are canceled,
+// and each in-flight job is persisted back to queued with its latest
+// checkpoint so the next Open resumes it.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	m.cancel()
+	m.wg.Wait()
+}
+
+// abort is the crash simulation used by chaos tests: stop everything
+// without the graceful requeue persist, leaving the on-disk records
+// exactly as a SIGKILL would.
+func (m *Manager) abort() {
+	m.crash.Store(true)
+	if m.closed.Swap(true) {
+		return
+	}
+	m.cancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case id := <-m.queue:
+			m.run(id)
+		}
+	}
+}
+
+// finalizeLocked moves a job (whose mutex the caller holds) to a
+// terminal state and persists it. Store failures are counted and
+// degrade durability of the *final* state only — after a crash the job
+// would re-run from its checkpoint, which duplicates work but never
+// loses it.
+func (m *Manager) finalizeLocked(j *job, state string, result *api.SolveResponse, errMsg string) {
+	prev := j.rec.State
+	j.rec.State = state
+	j.rec.Result = result
+	j.rec.Error = errMsg
+	j.rec.UpdatedUnixMS = time.Now().UnixMilli()
+	if err := m.store.Put(j.rec); err != nil {
+		m.storeErrors.Add(1)
+	}
+	switch prev {
+	case api.JobQueued:
+		m.queued.Add(-1)
+	case api.JobRunning:
+		m.running.Add(-1)
+	}
+	switch state {
+	case api.JobCompleted:
+		m.completed.Add(1)
+	case api.JobFailed:
+		m.failed.Add(1)
+	case api.JobCanceled:
+		m.canceled.Add(1)
+	}
+	if m.durations != nil {
+		var elapsed float64
+		if cp := j.rec.Checkpoint; cp != nil {
+			elapsed = cp.ElapsedMS / 1000
+		}
+		m.durations.Observe(elapsed)
+	}
+}
+
+// run executes one job to a terminal state — or to a graceful-drain
+// requeue. It owns the job's record for the duration.
+func (m *Manager) run(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+
+	j.mu.Lock()
+	if api.JobTerminal(j.rec.State) { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	if j.canceled {
+		m.finalizeLocked(j, api.JobCanceled, nil, "canceled before start")
+		j.mu.Unlock()
+		return
+	}
+	j.rec.State = api.JobRunning
+	j.rec.Attempts++
+	j.rec.UpdatedUnixMS = time.Now().UnixMilli()
+	if err := m.store.Put(j.rec); err != nil {
+		m.storeErrors.Add(1) // degraded: disk still says queued
+	}
+	req := j.rec.Request
+	algo := j.rec.Algo
+	deadline := time.Duration(j.rec.DeadlineMS) * time.Millisecond
+	cp := j.rec.Checkpoint
+	j.mu.Unlock()
+	m.queued.Add(-1)
+	m.running.Add(1)
+
+	for {
+		var elapsed time.Duration
+		if cp != nil {
+			elapsed = time.Duration(cp.ElapsedMS * float64(time.Millisecond))
+		}
+		remaining := deadline - elapsed
+		if remaining <= 0 {
+			// Deadline exhausted: the incumbent is the answer.
+			j.mu.Lock()
+			m.finalizeLocked(j, api.JobCompleted, m.resultFromCheckpoint(j, cp), "")
+			j.mu.Unlock()
+			return
+		}
+		slice := m.sliceFor(cp, remaining)
+
+		sliceCtx, cancelSlice := context.WithTimeout(m.ctx, slice)
+		j.mu.Lock()
+		j.cancelSlice = cancelSlice
+		j.mu.Unlock()
+		sliceStart := time.Now()
+		resp, err := m.solveSlice(sliceCtx, req, cp)
+		cancelSlice()
+		j.mu.Lock()
+		j.cancelSlice = nil
+		j.mu.Unlock()
+
+		if err != nil {
+			j.mu.Lock()
+			m.finalizeLocked(j, api.JobFailed, nil, err.Error())
+			j.mu.Unlock()
+			return
+		}
+		cp = betterCheckpoint(algo, cp, checkpointFrom(resp, cp, time.Since(sliceStart)))
+		j.mu.Lock()
+		j.rec.Checkpoint = cp
+		j.lastResp = resp
+
+		switch {
+		case j.canceled:
+			m.finalizeLocked(j, api.JobCanceled, nil, "canceled")
+			j.mu.Unlock()
+			return
+		case m.ctx.Err() != nil:
+			// Manager shutting down. Graceful drain: persist the job
+			// back to queued with its checkpoint so the next Open
+			// resumes it. Crash simulation: leave disk as-is (running).
+			if !m.crash.Load() {
+				j.rec.State = api.JobQueued
+				j.rec.UpdatedUnixMS = time.Now().UnixMilli()
+				if err := m.store.Put(j.rec); err != nil {
+					m.storeErrors.Add(1)
+				}
+			}
+			j.mu.Unlock()
+			m.running.Add(-1)
+			m.queued.Add(1)
+			return
+		case resp.Status == guardComplete || resp.Status == guardRecovered:
+			// The slice ran to the solver's own termination: done.
+			m.finalizeLocked(j, api.JobCompleted, m.resultFromCheckpoint(j, cp), "")
+			j.mu.Unlock()
+			return
+		}
+
+		// Mid-flight checkpoint between slices. The fault point models a
+		// crash between the solve and the write; a failed or faulted
+		// write degrades resume granularity (the previous checkpoint
+		// stays current on disk), never the job.
+		if err := m.writeCheckpoint(j); err != nil {
+			m.cpErrors.Add(1)
+		} else {
+			m.checkpoints.Add(1)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Spellings of guard.Status the manager compares against (string-typed
+// on the wire).
+const (
+	guardComplete  = "complete"
+	guardRecovered = "recovered"
+)
+
+// solveSlice runs cfg.Solve with panic containment: a panicking solver
+// (or armed fault below it) fails the slice, not the worker.
+func (m *Manager) solveSlice(ctx context.Context, req *api.JobRequest, cp *Checkpoint) (resp *api.SolveResponse, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp, err = nil, fmt.Errorf("jobs: solve slice panicked: %v", p)
+		}
+	}()
+	return m.cfg.Solve(ctx, req, cp)
+}
+
+// writeCheckpoint persists the job's record (caller holds j.mu) behind
+// the jobs.checkpoint fault point, containing armed panics into errors.
+func (m *Manager) writeCheckpoint(j *job) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("jobs: checkpoint panicked: %v", p)
+		}
+	}()
+	guard.Inject("jobs.checkpoint")
+	j.rec.UpdatedUnixMS = time.Now().UnixMilli()
+	return m.store.Put(j.rec)
+}
+
+// sliceFor sizes the next solve slice: the checkpoint interval doubled
+// per completed slice (so checkpoint overhead stays logarithmic in the
+// solve length), capped by the job's remaining deadline.
+func (m *Manager) sliceFor(cp *Checkpoint, remaining time.Duration) time.Duration {
+	slice := m.cfg.CheckpointInterval
+	n := 0
+	if cp != nil {
+		n = cp.Slices
+	}
+	for i := 0; i < n && slice < remaining; i++ {
+		slice *= 2
+	}
+	if slice > remaining {
+		slice = remaining
+	}
+	return slice
+}
+
+// checkpointFrom converts one slice's anytime response into a
+// checkpoint candidate, accumulating elapsed time and slice count on
+// top of the previous checkpoint.
+func checkpointFrom(resp *api.SolveResponse, prev *Checkpoint, sliceWall time.Duration) *Checkpoint {
+	cp := &Checkpoint{
+		Status:      resp.Status,
+		Utility:     resp.Utility,
+		Cost:        resp.Cost,
+		Covered:     resp.Covered,
+		Achieved:    resp.Achieved,
+		Classifiers: resp.Classifiers,
+		Slices:      1,
+		ElapsedMS:   float64(sliceWall) / float64(time.Millisecond),
+		SavedUnixMS: time.Now().UnixMilli(),
+	}
+	if prev != nil {
+		cp.Slices = prev.Slices + 1
+		cp.ElapsedMS += prev.ElapsedMS
+	}
+	return cp
+}
+
+// betterCheckpoint keeps the incumbent monotone even if a slice
+// regresses (warm-start normally prevents that; this is the
+// belt-and-braces): for gmc3, achieving the target dominates, then
+// lower cost among achievers; otherwise higher utility, then lower
+// cost. Bookkeeping (slices, elapsed) always advances to the new
+// values.
+func betterCheckpoint(algo string, old, new *Checkpoint) *Checkpoint {
+	if old == nil {
+		return new
+	}
+	keepOld := false
+	if algo == "gmc3" {
+		oldAch := old.Achieved != nil && *old.Achieved
+		newAch := new.Achieved != nil && *new.Achieved
+		switch {
+		case oldAch && !newAch:
+			keepOld = true
+		case oldAch == newAch && oldAch:
+			keepOld = new.Cost > old.Cost
+		default:
+			keepOld = new.Utility < old.Utility
+		}
+	} else {
+		keepOld = new.Utility < old.Utility ||
+			(new.Utility == old.Utility && new.Cost > old.Cost)
+	}
+	if keepOld {
+		merged := *old
+		merged.Slices = new.Slices
+		merged.ElapsedMS = new.ElapsedMS
+		merged.SavedUnixMS = new.SavedUnixMS
+		// Keep the incumbent's terminal status only if the new slice
+		// finished the search; a deadline slice stays deadline.
+		merged.Status = new.Status
+		return &merged
+	}
+	return new
+}
+
+// resultFromCheckpoint materializes a job's final SolveResponse. When
+// the last slice's live response is the incumbent (the common case) it
+// is used directly; after a resume with no further slice, the response
+// is synthesized from the checkpoint. Caller holds j.mu.
+func (m *Manager) resultFromCheckpoint(j *job, cp *Checkpoint) *api.SolveResponse {
+	if cp == nil {
+		// Deadline exhausted before the first slice ever finished: the
+		// trivially feasible empty plan, mirroring the solver contract.
+		return &api.SolveResponse{
+			Fingerprint: j.rec.Fingerprint,
+			Algo:        j.rec.Algo,
+			Status:      "deadline",
+			SolverError: "job deadline exhausted before the first checkpoint",
+		}
+	}
+	if lr := j.lastResp; lr != nil && lr.Utility == cp.Utility && lr.Cost == cp.Cost {
+		resp := *lr
+		resp.DurationMS = cp.ElapsedMS
+		return &resp
+	}
+	resp := &api.SolveResponse{
+		Fingerprint: j.rec.Fingerprint,
+		Algo:        j.rec.Algo,
+		Status:      cp.Status,
+		Utility:     cp.Utility,
+		Cost:        cp.Cost,
+		Covered:     cp.Covered,
+		Achieved:    cp.Achieved,
+		Classifiers: cp.Classifiers,
+		DurationMS:  cp.ElapsedMS,
+	}
+	if lr := j.lastResp; lr != nil {
+		resp.Budget = lr.Budget
+		resp.Queries = lr.Queries
+		resp.Target = lr.Target
+	} else if j.rec.Request != nil {
+		resp.Target = j.rec.Request.Target
+	}
+	return resp
+}
+
+// ErrHTTP maps a submit error to the API error shape (used by the
+// server handler; kept here so the mapping lives next to the
+// sentinels).
+func ErrHTTP(err error) *api.Error {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return &api.Error{Code: http.StatusTooManyRequests, Msg: "job queue full, retry later", RetryAfterSeconds: 5}
+	case errors.Is(err, ErrClosed):
+		return &api.Error{Code: http.StatusServiceUnavailable, Msg: "server draining, jobs not accepted"}
+	case errors.Is(err, ErrNotFound):
+		return &api.Error{Code: http.StatusNotFound, Msg: "no such job"}
+	}
+	return &api.Error{Code: http.StatusInternalServerError, Msg: err.Error()}
+}

@@ -1,0 +1,294 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// fakeSolver mimics an anytime solver: each slice makes `perSlice`
+// utility of progress on top of the warm-start checkpoint, completing
+// once utility reaches `total`. It cooperates with the slice deadline
+// the way real solvers do (returns status deadline when ctx expires
+// first).
+type fakeSolver struct {
+	perSlice float64
+	total    float64
+	sliceDur time.Duration // simulated work per slice
+	calls    atomic.Int64
+	fail     atomic.Bool // next slice returns an error
+}
+
+func (f *fakeSolver) solve(ctx context.Context, req *api.JobRequest, cp *Checkpoint) (*api.SolveResponse, error) {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return nil, errors.New("synthetic solver failure")
+	}
+	util := 0.0
+	if cp != nil {
+		util = cp.Utility // warm start: never below the incumbent
+	}
+	deadline, _ := ctx.Deadline()
+	for util < f.total {
+		if f.sliceDur > 0 {
+			select {
+			case <-ctx.Done():
+				return &api.SolveResponse{Status: "deadline", Utility: util, Cost: util}, nil
+			case <-time.After(f.sliceDur):
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return &api.SolveResponse{Status: "deadline", Utility: util, Cost: util}, nil
+		}
+		util += f.perSlice
+	}
+	return &api.SolveResponse{Status: "complete", Utility: f.total, Cost: f.total}, nil
+}
+
+func openTestManager(t *testing.T, dir string, f *fakeSolver, mut func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Dir:                dir,
+		Workers:            2,
+		CheckpointInterval: 20 * time.Millisecond,
+		DefaultDeadline:    5 * time.Second,
+		Solve:              f.solve,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m
+}
+
+func awaitState(t *testing.T, m *Manager, id string, want string, timeout time.Duration) *api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := m.Get(id)
+	t.Fatalf("job %s never reached %q (last: %+v)", id, want, st)
+	return nil
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	f := &fakeSolver{perSlice: 10, total: 10}
+	m := openTestManager(t, t.TempDir(), f, nil)
+	defer m.Close()
+
+	st, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := awaitState(t, m, st.ID, api.JobCompleted, 2*time.Second)
+	if done.Progress == nil || done.Progress.Utility != 10 {
+		t.Fatalf("Progress = %+v, want utility 10", done.Progress)
+	}
+	resp, _, err := m.Result(st.ID)
+	if err != nil || resp == nil {
+		t.Fatalf("Result: %v / %v", resp, err)
+	}
+	if resp.Utility != 10 || resp.Status != "complete" {
+		t.Fatalf("Result = %+v", resp)
+	}
+	if got := m.Stats().Completed; got != 1 {
+		t.Fatalf("Stats.Completed = %d, want 1", got)
+	}
+}
+
+func TestJobCheckpointsAcrossSlices(t *testing.T) {
+	// 3 utility per slice of ~20ms toward 12: needs multiple slices.
+	f := &fakeSolver{perSlice: 3, total: 12, sliceDur: 25 * time.Millisecond}
+	m := openTestManager(t, t.TempDir(), f, nil)
+	defer m.Close()
+
+	st, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitState(t, m, st.ID, api.JobCompleted, 5*time.Second)
+	if done.Progress.Slices < 2 {
+		t.Fatalf("Slices = %d, want >= 2 (doubling slices)", done.Progress.Slices)
+	}
+	if m.Stats().Checkpoints == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+}
+
+func TestGracefulCloseRequeuesAndResumeCompletes(t *testing.T) {
+	dir := t.TempDir()
+	f := &fakeSolver{perSlice: 2, total: 20, sliceDur: 30 * time.Millisecond}
+	m := openTestManager(t, dir, f, nil)
+
+	st, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it make some progress, then drain.
+	time.Sleep(60 * time.Millisecond)
+	m.Close()
+
+	rec, err := m.store.Get(st.ID)
+	if err != nil {
+		t.Fatalf("record after Close: %v", err)
+	}
+	if api.JobTerminal(rec.State) {
+		t.Fatalf("job finished too fast for the test (state %s); slow the fake solver", rec.State)
+	}
+	if rec.State != api.JobQueued {
+		t.Fatalf("state after graceful Close = %q, want queued", rec.State)
+	}
+
+	// Reopen: the job must resume from its checkpoint and finish.
+	f2 := &fakeSolver{perSlice: 20, total: 20}
+	m2 := openTestManager(t, dir, f2, nil)
+	defer m2.Close()
+	done := awaitState(t, m2, st.ID, api.JobCompleted, 5*time.Second)
+	if done.Resumes < 1 {
+		t.Fatalf("Resumes = %d, want >= 1", done.Resumes)
+	}
+	if m2.Stats().Resumed == 0 {
+		t.Fatal("resumed counter = 0 after a resume")
+	}
+}
+
+func TestCrashResumeFromRunningRecord(t *testing.T) {
+	dir := t.TempDir()
+	f := &fakeSolver{perSlice: 1, total: 100, sliceDur: 20 * time.Millisecond}
+	m := openTestManager(t, dir, f, nil)
+
+	st, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, m, st.ID, api.JobRunning, 2*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	m.abort() // simulated SIGKILL: no graceful requeue write
+
+	rec, err := m.store.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != api.JobRunning {
+		t.Fatalf("state on disk after crash = %q, want running", rec.State)
+	}
+
+	f2 := &fakeSolver{perSlice: 100, total: 100}
+	m2 := openTestManager(t, dir, f2, nil)
+	defer m2.Close()
+	done := awaitState(t, m2, st.ID, api.JobCompleted, 5*time.Second)
+	if done.Resumes != 1 {
+		t.Fatalf("Resumes = %d, want 1", done.Resumes)
+	}
+	resp, _, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Utility != 100 {
+		t.Fatalf("resumed result utility = %v, want 100", resp.Utility)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	f := &fakeSolver{perSlice: 1, total: 1000, sliceDur: 20 * time.Millisecond}
+	m := openTestManager(t, t.TempDir(), f, func(c *Config) { c.Workers = 1 })
+	defer m.Close()
+
+	// Occupy the single worker.
+	running, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, m, running.ID, api.JobRunning, 2*time.Second)
+
+	// This one stays queued behind it.
+	queued, err := m.Submit(&api.JobRequest{}, "abcc", "fp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobCanceled {
+		t.Fatalf("canceled queued job state = %q", st.State)
+	}
+
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, m, running.ID, api.JobCanceled, 2*time.Second)
+
+	// Canceling a terminal job is a no-op.
+	st2, err := m.Cancel(running.ID)
+	if err != nil || st2.State != api.JobCanceled {
+		t.Fatalf("re-cancel: %+v / %v", st2, err)
+	}
+	if got := m.Stats().Canceled; got != 2 {
+		t.Fatalf("Stats.Canceled = %d, want 2", got)
+	}
+}
+
+func TestFailedSolveFailsJobWithReason(t *testing.T) {
+	f := &fakeSolver{perSlice: 1, total: 10}
+	f.fail.Store(true)
+	m := openTestManager(t, t.TempDir(), f, nil)
+	defer m.Close()
+
+	st, err := m.Submit(&api.JobRequest{}, "abcc", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitState(t, m, st.ID, api.JobFailed, 2*time.Second)
+	if done.Error == "" {
+		t.Fatal("failed job carries no reason")
+	}
+	if _, _, err := m.Result(st.ID); err != nil {
+		t.Fatalf("Result on failed job: %v", err)
+	}
+}
+
+func TestSubmitQueueFull(t *testing.T) {
+	f := &fakeSolver{perSlice: 1, total: 1000, sliceDur: 50 * time.Millisecond}
+	m := openTestManager(t, t.TempDir(), f, func(c *Config) { c.Workers = 1; c.MaxJobs = 2 })
+	defer m.Close()
+
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		_, lastErr = m.Submit(&api.JobRequest{}, "abcc", fmt.Sprintf("fp%d", i))
+	}
+	if !errors.Is(lastErr, ErrQueueFull) {
+		t.Fatalf("4th submit err = %v, want ErrQueueFull", lastErr)
+	}
+	if he := ErrHTTP(lastErr); he.Code != 429 {
+		t.Fatalf("ErrHTTP(queue full).Code = %d, want 429", he.Code)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	f := &fakeSolver{perSlice: 1, total: 1}
+	m := openTestManager(t, t.TempDir(), f, nil)
+	m.Close()
+	if _, err := m.Submit(&api.JobRequest{}, "abcc", "fp"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := m.Get("0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown: %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package jobs is the durable async solve-job subsystem: a crash-safe
+// on-disk job store (versioned bccjob/1 records under one directory,
+// written through internal/durable's atomic, power-loss-safe writer)
+// plus a bounded worker pool that runs each job as a sequence of
+// checkpointed anytime solve slices and resumes incomplete jobs from
+// their last checkpoint after a restart.
+//
+// Lifecycle:
+//
+//	queued → running → completed | failed | canceled
+//	   ↑        │
+//	   └────────┘  (crash / drain: the persisted record is requeued at
+//	               the next Open, warm-started from its checkpoint)
+//
+// Durability contract: a successful Submit means the job's record is on
+// disk — from then on the job can only end in a terminal state, never
+// vanish. Checkpoint writes are best-effort (a failed write degrades
+// resume granularity, not correctness); the one write that gates an
+// API answer is the submit append itself. Corrupt records found at
+// startup are quarantined (renamed *.corrupt), never fatal.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/durable"
+)
+
+// RecordFormat is the job record version tag. A record file is the
+// shared framed-record format of internal/durable: one ASCII header
+// line "bccjob/1 <crc32c-hex> <body-length>\n" followed by exactly
+// body-length bytes of JSON (the Record below).
+const RecordFormat = "bccjob/1"
+
+// Checkpoint is the persisted incumbent of a job: everything a resumed
+// run needs to warm-start the solver and everything a status response
+// needs to report anytime progress.
+type Checkpoint struct {
+	// Status is the anytime status of the slice that produced the
+	// incumbent (deadline for a truncated slice, complete/recovered for
+	// the final one).
+	Status string `json:"status"`
+	// Utility/Cost/Covered describe the incumbent plan.
+	Utility float64 `json:"utility"`
+	Cost    float64 `json:"cost"`
+	Covered int     `json:"covered"`
+	// Achieved is set for algo=gmc3.
+	Achieved *bool `json:"achieved,omitempty"`
+	// Classifiers is the incumbent plan itself — the warm-start seed.
+	Classifiers []api.PlanClassifier `json:"classifiers,omitempty"`
+	// Slices counts the solve slices completed so far.
+	Slices int `json:"slices"`
+	// ElapsedMS is the cumulative solve wall-clock across slices (and
+	// across restarts), charged against the job deadline.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// SavedUnixMS is when this checkpoint was produced.
+	SavedUnixMS int64 `json:"saved_unix_ms"`
+}
+
+// Record is the JSON body of a bccjob/1 file: one job's full durable
+// state. Every transition rewrites the whole record atomically — the
+// file is small (the request plus at most one plan), and whole-record
+// rewrites mean a reader never has to replay a log.
+type Record struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // api.JobQueued … api.JobCanceled
+	// Algo and Fingerprint are denormalized from the request at submit
+	// (after validation) so scans and status answers don't re-parse the
+	// instance.
+	Algo        string `json:"algo"`
+	Fingerprint string `json:"fingerprint"`
+	// Request is the original submission, kept verbatim so a resumed or
+	// resubmitted run solves exactly what the caller asked.
+	Request       *api.JobRequest `json:"request"`
+	CreatedUnixMS int64           `json:"created_unix_ms"`
+	UpdatedUnixMS int64           `json:"updated_unix_ms"`
+	// DeadlineMS is the job's total solve budget in wall-clock
+	// milliseconds, across all slices and resumes.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Attempts counts run starts (1 + Resumes); Resumes counts requeues
+	// of a persisted record after a crash or drain.
+	Attempts int `json:"attempts,omitempty"`
+	Resumes  int `json:"resumes,omitempty"`
+	// Checkpoint is the last persisted incumbent, nil before the first
+	// slice finishes.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	// Result is set on state=completed.
+	Result *api.SolveResponse `json:"result,omitempty"`
+	// Error is set on state=failed (and optionally canceled).
+	Error string `json:"error,omitempty"`
+}
+
+// validStates guards decoding: a record claiming an unknown state is
+// corrupt, whatever its checksum says.
+var validStates = map[string]bool{
+	api.JobQueued: true, api.JobRunning: true,
+	api.JobCompleted: true, api.JobFailed: true, api.JobCanceled: true,
+}
+
+// encodeRecord frames a record as a bccjob/1 file image.
+func encodeRecord(r *Record) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding record %s: %w", r.ID, err)
+	}
+	return durable.EncodeRecord(RecordFormat, body), nil
+}
+
+// decodeRecord validates and parses a bccjob/1 file image. Framing
+// damage and semantic nonsense (no ID, unknown state, missing request
+// on a non-terminal record) both come back as *durable.FormatError so
+// the store's scan quarantines them uniformly.
+func decodeRecord(path string, data []byte) (*Record, error) {
+	body, err := durable.DecodeRecord(RecordFormat, path, data)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, &durable.FormatError{Path: path, Reason: fmt.Sprintf("decoding body: %v", err)}
+	}
+	if r.ID == "" {
+		return nil, &durable.FormatError{Path: path, Reason: "record has no id"}
+	}
+	if !validStates[r.State] {
+		return nil, &durable.FormatError{Path: path, Reason: fmt.Sprintf("unknown state %q", r.State)}
+	}
+	if r.Request == nil && !api.JobTerminal(r.State) {
+		return nil, &durable.FormatError{Path: path, Reason: "non-terminal record has no request"}
+	}
+	return &r, nil
+}
+
+// Status renders the record as the wire-level JobStatus (without the
+// gateway-only fields).
+func (r *Record) Status() *api.JobStatus {
+	st := &api.JobStatus{
+		ID:            r.ID,
+		State:         r.State,
+		Stage:         r.stage(),
+		Algo:          r.Algo,
+		Fingerprint:   r.Fingerprint,
+		CreatedUnixMS: r.CreatedUnixMS,
+		UpdatedUnixMS: r.UpdatedUnixMS,
+		Attempts:      r.Attempts,
+		Resumes:       r.Resumes,
+		Error:         r.Error,
+	}
+	if cp := r.Checkpoint; cp != nil {
+		st.Progress = &api.JobProgress{
+			Slices:           cp.Slices,
+			ElapsedMS:        cp.ElapsedMS,
+			Status:           cp.Status,
+			Utility:          cp.Utility,
+			Cost:             cp.Cost,
+			Covered:          cp.Covered,
+			Achieved:         cp.Achieved,
+			CheckpointUnixMS: cp.SavedUnixMS,
+		}
+	}
+	return st
+}
+
+// stage is the human-oriented phase label in status responses.
+func (r *Record) stage() string {
+	switch r.State {
+	case api.JobRunning:
+		if cp := r.Checkpoint; cp != nil {
+			return fmt.Sprintf("solving (slice %d)", cp.Slices+1)
+		}
+		return "solving (slice 1)"
+	case api.JobQueued:
+		if r.Resumes > 0 {
+			return "requeued after restart"
+		}
+	}
+	return r.State
+}

@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/durable"
+	"repro/internal/guard"
+)
+
+// recordExt is the job record file suffix; quarantineExt is what a
+// corrupt record is renamed to (same name, so forensics can line the
+// bad file up with the job ID that owned it).
+const (
+	recordExt     = ".bccjob"
+	quarantineExt = ".corrupt"
+)
+
+// Store is the on-disk side of the subsystem: one bccjob/1 file per
+// job in a flat directory. All methods are safe for concurrent use by
+// the manager's workers — each job's record is only ever written by the
+// goroutine currently running (or transitioning) that job, and the
+// atomic rename makes readers immune to concurrent writes.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) the job directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("jobs: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store directory: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validID keeps record lookups inside the store directory: IDs are
+// generated hex strings, and anything else (path separators, dots) is
+// rejected before it can touch the filesystem.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+recordExt)
+}
+
+// Put persists a record, atomically and durably. The armed-fault hook
+// jobs.store.append fires before the write; an armed panic is contained
+// into the returned error so a chaos run degrades the one transition,
+// never the worker goroutine.
+func (s *Store) Put(r *Record) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("jobs: store append panicked: %v", p)
+		}
+	}()
+	if !validID(r.ID) {
+		return fmt.Errorf("jobs: invalid job id %q", r.ID)
+	}
+	guard.Inject("jobs.store.append")
+	data, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(s.path(r.ID), data)
+}
+
+// Get reads one record. A missing job returns fs.ErrNotExist; a corrupt
+// file returns *durable.FormatError.
+func (s *Store) Get(id string) (*Record, error) {
+	if !validID(id) {
+		return nil, fs.ErrNotExist
+	}
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecord(s.path(id), data)
+}
+
+// Delete removes a record (missing is not an error).
+func (s *Store) Delete(id string) error {
+	if !validID(id) {
+		return nil
+	}
+	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return durable.SyncDir(s.dir)
+}
+
+// ScanResult reports one directory scan: the readable records (sorted
+// by creation time, oldest first, so resume order matches submit
+// order) and how many files were quarantined.
+type ScanResult struct {
+	Records     []*Record
+	Quarantined int
+}
+
+// Scan reads every record in the store. Corrupt files — bad framing,
+// bad checksum, semantic nonsense — are renamed to *.corrupt and
+// counted, never fatal: one damaged record must not take down the
+// store, and quarantining (rather than deleting) keeps the bytes for
+// forensics while guaranteeing the next scan won't trip over them
+// again.
+func (s *Store) Scan() (ScanResult, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	var res ScanResult
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, recordExt) {
+			// Leftover temp files from a mid-write crash are harmless
+			// (the rename never happened); sweep them.
+			if strings.Contains(name, recordExt+".tmp") {
+				_ = os.Remove(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // unreadable now; the next scan may do better
+		}
+		rec, err := decodeRecord(path, data)
+		if err != nil {
+			var fe *durable.FormatError
+			if errors.As(err, &fe) {
+				_ = os.Rename(path, path+quarantineExt)
+				res.Quarantined++
+			}
+			continue
+		}
+		res.Records = append(res.Records, rec)
+	}
+	sort.Slice(res.Records, func(i, j int) bool {
+		if res.Records[i].CreatedUnixMS != res.Records[j].CreatedUnixMS {
+			return res.Records[i].CreatedUnixMS < res.Records[j].CreatedUnixMS
+		}
+		return res.Records[i].ID < res.Records[j].ID
+	})
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package jobs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/guard"
+)
+
+func testRecord(id string) *Record {
+	return &Record{
+		ID:            id,
+		State:         api.JobQueued,
+		Algo:          "abcc",
+		Fingerprint:   "fp",
+		Request:       &api.JobRequest{},
+		CreatedUnixMS: 1,
+		UpdatedUnixMS: 1,
+		DeadlineMS:    1000,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("00aa11bb22cc33dd")
+	rec.Checkpoint = &Checkpoint{Status: "deadline", Utility: 12.5, Slices: 2, ElapsedMS: 450}
+	if err := s.Put(rec); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(rec.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.ID != rec.ID || got.State != rec.State || got.Checkpoint.Utility != 12.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := s.Get("ffffffffffffffff"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing job: err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestStoreRejectsHostileIDs(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", "ABCDEF", "..", strings.Repeat("a", 65)} {
+		if err := s.Put(testRecord(id)); err == nil {
+			t.Errorf("Put(%q) accepted a hostile id", id)
+		}
+		if _, err := s.Get(id); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("Get(%q): err = %v, want fs.ErrNotExist", id, err)
+		}
+	}
+}
+
+func TestScanQuarantinesCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testRecord("00aa11bb22cc33dd")
+	if err := s.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	// A torn record: valid name, garbage bytes.
+	torn := filepath.Join(dir, "0123456789abcdef"+recordExt)
+	if err := os.WriteFile(torn, []byte("bccjob/1 00000000 999\n{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A leftover temp file from a mid-write crash.
+	tmp := filepath.Join(dir, "deadbeef"+recordExt+".tmp123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(res.Records) != 1 || res.Records[0].ID != good.ID {
+		t.Fatalf("Scan records = %+v, want just %s", res.Records, good.ID)
+	}
+	if res.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", res.Quarantined)
+	}
+	if _, err := os.Stat(torn + quarantineExt); err != nil {
+		t.Errorf("corrupt record was not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("temp litter survived the scan: %v", err)
+	}
+
+	// A second scan must be idempotent: the quarantined file stays aside.
+	res2, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Quarantined != 0 || len(res2.Records) != 1 {
+		t.Fatalf("second Scan = %+v, want clean", res2)
+	}
+}
+
+func TestPutContainsArmedFault(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard.Arm("jobs.store.append", guard.PanicFault("boom"))
+	defer guard.DisarmAll()
+	if err := s.Put(testRecord("00aa11bb22cc33dd")); err == nil {
+		t.Fatal("Put succeeded under an armed append fault")
+	}
+	// The fault fired before the write: nothing must be on disk.
+	if _, err := s.Get("00aa11bb22cc33dd"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("faulted Put left a record behind: %v", err)
+	}
+}

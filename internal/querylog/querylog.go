@@ -68,86 +68,136 @@ type Stats struct {
 // queries (utilities = accumulated counts). Costs are left to the caller
 // (SetCost / SetDefaultCost) before calling Instance.
 func Parse(r io.Reader, opts Options) (*model.Builder, Stats, error) {
-	opts = opts.withDefaults()
-	stop := make(map[string]bool, len(opts.Stopwords))
-	for _, w := range opts.Stopwords {
-		stop[strings.ToLower(w)] = true
-	}
-
-	b := model.NewBuilder()
-	u := b.Universe()
-	counts := map[string]float64{}
-	sets := map[string]propset.Set{}
-	var st Stats
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	acc := newAccumulator(opts.withDefaults())
+	sc := newScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		st.Lines++
-		if line == "" || strings.HasPrefix(line, opts.Comment) {
+		acc.st.Lines++
+		if acc.skippable(line) {
 			continue
 		}
 		text := line
 		count := 1.0
 		if i := strings.IndexByte(line, '\t'); i >= 0 {
 			text = strings.TrimSpace(line[:i])
-			cs := strings.TrimSpace(line[i+1:])
-			if cs != "" {
-				v, err := strconv.ParseFloat(cs, 64)
-				if err != nil {
-					return nil, st, fmt.Errorf("querylog: line %d: bad count %q: %v", st.Lines, cs, err)
-				}
-				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-					return nil, st, fmt.Errorf("querylog: line %d: invalid count %v", st.Lines, v)
-				}
-				count = v
+			var err error
+			if count, err = parseCount(strings.TrimSpace(line[i+1:]), acc.st.Lines); err != nil {
+				return nil, acc.st, err
 			}
 		}
-		var ids []propset.ID
-		for _, term := range strings.Fields(strings.ToLower(text)) {
-			term = strings.Trim(term, ".,;:!?\"'()[]")
-			if term == "" || stop[term] {
-				continue
-			}
-			ids = append(ids, u.Intern(term))
-		}
-		q := propset.New(ids...)
-		switch {
-		case q.Empty():
-			st.DroppedEmpty++
-			continue
-		case q.Len() > opts.MaxLength:
-			st.DroppedLong++
-			continue
-		}
-		k := q.Key()
-		counts[k] += count
-		sets[k] = q
+		acc.add(text, count)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, st, fmt.Errorf("querylog: %w", err)
+		return nil, acc.st, fmt.Errorf("querylog: %w", err)
 	}
+	b, st := acc.flush()
+	return b, st, nil
+}
 
-	// Deterministic order: by count desc, then key.
-	keys := make([]string, 0, len(sets))
-	for k := range sets {
+// newScanner builds the line scanner both parsers share (lines up to
+// 4 MiB).
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return sc
+}
+
+// parseCount parses an optional per-line count ("" = 1).
+func parseCount(cs string, line int) (float64, error) {
+	if cs == "" {
+		return 1, nil
+	}
+	v, err := strconv.ParseFloat(cs, 64)
+	if err != nil {
+		return 0, fmt.Errorf("querylog: line %d: bad count %q: %v", line, cs, err)
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("querylog: line %d: invalid count %v", line, v)
+	}
+	return v, nil
+}
+
+// accumulator is the shared core of Parse and ParseTimed: it normalizes
+// query text, accumulates counts per canonical property set, and
+// flushes in deterministic order with the MinCount filter applied.
+type accumulator struct {
+	opts   Options
+	stop   map[string]bool
+	b      *model.Builder
+	u      *propset.Universe
+	counts map[string]float64
+	sets   map[string]propset.Set
+	st     Stats
+}
+
+func newAccumulator(opts Options) *accumulator {
+	stop := make(map[string]bool, len(opts.Stopwords))
+	for _, w := range opts.Stopwords {
+		stop[strings.ToLower(w)] = true
+	}
+	b := model.NewBuilder()
+	return &accumulator{
+		opts:   opts,
+		stop:   stop,
+		b:      b,
+		u:      b.Universe(),
+		counts: map[string]float64{},
+		sets:   map[string]propset.Set{},
+	}
+}
+
+// skippable reports blank and comment lines.
+func (a *accumulator) skippable(line string) bool {
+	return line == "" || strings.HasPrefix(line, a.opts.Comment)
+}
+
+// add folds one query occurrence into the accumulator. Repeated queries
+// accumulate regardless of input order — the canonical set is the key,
+// so "shoes running" and "running shoes" are the same query.
+func (a *accumulator) add(text string, count float64) {
+	var ids []propset.ID
+	for _, term := range strings.Fields(strings.ToLower(text)) {
+		term = strings.Trim(term, ".,;:!?\"'()[]")
+		if term == "" || a.stop[term] {
+			continue
+		}
+		ids = append(ids, a.u.Intern(term))
+	}
+	q := propset.New(ids...)
+	switch {
+	case q.Empty():
+		a.st.DroppedEmpty++
+		return
+	case q.Len() > a.opts.MaxLength:
+		a.st.DroppedLong++
+		return
+	}
+	k := q.Key()
+	a.counts[k] += count
+	a.sets[k] = q
+}
+
+// flush loads the accumulated queries into the Builder in deterministic
+// order (count desc, then key) and finalizes the stats.
+func (a *accumulator) flush() (*model.Builder, Stats) {
+	keys := make([]string, 0, len(a.sets))
+	for k := range a.sets {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if counts[keys[i]] != counts[keys[j]] {
-			return counts[keys[i]] > counts[keys[j]]
+		if a.counts[keys[i]] != a.counts[keys[j]] {
+			return a.counts[keys[i]] > a.counts[keys[j]]
 		}
 		return keys[i] < keys[j]
 	})
 	for _, k := range keys {
-		if counts[k] < opts.MinCount {
-			st.DroppedRare++
+		if a.counts[k] < a.opts.MinCount {
+			a.st.DroppedRare++
 			continue
 		}
-		b.AddQuerySet(sets[k], counts[k])
-		st.Kept++
+		a.b.AddQuerySet(a.sets[k], a.counts[k])
+		a.st.Kept++
 	}
-	st.Properties = u.Size()
-	return b, st, nil
+	a.st.Properties = a.u.Size()
+	return a.b, a.st
 }

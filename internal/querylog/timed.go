@@ -1,0 +1,131 @@
+package querylog
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Timestamped ingestion: real query logs carry a time per search, and
+// workload extraction is usually windowed ("last 30 days") — utilities
+// derived from an unbounded log overweight stale interest. ParseTimed
+// reads per-event lines and keeps only those inside the window.
+//
+// The expected format is one search event per line:
+//
+//	2024-06-01T12:00:00Z<TAB>wooden table<TAB>3
+//	1717243200<TAB>running shoes
+//
+// The first field is the event time (RFC 3339 or unix seconds, integer
+// or fractional), the second the query text, the optional third a count
+// (default 1 — one line per search is the common shape). Lines may
+// appear in any time order: logs stitched from several shards rarely
+// interleave cleanly, so ordering is never required and never checked.
+// Repeated queries accumulate across lines exactly like Parse.
+
+// Window is a half-open ingestion interval [From, To). A zero From or
+// To leaves that side unbounded; the zero Window accepts everything.
+type Window struct {
+	From time.Time
+	To   time.Time
+}
+
+// Contains reports whether ts falls inside the window.
+func (w Window) Contains(ts time.Time) bool {
+	if !w.From.IsZero() && ts.Before(w.From) {
+		return false
+	}
+	if !w.To.IsZero() && !ts.Before(w.To) {
+		return false
+	}
+	return true
+}
+
+// Empty reports a window that can contain no timestamp (both bounds set
+// and To ≤ From).
+func (w Window) Empty() bool {
+	return !w.From.IsZero() && !w.To.IsZero() && !w.From.Before(w.To)
+}
+
+// TimedOptions configures ParseTimed: the base parsing options plus the
+// ingestion window.
+type TimedOptions struct {
+	Options
+	Window Window
+}
+
+// TimedStats is Stats plus the window accounting.
+type TimedStats struct {
+	Stats
+	// DroppedOutOfWindow counts well-formed events whose timestamp fell
+	// outside the window.
+	DroppedOutOfWindow int
+}
+
+// ParseTimed reads a timestamped query log ("ts<TAB>terms[<TAB>count]"
+// lines) and produces a Builder holding the queries whose events fall
+// inside opts.Window, with utilities accumulated per query across the
+// kept events. Costs are left to the caller, as with Parse.
+func ParseTimed(r io.Reader, opts TimedOptions) (*model.Builder, TimedStats, error) {
+	acc := newAccumulator(opts.Options.withDefaults())
+	var st TimedStats
+	sc := newScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		acc.st.Lines++
+		if acc.skippable(line) {
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) < 2 {
+			st.Stats = acc.st
+			return nil, st, fmt.Errorf("querylog: line %d: want ts<TAB>terms[<TAB>count], got %q", acc.st.Lines, line)
+		}
+		ts, err := parseTimestamp(strings.TrimSpace(fields[0]))
+		if err != nil {
+			st.Stats = acc.st
+			return nil, st, fmt.Errorf("querylog: line %d: %v", acc.st.Lines, err)
+		}
+		count := 1.0
+		if len(fields) == 3 {
+			if count, err = parseCount(strings.TrimSpace(fields[2]), acc.st.Lines); err != nil {
+				st.Stats = acc.st
+				return nil, st, err
+			}
+		}
+		if !opts.Window.Contains(ts) {
+			st.DroppedOutOfWindow++
+			continue
+		}
+		acc.add(strings.TrimSpace(fields[1]), count)
+	}
+	if err := sc.Err(); err != nil {
+		st.Stats = acc.st
+		return nil, st, fmt.Errorf("querylog: %w", err)
+	}
+	b, stats := acc.flush()
+	st.Stats = stats
+	return b, st, nil
+}
+
+// parseTimestamp accepts unix seconds (integer or fractional) or an
+// RFC 3339 time.
+func parseTimestamp(s string) (time.Time, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return time.Time{}, fmt.Errorf("invalid unix timestamp %q", s)
+		}
+		sec, frac := math.Modf(v)
+		return time.Unix(int64(sec), int64(frac*1e9)).UTC(), nil
+	}
+	ts, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad timestamp %q (want unix seconds or RFC 3339)", s)
+	}
+	return ts, nil
+}

@@ -1,0 +1,151 @@
+package querylog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustTime(t *testing.T, s string) time.Time {
+	t.Helper()
+	ts, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return ts
+}
+
+func TestParseTimedWindowFilters(t *testing.T) {
+	log := strings.Join([]string{
+		"2024-06-01T00:00:00Z\twooden table\t10", // before the window
+		"2024-06-10T12:00:00Z\twooden table\t3",  // inside
+		"2024-06-15T08:00:00Z\trunning shoes",    // inside, count defaults to 1
+		"2024-07-01T00:00:00Z\trunning shoes\t9", // at To: half-open, dropped
+		"# comment",
+		"",
+	}, "\n")
+	b, st, err := ParseTimed(strings.NewReader(log), TimedOptions{
+		Window: Window{
+			From: mustTime(t, "2024-06-05T00:00:00Z"),
+			To:   mustTime(t, "2024-07-01T00:00:00Z"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedOutOfWindow != 2 {
+		t.Fatalf("DroppedOutOfWindow = %d, want 2", st.DroppedOutOfWindow)
+	}
+	if st.Kept != 2 {
+		t.Fatalf("Kept = %d, want 2", st.Kept)
+	}
+	in := b.MustInstance(1)
+	for _, q := range in.Queries() {
+		switch in.Universe().Format(q.Props) {
+		case "{table wooden}", "{wooden table}":
+			if q.Utility != 3 {
+				t.Fatalf("windowed utility = %v, want 3 (the pre-window 10 must not leak in)", q.Utility)
+			}
+		}
+	}
+}
+
+// An empty window (To ≤ From) is a valid, if useless, request: every
+// event is out of window, the builder comes back with zero queries, and
+// nothing errors or panics.
+func TestParseTimedEmptyWindow(t *testing.T) {
+	w := Window{
+		From: mustTime(t, "2024-06-10T00:00:00Z"),
+		To:   mustTime(t, "2024-06-01T00:00:00Z"),
+	}
+	if !w.Empty() {
+		t.Fatal("inverted window not reported Empty")
+	}
+	log := "2024-06-05T00:00:00Z\twooden table\t10\n1717243200\tshoes\t2\n"
+	_, st, err := ParseTimed(strings.NewReader(log), TimedOptions{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 0 {
+		t.Fatalf("empty window kept %d queries", st.Kept)
+	}
+	if st.DroppedOutOfWindow != 2 {
+		t.Fatalf("DroppedOutOfWindow = %d, want 2", st.DroppedOutOfWindow)
+	}
+
+	// The zero window is the opposite edge: everything is inside.
+	_, st, err = ParseTimed(strings.NewReader(log), TimedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 2 || st.DroppedOutOfWindow != 0 {
+		t.Fatalf("zero window: kept=%d dropped=%d, want 2/0", st.Kept, st.DroppedOutOfWindow)
+	}
+}
+
+// Shard-stitched logs arrive out of time order; ordering must be
+// irrelevant to both filtering and accumulation.
+func TestParseTimedOutOfOrderTimestamps(t *testing.T) {
+	ordered := strings.Join([]string{
+		"2024-06-02T00:00:00Z\ttable\t1",
+		"2024-06-03T00:00:00Z\ttable\t2",
+		"2024-06-09T00:00:00Z\ttable\t4",
+	}, "\n")
+	shuffled := strings.Join([]string{
+		"2024-06-09T00:00:00Z\ttable\t4",
+		"2024-06-02T00:00:00Z\ttable\t1",
+		"2024-06-03T00:00:00Z\ttable\t2",
+	}, "\n")
+	opts := TimedOptions{Window: Window{
+		From: mustTime(t, "2024-06-01T00:00:00Z"),
+		To:   mustTime(t, "2024-06-10T00:00:00Z"),
+	}}
+	for name, log := range map[string]string{"ordered": ordered, "shuffled": shuffled} {
+		b, st, err := ParseTimed(strings.NewReader(log), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Kept != 1 {
+			t.Fatalf("%s: kept %d, want 1", name, st.Kept)
+		}
+		in := b.MustInstance(1)
+		if got := in.Queries()[0].Utility; got != 7 {
+			t.Fatalf("%s: accumulated utility = %v, want 7", name, got)
+		}
+	}
+}
+
+// The same query repeated across many events — including under
+// different term order and casing — must accumulate into one query, not
+// shadow or duplicate.
+func TestParseTimedDuplicateQueriesAccumulate(t *testing.T) {
+	log := strings.Join([]string{
+		"1717243200\trunning shoes\t2",
+		"1717243260\tShoes RUNNING\t3", // same canonical set
+		"1717243320.5\trunning shoes",  // fractional unix seconds, count 1
+	}, "\n")
+	b, st, err := ParseTimed(strings.NewReader(log), TimedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 1 {
+		t.Fatalf("kept %d, want 1 (duplicates must merge)", st.Kept)
+	}
+	in := b.MustInstance(1)
+	if got := in.Queries()[0].Utility; got != 6 {
+		t.Fatalf("accumulated utility = %v, want 6", got)
+	}
+}
+
+func TestParseTimedMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing terms field": "2024-06-01T00:00:00Z\n",
+		"bad timestamp":       "notatime\ttable\t1\n",
+		"bad count":           "2024-06-01T00:00:00Z\ttable\tNaN\n",
+	}
+	for name, log := range cases {
+		if _, _, err := ParseTimed(strings.NewReader(log), TimedOptions{}); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

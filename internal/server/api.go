@@ -41,8 +41,11 @@ var validAlgos = map[string]bool{
 
 // runSolve executes the requested solver under ctx and prepares the full
 // response (plan always included; solveOne strips it per request). It
-// runs on a pool worker.
-func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequest, fp string) *SolveResponse {
+// runs on a pool worker or a job worker. warm, when non-nil, seeds the
+// anytime solvers (abcc, gmc3) with a previous incumbent so a resumed
+// job never reports less than its last checkpoint; the one-shot algos
+// ignore it (they finish in a single slice anyway).
+func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequest, fp string, warm []bcc.PropSet) *SolveResponse {
 	start := time.Now()
 	resp := &SolveResponse{
 		Fingerprint: fp,
@@ -57,7 +60,7 @@ func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequ
 	)
 	switch algo {
 	case "abcc":
-		res := bcc.SolveCtx(ctx, in, bcc.Options{Seed: req.Seed})
+		res := bcc.SolveCtx(ctx, in, bcc.Options{Seed: req.Seed, Warm: warm})
 		sol, status, serr = res.Solution, res.Status, res.Err
 		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
 	case "rand":
@@ -69,7 +72,7 @@ func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequ
 		sol = res.Solution
 		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
 	case "gmc3":
-		res := bcc.SolveGMC3Ctx(ctx, in, req.Target, bcc.GMC3Options{Seed: req.Seed})
+		res := bcc.SolveGMC3Ctx(ctx, in, req.Target, bcc.GMC3Options{Seed: req.Seed, Warm: warm})
 		sol, status, serr = res.Solution, res.Status, res.Err
 		resp.Utility, resp.Cost = res.Utility, res.Cost
 		resp.Target = req.Target

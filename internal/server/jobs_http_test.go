@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// newJobsServer is newTestServer plus an opened jobs directory.
+func newJobsServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts := newTestServer(t, cfg)
+	if err := s.OpenJobs(dir, t.Logf); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	return s, ts
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, req api.JobRequest) api.JobStatus {
+	t.Helper()
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding submit response %s: %v", data, err)
+	}
+	if st.ID == "" || st.State != api.JobQueued {
+		t.Fatalf("submit answered %+v, want a queued job with an ID", st)
+	}
+	return st
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, api.JobStatus) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var st api.JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding status %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func awaitJobState(t *testing.T, ts *httptest.Server, id, want string) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s = %d", id, code)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, st := getJob(t, ts, id)
+	t.Fatalf("job %s never reached %q (last: %+v)", id, want, st)
+	return api.JobStatus{}
+}
+
+func TestJobsDisabledAnswer501(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/v1/jobs"},
+		{"GET", "/v1/jobs"},
+		{"GET", "/v1/jobs/0123456789abcdef"},
+		{"GET", "/v1/jobs/0123456789abcdef/result"},
+		{"POST", "/v1/jobs/0123456789abcdef/cancel"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("%s %s = %d, want 501", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobEndToEndCompletesAndFeedsCache(t *testing.T) {
+	_, ts := newJobsServer(t, t.TempDir(), Config{})
+
+	st := submitJob(t, ts, api.JobRequest{SolveRequest: api.SolveRequest{
+		Instance: quickstartFormat(8), IncludePlan: true,
+	}})
+	done := awaitJobState(t, ts, st.ID, api.JobCompleted)
+	if done.Progress == nil || done.Progress.Utility != 13 {
+		t.Fatalf("completed progress = %+v, want utility 13", done.Progress)
+	}
+
+	// The result endpoint serves the full SolveResponse for a terminal job.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, data)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility != 13 || out.Status != "complete" || len(out.Classifiers) == 0 {
+		t.Fatalf("job result = %+v, want complete utility 13 with a plan", out)
+	}
+
+	// The completed full solve went into the solution cache: the same
+	// request through the synchronous path answers as a hit.
+	hresp, sync := solve(t, ts, SolveRequest{Instance: quickstartFormat(8)})
+	if hresp.StatusCode != http.StatusOK || !sync.Cached {
+		t.Fatalf("synchronous solve after job: code %d cached %v, want a cache hit", hresp.StatusCode, sync.Cached)
+	}
+
+	// Listing includes the job; statz exposes the subsystem counters.
+	listResp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list api.JobList
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == st.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing from list %+v", st.ID, list.Jobs)
+	}
+	sz := statz(t, ts)
+	if sz.Jobs == nil || sz.Jobs.Completed != 1 {
+		t.Fatalf("statz.Jobs = %+v, want completed=1", sz.Jobs)
+	}
+}
+
+func TestJobSubmitValidates(t *testing.T) {
+	_, ts := newJobsServer(t, t.TempDir(), Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", api.JobRequest{SolveRequest: api.SolveRequest{
+		Instance: quickstartFormat(8), Algo: "nope",
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad algo = %d: %s", resp.StatusCode, data)
+	}
+	if code, _ := getJob(t, ts, "does-not-exist"); code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", code)
+	}
+}
+
+func TestJobSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newJobsServer(t, dir, Config{})
+	st := submitJob(t, ts1, api.JobRequest{SolveRequest: api.SolveRequest{
+		Instance: quickstartFormat(8),
+	}})
+	awaitJobState(t, ts1, st.ID, api.JobCompleted)
+	ts1.Close()
+	s1.Close()
+
+	// A fresh server over the same directory still serves the terminal
+	// record from disk.
+	_, ts2 := newJobsServer(t, dir, Config{})
+	code, got := getJob(t, ts2, st.ID)
+	if code != http.StatusOK || got.State != api.JobCompleted {
+		t.Fatalf("after restart: code %d state %+v, want completed", code, got)
+	}
+}

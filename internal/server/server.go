@@ -40,6 +40,7 @@ import (
 	bcc "repro"
 	"repro/internal/dataset"
 	"repro/internal/guard"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/solvecache"
 )
@@ -71,6 +72,16 @@ type Config struct {
 	// routing through bccgate is debuggable end to end. Empty means a
 	// generated "<hostname>-<pid>-<4 random hex>" ID.
 	BackendID string
+
+	// JobWorkers, JobMaxJobs, JobCheckpointInterval, JobDefaultDeadline
+	// and JobMaxDeadline tune the async job subsystem once OpenJobs is
+	// called; zero values take the internal/jobs defaults. They are
+	// inert while jobs are disabled.
+	JobWorkers            int
+	JobMaxJobs            int
+	JobCheckpointInterval time.Duration
+	JobDefaultDeadline    time.Duration
+	JobMaxDeadline        time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +140,10 @@ type Server struct {
 	pool  *Pool
 	start time.Time
 	reg   *obs.Registry
+	// jobs is the async solve-job manager, nil until OpenJobs. Set
+	// before the handler serves traffic (cmd/bccserver calls OpenJobs
+	// during startup); handlers answer 501 while nil.
+	jobs *jobs.Manager
 
 	closeOnce sync.Once
 
@@ -179,9 +194,16 @@ func (s *Server) BackendID() string { return s.cfg.BackendID }
 
 // Close stops admission and drains in-flight and queued solves. It
 // implies BeginDrain, so a health check racing a shutdown sees 503.
+// Jobs drain first: each in-flight job checkpoints and is persisted
+// back to queued so the next process resumes it.
 func (s *Server) Close() {
 	s.BeginDrain()
-	s.closeOnce.Do(func() { s.pool.Close() })
+	s.closeOnce.Do(func() {
+		if s.jobs != nil {
+			s.jobs.Close()
+		}
+		s.pool.Close()
+	})
 }
 
 // BeginDrain flips /v1/healthz to 503 so load balancers stop routing
@@ -203,6 +225,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/solve/batch", s.instrument("/v1/solve/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("/v1/jobs/{id}/cancel", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/statz", s.instrument("/v1/statz", s.handleStatz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -211,6 +238,35 @@ func (s *Server) Handler() http.Handler {
 
 // errQueueFull is the sentinel mapped to HTTP 429.
 var errQueueFull = errorf(http.StatusTooManyRequests, "server overloaded: worker queue full, retry later")
+
+// prepareSolve validates a request and materializes the instance: algo
+// selection, gmc3 target check, dataset parsing, budget override,
+// canonical fingerprint. Shared by the synchronous Solve path and the
+// async job path so both reject exactly the same inputs.
+func (s *Server) prepareSolve(req *SolveRequest) (*bcc.Instance, string, string, *Error) {
+	algo := req.Algo
+	if algo == "" {
+		algo = "abcc"
+	}
+	if !validAlgos[algo] {
+		return nil, "", "", errorf(http.StatusBadRequest, "unknown algo %q (want abcc, rand, ig1, ig2, gmc3 or ecc)", algo)
+	}
+	if algo == "gmc3" && !(req.Target > 0) {
+		return nil, "", "", errorf(http.StatusBadRequest, "algo gmc3 requires a positive target, got %v", req.Target)
+	}
+	in, err := dataset.FromFormat(req.Instance)
+	if err != nil {
+		return nil, "", "", errorf(http.StatusBadRequest, "invalid instance: %v", err)
+	}
+	if req.Budget != nil {
+		b := *req.Budget
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, "", "", errorf(http.StatusBadRequest, "invalid budget override %v", b)
+		}
+		in = in.WithBudget(b)
+	}
+	return in, algo, in.Fingerprint(), nil
+}
 
 // Solve runs one request through the full service path (cache,
 // single-flight, pool, deadline). It is the programmatic form of
@@ -224,33 +280,11 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	// 500 (and by recoverBatchItem for batch items).
 	guard.Inject("server.admit")
 
-	algo := req.Algo
-	if algo == "" {
-		algo = "abcc"
-	}
-	if !validAlgos[algo] {
+	in, algo, fp, apiErr := s.prepareSolve(req)
+	if apiErr != nil {
 		s.badRequests.Add(1)
-		return nil, errorf(http.StatusBadRequest, "unknown algo %q (want abcc, rand, ig1, ig2, gmc3 or ecc)", algo)
+		return nil, apiErr
 	}
-	if algo == "gmc3" && !(req.Target > 0) {
-		s.badRequests.Add(1)
-		return nil, errorf(http.StatusBadRequest, "algo gmc3 requires a positive target, got %v", req.Target)
-	}
-	in, err := dataset.FromFormat(req.Instance)
-	if err != nil {
-		s.badRequests.Add(1)
-		return nil, errorf(http.StatusBadRequest, "invalid instance: %v", err)
-	}
-	if req.Budget != nil {
-		b := *req.Budget
-		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
-			s.badRequests.Add(1)
-			return nil, errorf(http.StatusBadRequest, "invalid budget override %v", b)
-		}
-		in = in.WithBudget(b)
-	}
-
-	fp := in.Fingerprint()
 	key := cacheKey(fp, algo, req)
 
 	deadline := s.cfg.DefaultDeadline
@@ -284,7 +318,7 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 			s.inflight.Add(1)
 			guard.Inject("server.pool.dequeue")
 			t0 := time.Now()
-			resp := runSolve(ctx, in, algo, req, fp)
+			resp := runSolve(ctx, in, algo, req, fp, nil)
 			s.observeSolve(algo, resp.Status, time.Since(t0).Seconds())
 			answered = true
 			resCh <- resp
@@ -568,6 +602,8 @@ type Statz struct {
 	RetryAfterHint  int              `json:"retry_after_hint_seconds"`
 	Cache           solvecache.Stats `json:"cache"`
 	Snapshot        SnapshotStats    `json:"snapshot"`
+	// Jobs is present once OpenJobs has enabled the async subsystem.
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
 }
 
 // snapshot captures every statz field in one pass, in an order that
@@ -599,6 +635,10 @@ func (s *Server) snapshot() Statz {
 	st.Draining = s.draining.Load()
 	st.RetryAfterHint = s.retryAfterSeconds()
 	st.Snapshot = s.snapshotStats()
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		st.Jobs = &js
+	}
 	st.UptimeSeconds = time.Since(s.start).Seconds()
 	return st
 }

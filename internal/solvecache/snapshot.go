@@ -4,18 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/guard"
 )
 
-// SnapshotFormat is the snapshot file version tag. The file layout is a
-// single ASCII header line
+// SnapshotFormat is the snapshot file version tag. The file layout is
+// the shared framed-record format of internal/durable: a single ASCII
+// header line
 //
 //	bccsnap/1 <crc32c-hex> <body-length>\n
 //
@@ -23,27 +21,19 @@ import (
 // "entries":[{"key":...,"expires_unix_ms":...,"value":<raw JSON>},...]},
 // entries most-recently-used first). The checksum (CRC-32/Castagnoli
 // over the body) plus the explicit length make truncation, bit rot and
-// torn concurrent writes all detectable; Save writes a temp file in the
-// snapshot's directory and renames it into place, so readers only ever
-// see a complete file. A reader that finds anything else gets a
+// torn concurrent writes all detectable; Save writes through
+// durable.WriteFileAtomic (temp file + fsync + rename + directory
+// fsync), so readers only ever see a complete file and the rename
+// itself survives power loss. A reader that finds anything else gets a
 // *FormatError — the server logs it and starts cold, never crashes.
 const SnapshotFormat = "bccsnap/1"
-
-// snapshotCRC is the CRC-32/Castagnoli table shared by writer/reader.
-var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // FormatError reports a snapshot file that cannot be trusted: wrong
 // version tag, bad checksum, truncated body, or malformed JSON. It is a
 // distinct type so callers can treat "corrupt snapshot" (log and start
-// cold) differently from I/O errors.
-type FormatError struct {
-	Path   string
-	Reason string
-}
-
-func (e *FormatError) Error() string {
-	return fmt.Sprintf("solvecache: snapshot %s: %s", e.Path, e.Reason)
-}
+// cold) differently from I/O errors. It is the shared framed-record
+// error of internal/durable, which bccjob/1 records use too.
+type FormatError = durable.FormatError
 
 type snapshotBody struct {
 	SavedUnixMS int64           `json:"saved_unix_ms"`
@@ -57,11 +47,12 @@ type snapshotEntry struct {
 }
 
 // Save writes the cache's live entries to path in the bccsnap/1 format,
-// atomically (temp file + rename in the same directory, fsynced before
-// the rename so a crash leaves either the old snapshot or the new one,
-// never a torn hybrid). encode turns a cached value into JSON; values
-// it rejects are skipped, not fatal — one odd entry must not lose the
-// rest. It reports how many entries landed in the file.
+// atomically and durably (temp file + rename + directory fsync via
+// internal/durable, so a crash or power cut leaves either the old
+// snapshot or the new one, never a torn hybrid). encode turns a cached
+// value into JSON; values it rejects are skipped, not fatal — one odd
+// entry must not lose the rest. It reports how many entries landed in
+// the file.
 func Save(path string, c *Cache, encode func(any) ([]byte, error)) (int, error) {
 	guard.Inject("solvecache.snapshot.save")
 	exported := c.Export()
@@ -84,30 +75,7 @@ func Save(path string, c *Cache, encode func(any) ([]byte, error)) (int, error) 
 	if err != nil {
 		return 0, fmt.Errorf("solvecache: encoding snapshot: %w", err)
 	}
-	header := fmt.Sprintf("%s %08x %d\n", SnapshotFormat, crc32.Checksum(raw, snapshotCRC), len(raw))
-
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return 0, err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.WriteString(header); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := durable.WriteFileAtomic(path, durable.EncodeRecord(SnapshotFormat, raw)); err != nil {
 		return 0, err
 	}
 	return len(body.Entries), nil
@@ -125,31 +93,9 @@ func Load(path string, c *Cache, decode func([]byte) (any, error)) (int, error) 
 	if err != nil {
 		return 0, err
 	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return 0, &FormatError{Path: path, Reason: "missing header line"}
-	}
-	fields := strings.Fields(string(data[:nl]))
-	if len(fields) != 3 {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("malformed header %q", string(data[:nl]))}
-	}
-	if fields[0] != SnapshotFormat {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("version %q, want %q", fields[0], SnapshotFormat)}
-	}
-	wantCRC, err := strconv.ParseUint(fields[1], 16, 32)
+	raw, err := durable.DecodeRecord(SnapshotFormat, path, data)
 	if err != nil {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("bad checksum field %q", fields[1])}
-	}
-	wantLen, err := strconv.Atoi(fields[2])
-	if err != nil || wantLen < 0 {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("bad length field %q", fields[2])}
-	}
-	raw := data[nl+1:]
-	if len(raw) != wantLen {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("body is %d bytes, header says %d (truncated?)", len(raw), wantLen)}
-	}
-	if got := crc32.Checksum(raw, snapshotCRC); got != uint32(wantCRC) {
-		return 0, &FormatError{Path: path, Reason: fmt.Sprintf("checksum %08x, header says %08x", got, uint32(wantCRC))}
+		return 0, err
 	}
 	var body snapshotBody
 	dec := json.NewDecoder(bytes.NewReader(raw))
