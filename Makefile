@@ -22,10 +22,11 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout=30m ./...
 
-## bench-json: regenerate BENCH_PR5.json, the versioned machine-readable
-## benchmark report (ns/op, allocs, per-stage time splits per algorithm).
+## bench-json: regenerate BENCH_PR7.json, the versioned machine-readable
+## benchmark report (ns/op, allocs, per-stage time splits for every
+## servable registry algorithm, plus the utility-vs-time Pareto sweep).
 bench-json:
-	$(GO) run ./cmd/bccbench -bench-json BENCH_PR5.json
+	$(GO) run ./cmd/bccbench -bench-json BENCH_PR7.json
 
 ## figures: print the reproduced tables for every figure (Small preset).
 figures:
@@ -69,9 +70,10 @@ cluster-smoke:
 ## jobs-smoke: the durable-jobs acceptance pair, both under the race
 ## detector — a 10-second chaos run over internal/jobs with panic
 ## faults armed at every jobs.* point (append/checkpoint/resume), and
-## the kill-and-resume soak: a real bccserver process SIGKILLed
-## mid-GMC3-job, restarted on the same -jobs-dir, and required to
-## finish the same job from its checkpoint (resumed counter > 0).
+## the kill-and-resume soak: real bccserver processes SIGKILLed
+## mid-job (one GMC3 job, one evolutionary job), restarted on the same
+## -jobs-dir, and required to finish the same job from its checkpoint
+## (resumed counter > 0).
 jobs-smoke:
 	$(GO) test -race -run TestJobsChaosSoak -v ./internal/jobs/ -jobs.chaos 10s
 	$(GO) test -race -run TestKillResume -v -timeout 15m ./cmd/bccserver/ -jobs.soak
@@ -88,7 +90,7 @@ ci:
 	$(GO) build -o /dev/null ./cmd/bccload
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/algo/ ./internal/evo/ ./internal/submod/
 	$(MAKE) soak-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) jobs-smoke

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ecc"
+	"repro/internal/evo"
 	"repro/internal/gmc3"
 	"repro/internal/guard"
 	"repro/internal/model"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/partial"
 	"repro/internal/propset"
 	"repro/internal/querylog"
+	"repro/internal/submod"
 )
 
 // Core model types.
@@ -82,6 +84,14 @@ type (
 	GMC3Result = gmc3.Result
 	// ECCResult reports an ECC run.
 	ECCResult = ecc.Result
+	// EvoOptions tunes the anytime evolutionary solver.
+	EvoOptions = evo.Options
+	// EvoResult reports an evolutionary run.
+	EvoResult = evo.Result
+	// SubmodOptions tunes the budgeted submodular greedy.
+	SubmodOptions = submod.Options
+	// SubmodResult reports a submodular-greedy run.
+	SubmodResult = submod.Result
 )
 
 // NewBuilder returns a Builder with a fresh property universe.
@@ -152,6 +162,32 @@ func SolveECC(in *Instance) ECCResult { return ecc.Solve(in) }
 // semantics.
 func SolveECCCtx(ctx context.Context, in *Instance) ECCResult {
 	return ecc.SolveCtx(ctx, in)
+}
+
+// SolveEvo runs the anytime evolutionary solver: a population of
+// budget-feasible classifier subsets under coverage-aware crossover,
+// utility-per-cost mutation and elitism. Deterministic for a fixed
+// EvoOptions.Seed.
+func SolveEvo(in *Instance, opts EvoOptions) EvoResult { return evo.Solve(in, opts) }
+
+// SolveEvoCtx is SolveEvo under a context; see SolveCtx for the anytime
+// semantics. The returned incumbent only improves across generations
+// and never trails the IG1 baseline once the floor individual is
+// evaluated.
+func SolveEvoCtx(ctx context.Context, in *Instance, opts EvoOptions) EvoResult {
+	return evo.SolveCtx(ctx, in, opts)
+}
+
+// SolveSubmod runs the budgeted submodular lazy greedy: cost-scaled and
+// unscaled lazy-evaluation passes over marginal coverage-utility gains,
+// keeping the better result. The fast approximate tier the server sheds
+// into under load.
+func SolveSubmod(in *Instance, opts SubmodOptions) SubmodResult { return submod.Solve(in, opts) }
+
+// SolveSubmodCtx is SolveSubmod under a context; see SolveCtx for the
+// anytime semantics.
+func SolveSubmodCtx(ctx context.Context, in *Instance, opts SubmodOptions) SubmodResult {
+	return submod.SolveCtx(ctx, in, opts)
 }
 
 // BestBuy generates the simulated BestBuy evaluation workload (≈1000

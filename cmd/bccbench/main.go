@@ -7,7 +7,12 @@
 //	bccbench -fig 3b      # one experiment
 //	bccbench -full        # paper-scale dimensions (long-running)
 //	bccbench -seed 7      # different workload seeds
-//	bccbench -bench-json BENCH_PR3.json   # machine-readable ns/op + stage splits
+//	bccbench -bench-json BENCH_PR7.json   # machine-readable ns/op + stage splits
+//
+// The -bench-json report benchmarks every servable algorithm in the
+// solver registry (internal/algo) and adds a utility-vs-time Pareto
+// sweep of the fast tiers against A^BCC; run bccbench -h for the
+// generated algorithm list.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/algo"
 	"repro/internal/exper"
 	"repro/internal/obs"
 )
@@ -27,7 +33,7 @@ func main() {
 		full      = flag.Bool("full", false, "paper-scale dimensions (long-running)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		timeout   = flag.Duration("timeout", 0, "overall deadline; completed rows are still printed (exit code 3 when truncated)")
-		benchJSON = flag.String("bench-json", "", "write a versioned JSON benchmark report ('-' for stdout) instead of running experiments")
+		benchJSON = flag.String("bench-json", "", "write a versioned JSON benchmark report ('-' for stdout) instead of running experiments; covers every servable registry algorithm:\n"+algo.Usage())
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()

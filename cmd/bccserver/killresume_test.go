@@ -46,11 +46,32 @@ func TestKillResume(t *testing.T) {
 	}
 
 	bin := buildServerBinary(t)
+
+	t.Run("gmc3", func(t *testing.T) {
+		res := runKillResume(t, bin, soakJobRequest(t))
+		if res.Achieved == nil || !*res.Achieved {
+			t.Fatalf("result did not reach the target: %+v", res)
+		}
+	})
+	t.Run("evo", func(t *testing.T) {
+		res := runKillResume(t, bin, evoJobRequest(t))
+		if res.Utility <= 0 {
+			t.Fatalf("resumed evo job utility = %v, want > 0", res.Utility)
+		}
+	})
+}
+
+// runKillResume drives one job through the SIGKILL/restart pattern:
+// submit, wait for a persisted checkpoint, kill the server hard,
+// restart it on the same store, and assert the same job completes from
+// its checkpoint with at least one recorded resume. Returns the final
+// result for algorithm-specific assertions.
+func runKillResume(t *testing.T, bin string, req *api.JobRequest) *api.SolveResponse {
+	t.Helper()
 	jobsDir := t.TempDir()
 
 	// First life: serve, accept the job, checkpoint, die hard.
 	srv1 := startServerProc(t, bin, jobsDir)
-	req := soakJobRequest(t)
 	st := submitJob(t, srv1.base, req)
 	if st.State != api.JobQueued && st.State != api.JobRunning {
 		t.Fatalf("submitted job state = %q, want queued/running", st.State)
@@ -83,11 +104,8 @@ func TestKillResume(t *testing.T) {
 	}
 
 	res := jobResult(t, srv2.base, id)
-	if res.Algo != "gmc3" || res.Fingerprint != final.Fingerprint {
-		t.Fatalf("result algo=%q fingerprint=%q, want gmc3/%q", res.Algo, res.Fingerprint, final.Fingerprint)
-	}
-	if res.Achieved == nil || !*res.Achieved {
-		t.Fatalf("result did not reach the target: %+v", res)
+	if res.Algo != req.Algo || res.Fingerprint != final.Fingerprint {
+		t.Fatalf("result algo=%q fingerprint=%q, want %s/%q", res.Algo, res.Fingerprint, req.Algo, final.Fingerprint)
 	}
 
 	if v := scrapeCounter(t, srv2.base, "bcc_jobs_resumed_total"); v < 1 {
@@ -95,6 +113,7 @@ func TestKillResume(t *testing.T) {
 	}
 	t.Logf("job %s completed after resume: %d slices, %.0fms solve, cost %.1f",
 		id, final.Progress.Slices, final.Progress.ElapsedMS, res.Cost)
+	return res
 }
 
 // buildServerBinary compiles bccserver (race-instrumented whenever the
@@ -245,6 +264,31 @@ func soakJobRequest(t *testing.T) *api.JobRequest {
 			Instance: ff,
 			Algo:     "gmc3",
 			Target:   total * 0.8,
+			Seed:     7,
+		},
+		JobDeadlineMS: (20 * time.Minute).Milliseconds(),
+	}
+}
+
+// evoJobRequest builds an evolutionary job over a synthetic instance
+// large enough that the full evolution spans several doubling slices
+// (seconds plain, tens of seconds under -race) before the solver
+// terminates on its own.
+func evoJobRequest(t *testing.T) *api.JobRequest {
+	t.Helper()
+	in := dataset.Synthetic(7, 1500, 500)
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, in); err != nil {
+		t.Fatalf("serializing instance: %v", err)
+	}
+	var ff dataset.FileFormat
+	if err := json.Unmarshal(buf.Bytes(), &ff); err != nil {
+		t.Fatalf("decoding instance: %v", err)
+	}
+	return &api.JobRequest{
+		SolveRequest: api.SolveRequest{
+			Instance: ff,
+			Algo:     "evo",
 			Seed:     7,
 		},
 		JobDeadlineMS: (20 * time.Minute).Milliseconds(),

@@ -1,10 +1,11 @@
 // Command bccsolve solves a BCC instance stored as JSON (see
 // internal/dataset.FileFormat) and prints the selected classifiers with
-// their utility/cost accounting.
+// their utility/cost accounting. The algorithm table is the solver
+// registry (internal/algo); run bccsolve -h for the generated list.
 //
 // Usage:
 //
-//	bccsolve -in instance.json [-algo abcc|rand|ig1|ig2|brute] [-budget B]
+//	bccsolve -in instance.json [-algo NAME] [-budget B]
 //	bccsolve -in instance.json -gmc3-target T
 //	bccsolve -in instance.json -ecc
 //	bccsolve -in instance.json -plan plan.json   # machine-readable plan
@@ -16,9 +17,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	bcc "repro"
+	"repro/internal/algo"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -27,11 +30,11 @@ import (
 func main() {
 	var (
 		inPath     = flag.String("in", "", "path to the JSON instance (required)")
-		algo       = flag.String("algo", "abcc", "BCC algorithm: abcc, rand, ig1, ig2, brute")
+		algoName   = flag.String("algo", "abcc", "BCC algorithm; one of:\n"+algo.Usage())
 		budget     = flag.Float64("budget", -1, "override the instance's budget")
 		seed       = flag.Int64("seed", 1, "random seed")
-		gmc3Target = flag.Float64("gmc3-target", 0, "solve GMC3 for this utility target instead of BCC")
-		eccMode    = flag.Bool("ecc", false, "solve ECC (max utility/cost) instead of BCC")
+		gmc3Target = flag.Float64("gmc3-target", 0, "solve GMC3 for this utility target instead of BCC (shorthand for -algo gmc3)")
+		eccMode    = flag.Bool("ecc", false, "solve ECC (max utility/cost) instead of BCC (shorthand for -algo ecc)")
 		verbose    = flag.Bool("v", false, "print the selected classifiers")
 		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
 		timeout    = flag.Duration("timeout", 0, "deadline for the solve; the best solution found so far is returned (exit code 3 when truncated)")
@@ -61,6 +64,24 @@ func main() {
 		return
 	}
 
+	// The legacy mode flags are shorthands for registry names.
+	name := *algoName
+	switch {
+	case *eccMode:
+		name = "ecc"
+	case *gmc3Target > 0:
+		name = "gmc3"
+	}
+	d, ok := algo.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bccsolve: unknown algorithm %q; supported:\n%s", name, algo.Usage())
+		os.Exit(2)
+	}
+	if d.NeedsTarget && !(*gmc3Target > 0) {
+		fmt.Fprintf(os.Stderr, "bccsolve: algorithm %q needs a positive -gmc3-target\n", name)
+		os.Exit(2)
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -72,49 +93,28 @@ func main() {
 		rec = &obs.Recorder{}
 		ctx = obs.WithRecorder(ctx, rec)
 	}
-	status := bcc.Complete
 
-	var sol *bcc.Solution
-	switch {
-	case *eccMode:
-		res := bcc.SolveECCCtx(ctx, in)
-		fmt.Printf("ECC: ratio=%.4f utility=%.2f cost=%.2f time=%v\n",
-			res.Ratio, res.Utility, res.Cost, res.Duration)
-		sol = res.Solution
-		status = res.Status
-	case *gmc3Target > 0:
-		res := bcc.SolveGMC3Ctx(ctx, in, *gmc3Target, bcc.GMC3Options{Seed: *seed})
-		fmt.Printf("GMC3: cost=%.2f utility=%.2f target=%.2f achieved=%v time=%v\n",
-			res.Cost, res.Utility, *gmc3Target, res.Achieved, res.Duration)
-		sol = res.Solution
-		status = res.Status
-	default:
-		var res bcc.Result
-		switch *algo {
-		case "abcc":
-			res = bcc.SolveCtx(ctx, in, bcc.Options{Seed: *seed})
-			status = res.Status
-		case "rand":
-			res = bcc.SolveRand(in, *seed)
-		case "ig1":
-			res = bcc.SolveIG1(in)
-		case "ig2":
-			res = bcc.SolveIG2(in)
-		case "brute":
-			var err error
-			res, err = bcc.BruteForce(in)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
-				os.Exit(1)
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "bccsolve: unknown algorithm %q\n", *algo)
-			os.Exit(2)
-		}
-		fmt.Printf("%s: utility=%.2f cost=%.2f budget=%.2f covered=%d/%d time=%v\n",
-			*algo, res.Utility, res.Cost, in.Budget(), res.Covered, in.NumQueries(), res.Duration)
-		sol = res.Solution
+	out, err := d.Run(ctx, in, algo.Params{Seed: *seed, Target: *gmc3Target})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
+		os.Exit(1)
 	}
+	switch {
+	case out.Ratio != nil || name == "ecc":
+		ratio := math.Inf(1)
+		if out.Ratio != nil {
+			ratio = *out.Ratio
+		}
+		fmt.Printf("ECC: ratio=%.4f utility=%.2f cost=%.2f time=%v\n",
+			ratio, out.Utility, out.Cost, out.Duration)
+	case out.Achieved != nil:
+		fmt.Printf("GMC3: cost=%.2f utility=%.2f target=%.2f achieved=%v time=%v\n",
+			out.Cost, out.Utility, *gmc3Target, *out.Achieved, out.Duration)
+	default:
+		fmt.Printf("%s: utility=%.2f cost=%.2f budget=%.2f covered=%d/%d time=%v\n",
+			name, out.Utility, out.Cost, in.Budget(), out.Covered, in.NumQueries(), out.Duration)
+	}
+	sol := out.Solution
 
 	if *trace {
 		if err := rec.WriteTable(os.Stderr); err != nil {
@@ -151,8 +151,8 @@ func main() {
 		}
 	}
 
-	if status != bcc.Complete {
-		fmt.Printf("status=%s\n", status)
+	if out.Status != bcc.Complete {
+		fmt.Printf("status=%s\n", out.Status)
 		os.Exit(3)
 	}
 }

@@ -1,0 +1,189 @@
+// Package algo is the solver registry: one table mapping algorithm
+// names to descriptors — a normalized entry point plus capability flags
+// — so the server, the gateway (via the server's validation), the job
+// runner and the CLI tools all dispatch from the same source of truth
+// instead of parallel hard-coded switches. Adding a solver family is
+// one MustRegister call in builtin.go; the HTTP 400 for an unknown
+// algo, the bccsolve/bccbench usage text and the bench rows all follow
+// automatically.
+package algo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// Params carries the per-request solver knobs shared by every
+// algorithm; each Run uses the ones its family understands and ignores
+// the rest.
+type Params struct {
+	// Seed drives solver randomness; 0 means the solver default.
+	Seed int64
+	// Target is the utility target for target-seeking solvers (gmc3).
+	Target float64
+	// Warm seeds anytime solvers with a previous incumbent (checkpoint
+	// resume); one-shot solvers ignore it.
+	Warm []propset.Set
+}
+
+// Outcome is the normalized result every registered Run returns: the
+// common accounting all solvers share plus the optional family-specific
+// extras (Achieved for target-seeking runs, Ratio for ratio-maximizing
+// ones).
+type Outcome struct {
+	Solution *model.Solution
+	Utility  float64
+	Cost     float64
+	// Covered is the number of covered queries.
+	Covered int
+	// Iterations is the family's own progress unit: residual rounds,
+	// greedy steps, generations.
+	Iterations int
+	Duration   time.Duration
+	// Status and Err report how the run ended (see guard.Status); every
+	// status carries a budget-feasible Solution.
+	Status guard.Status
+	Err    error
+	// Achieved is set by target-seeking solvers (gmc3): whether the
+	// target utility was reached.
+	Achieved *bool
+	// Ratio is set by ratio-maximizing solvers (ecc) when finite.
+	Ratio *float64
+}
+
+// RunFunc executes one solve. The error return is for hard input
+// rejections (e.g. brute force on an oversized instance) — solver
+// failures inside a run surface as Outcome.Status/Err instead.
+type RunFunc func(ctx context.Context, in *model.Instance, p Params) (Outcome, error)
+
+// Descriptor describes one registered algorithm.
+type Descriptor struct {
+	// Name is the algo= / -algo selector.
+	Name string
+	// Summary is the one-line description shown in usage text.
+	Summary string
+	// Tier is the speed/quality tier shown in docs: "exact",
+	// "baseline", "fast-approx", "reference" or "anytime-meta".
+	Tier string
+	// Anytime solvers honor context deadlines/cancellation and always
+	// return the best feasible incumbent found so far.
+	Anytime bool
+	// Deterministic solvers produce bit-identical output for the same
+	// instance and Params (including Seed).
+	Deterministic bool
+	// NeedsTarget solvers require Params.Target > 0 (gmc3).
+	NeedsTarget bool
+	// Seeded solvers consume Params.Seed.
+	Seeded bool
+	// Servable solvers are selectable through the HTTP API; the rest
+	// (brute force) are CLI-only.
+	Servable bool
+	// Run executes the solver.
+	Run RunFunc
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Descriptor)
+)
+
+// Register adds a descriptor to the registry, rejecting blanks,
+// duplicates and nil Run funcs.
+func Register(d Descriptor) error {
+	if d.Name == "" {
+		return fmt.Errorf("algo: descriptor with empty name")
+	}
+	if d.Run == nil {
+		return fmt.Errorf("algo: descriptor %q has no Run", d.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		return fmt.Errorf("algo: %q already registered", d.Name)
+	}
+	registry[d.Name] = d
+	return nil
+}
+
+// MustRegister is Register, panicking on error. The built-in table uses
+// it from init, where a failure is a programming error.
+func MustRegister(d Descriptor) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name string) (Descriptor, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Names returns every registered algorithm name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServableNames returns the sorted names selectable through the HTTP
+// API — the list the server's unknown-algo 400 reports.
+func ServableNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name, d := range registry {
+		if d.Servable {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Usage renders one line per registered algorithm — name, summary,
+// capability flags — for CLI usage text, so the docs cannot drift from
+// the registry.
+func Usage() string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		d := registry[name]
+		caps := []string{d.Tier}
+		if d.Anytime {
+			caps = append(caps, "anytime")
+		}
+		if d.Seeded {
+			caps = append(caps, "seeded")
+		}
+		if d.NeedsTarget {
+			caps = append(caps, "needs target")
+		}
+		if !d.Servable {
+			caps = append(caps, "cli-only")
+		}
+		fmt.Fprintf(&b, "  %-7s %s [%s]\n", name, d.Summary, strings.Join(caps, ", "))
+	}
+	return b.String()
+}

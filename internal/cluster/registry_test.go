@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/loadgen"
+)
+
+// TestNewSolverFamiliesThroughGateway routes algo=evo and algo=submod
+// through the full gateway path (rendezvous pick, shared client, real
+// backend): both must come back complete and budget-feasible, with the
+// registry name echoed.
+func TestNewSolverFamiliesThroughGateway(t *testing.T) {
+	_, tsA := newRealBackend(t, "reg-a")
+	_, tsB := newRealBackend(t, "reg-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+
+	ctx := context.Background()
+	for _, name := range []string{"evo", "submod"} {
+		req := loadgen.SyntheticWorkload(1, 13)[0]
+		req.Algo = name
+		req.IncludePlan = true
+		fp := mustFingerprint(t, &req)
+		resp, route, err := c.Solve(ctx, &req, fp)
+		if err != nil {
+			t.Fatalf("%s: gateway solve: %v", name, err)
+		}
+		if !route.Affinity {
+			t.Errorf("%s: healthy cluster did not use the affinity pick: %+v", name, route)
+		}
+		if resp.Algo != name || resp.Status != "complete" {
+			t.Errorf("%s: response algo=%q status=%q, want %s/complete", name, resp.Algo, resp.Status, name)
+		}
+		if resp.Utility <= 0 {
+			t.Errorf("%s: utility = %v, want > 0", name, resp.Utility)
+		}
+		if resp.Cost > resp.Budget+1e-9 {
+			t.Errorf("%s: cost %v exceeds budget %v", name, resp.Cost, resp.Budget)
+		}
+		if len(resp.Classifiers) == 0 {
+			t.Errorf("%s: include_plan returned no classifiers", name)
+		}
+	}
+}
+
+// TestUnknownAlgoThroughGatewayListsSupported verifies the backend's
+// registry-driven 400 survives the gateway unchanged: the caller sees
+// the full servable list, not a generic routing error.
+func TestUnknownAlgoThroughGatewayListsSupported(t *testing.T) {
+	_, tsA := newRealBackend(t, "reg-e")
+	c := newTestCluster(t, []string{tsA.URL}, nil)
+
+	req := loadgen.SyntheticWorkload(1, 14)[0]
+	req.Algo = "anneal"
+	fp := mustFingerprint(t, &req)
+	_, _, err := c.Solve(context.Background(), &req, fp)
+	if err == nil {
+		t.Fatal("unknown algo was accepted through the gateway")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "supported:") {
+		t.Errorf("gateway error %q lost the supported-algorithms hint", msg)
+	}
+	if want := strings.Join(algo.ServableNames(), ", "); !strings.Contains(msg, want) {
+		t.Errorf("gateway error %q does not list the registry's servable names %q", msg, want)
+	}
+}

@@ -50,6 +50,16 @@ func SolveIG1(in *model.Instance) Result {
 	return resultFrom(t, steps, 0, start)
 }
 
+// IG1Fill runs the IG1 greedy selection loop on an existing tracker —
+// which may already hold free, warm-started or previously selected
+// classifiers — until no further query cover fits the remaining budget,
+// stopping early when the guard trips (g may be nil). It returns the
+// number of covers selected. Exported for the evolutionary and
+// submodular solvers (internal/evo, internal/submod), which use it both
+// as a seeding heuristic and as their never-worse-than-IG1 anytime
+// floor.
+func IG1Fill(g *guard.Guard, t *cover.Tracker) int { return ig1Fill(g, t) }
+
 // ig1Fill runs the IG1 selection loop on an existing tracker until no
 // further query cover fits the remaining budget, returning the number of
 // covers selected. It is both the IG1 baseline and the leftover-budget

@@ -1,0 +1,223 @@
+package evo
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// randomInstance mirrors the generator of internal/core's tests so the
+// anytime-contract suite runs on comparable workloads.
+func randomInstance(rng *rand.Rand, nProps, nQueries, maxLen int, budget float64) *model.Instance {
+	b := model.NewBuilder()
+	u := b.Universe()
+	names := make([]string, nProps)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	for i := 0; i < nQueries; i++ {
+		ln := 1 + rng.Intn(maxLen)
+		ids := make([]propset.ID, ln)
+		for j := range ids {
+			ids[j] = u.Intern(names[rng.Intn(nProps)])
+		}
+		b.AddQuerySet(propset.New(ids...), 1+float64(rng.Intn(20)))
+	}
+	costSeed := rng.Int63()
+	b.SetDefaultCost(func(s propset.Set) float64 {
+		h := costSeed
+		for _, id := range s {
+			h = h*31 + int64(id) + 7
+		}
+		return 1 + float64((h%7+7)%7)
+	})
+	return b.MustInstance(budget)
+}
+
+func anytimeInstance(seed int64) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng, 30, 400, 3, 60)
+}
+
+// smallInstance is a quick workload for the full-run tests: population
+// and generation counts are trimmed so the suite stays fast.
+func smallInstance(seed int64) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng, 12, 60, 3, 20)
+}
+
+func quickOpts(seed int64) Options {
+	return Options{Seed: seed, Population: 10, Generations: 12, StallLimit: 5}
+}
+
+func checkFeasible(t *testing.T, in *model.Instance, res Result) {
+	t.Helper()
+	if res.Solution == nil {
+		t.Fatal("nil Solution")
+	}
+	if res.Cost > in.Budget()+1e-9 {
+		t.Fatalf("cost %v exceeds budget %v", res.Cost, in.Budget())
+	}
+	if got := res.Solution.Cost(); got > in.Budget()+1e-9 {
+		t.Fatalf("solution cost %v exceeds budget %v", got, in.Budget())
+	}
+}
+
+// planKeys renders a plan into comparable classifier keys.
+func planKeys(res Result) []string {
+	var out []string
+	for _, c := range res.Solution.Classifiers() {
+		out = append(out, c.Props.Key())
+	}
+	return out
+}
+
+func TestSolveFeasibleAndNeverBelowIG1(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := smallInstance(seed)
+		res := Solve(in, quickOpts(seed))
+		if res.Status != guard.Complete {
+			t.Fatalf("seed %d: Status = %v, want Complete", seed, res.Status)
+		}
+		checkFeasible(t, in, res)
+		ig1 := core.SolveIG1(in)
+		if res.Utility < ig1.Utility {
+			t.Errorf("seed %d: utility %v below IG1 floor %v", seed, res.Utility, ig1.Utility)
+		}
+		if res.Generations == 0 {
+			t.Errorf("seed %d: ran zero generations", seed)
+		}
+	}
+}
+
+// TestSeedDeterminism is the bit-for-bit contract behind
+// `bccsolve -algo evo -seed N`: identical seed, identical plan.
+func TestSeedDeterminism(t *testing.T) {
+	in := smallInstance(7)
+	opts := quickOpts(9)
+	a := Solve(in, opts)
+	b := Solve(in, opts)
+	if a.Utility != b.Utility || a.Cost != b.Cost || a.Generations != b.Generations {
+		t.Fatalf("two runs diverged: %v/%v/%d vs %v/%v/%d",
+			a.Utility, a.Cost, a.Generations, b.Utility, b.Cost, b.Generations)
+	}
+	ka, kb := planKeys(a), planKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("plans differ in size: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("plan diverged at %d: %s vs %s", i, ka[i], kb[i])
+		}
+	}
+}
+
+func TestWarmStartNeverRegresses(t *testing.T) {
+	in := smallInstance(4)
+	first := Solve(in, quickOpts(2))
+	var warm []propset.Set
+	for _, c := range first.Solution.Classifiers() {
+		warm = append(warm, c.Props)
+	}
+	// A warm-started slice (different seed, floor disabled) must keep
+	// the checkpoint it was handed — the jobs-slice monotonicity.
+	opts := quickOpts(11)
+	opts.DisableGreedyFloor = true
+	opts.Warm = warm
+	res := Solve(in, opts)
+	checkFeasible(t, in, res)
+	if res.Utility < first.Utility {
+		t.Errorf("warm-started utility %v below incumbent %v", res.Utility, first.Utility)
+	}
+}
+
+func TestExpiredDeadlineReturnsFast(t *testing.T) {
+	in := anytimeInstance(1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	res := SolveCtx(ctx, in, Options{})
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("expired-context solve took %v, want < 10ms", elapsed)
+	}
+	if res.Status != guard.DeadlineExceeded {
+		t.Errorf("Status = %v, want DeadlineExceeded", res.Status)
+	}
+	if res.Err == nil {
+		t.Error("Err = nil on a deadline-exceeded run")
+	}
+	checkFeasible(t, in, res)
+}
+
+func TestGenerousDeadlineMatchesSolve(t *testing.T) {
+	in := smallInstance(2)
+	opts := quickOpts(3)
+	plain := Solve(in, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	res := SolveCtx(ctx, in, opts)
+	if res.Status != guard.Complete {
+		t.Fatalf("Status = %v (err %v), want Complete", res.Status, res.Err)
+	}
+	if res.Utility != plain.Utility || res.Cost != plain.Cost {
+		t.Errorf("generous deadline diverged: utility %v/%v, cost %v/%v",
+			res.Utility, plain.Utility, res.Cost, plain.Cost)
+	}
+}
+
+func TestCancelMidEvolutionKeepsIG1Floor(t *testing.T) {
+	// The floor individual enters the incumbent before the first
+	// generation, so a cancellation armed at the generation boundary
+	// must still return at least the IG1 result.
+	in := anytimeInstance(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	guard.Arm("evo.generation", guard.CancelFault(cancel))
+	defer guard.DisarmAll()
+	res := SolveCtx(ctx, in, Options{})
+	if res.Status != guard.Canceled {
+		t.Errorf("Status = %v, want Canceled", res.Status)
+	}
+	checkFeasible(t, in, res)
+	ig1 := core.SolveIG1(in)
+	if res.Utility < ig1.Utility {
+		t.Errorf("canceled run utility %v below IG1 floor %v", res.Utility, ig1.Utility)
+	}
+}
+
+func TestArmedPanicSurfacesAsRecovered(t *testing.T) {
+	in := anytimeInstance(5)
+	guard.Arm("evo.generation", guard.PanicFault("injected: evo.generation"))
+	defer guard.DisarmAll()
+	res := SolveCtx(context.Background(), in, Options{})
+	if res.Status != guard.Recovered {
+		t.Fatalf("Status = %v, want Recovered", res.Status)
+	}
+	if res.Err == nil {
+		t.Fatal("Err = nil on a recovered run")
+	}
+	checkFeasible(t, in, res)
+	ig1 := core.SolveIG1(in)
+	if res.Utility < ig1.Utility {
+		t.Errorf("recovered run utility %v below IG1 floor %v", res.Utility, ig1.Utility)
+	}
+}
+
+func TestStallLimitStopsEarly(t *testing.T) {
+	in := smallInstance(6)
+	opts := Options{Seed: 5, Population: 8, Generations: 500, StallLimit: 3}
+	res := Solve(in, opts)
+	if res.Status != guard.Complete {
+		t.Fatalf("Status = %v, want Complete", res.Status)
+	}
+	if res.Generations >= 500 {
+		t.Errorf("ran all %d generations; stall limit never fired", res.Generations)
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/ecc"
-	"repro/internal/gmc3"
+	"repro/internal/model"
 	"repro/internal/obs"
 )
 
@@ -43,8 +43,24 @@ type AlgoBench struct {
 	Stages      []StageSplit `json:"stages,omitempty"`
 }
 
+// ParetoPoint is one (workload, algorithm) sample of the utility-vs-time
+// Pareto comparison: how much solution quality each algorithm trades for
+// speed, normalized against the A^BCC reference on the same workload.
+type ParetoPoint struct {
+	Workload string  `json:"workload"`
+	Algo     string  `json:"algo"`
+	Runs     int     `json:"runs"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	Utility  float64 `json:"utility"`
+	Cost     float64 `json:"cost"`
+	// UtilityVsABCC is Utility / A^BCC's utility on this workload.
+	UtilityVsABCC float64 `json:"utility_vs_abcc"`
+	// SpeedupVsABCC is A^BCC's ns/op divided by this algorithm's.
+	SpeedupVsABCC float64 `json:"speedup_vs_abcc"`
+}
+
 // BenchReport is the versioned JSON document that `bccbench -bench-json`
-// and `make bench-json` emit (BENCH_PR3.json).
+// and `make bench-json` emit (BENCH_PR7.json).
 type BenchReport struct {
 	Schema      string      `json:"schema"`
 	Build       obs.Build   `json:"build"`
@@ -53,6 +69,8 @@ type BenchReport struct {
 	Classifiers int         `json:"classifiers"`
 	Budget      float64     `json:"budget"`
 	Algorithms  []AlgoBench `json:"algorithms"`
+	// Pareto compares the fast tiers against A^BCC across workloads.
+	Pareto []ParetoPoint `json:"pareto,omitempty"`
 }
 
 // benchLoop repeats fn until both floors are met — at least minRuns
@@ -96,8 +114,9 @@ func splits(rec *obs.Recorder) []StageSplit {
 	return out
 }
 
-// BenchJSON benchmarks every solver façade on one synthetic workload and
-// returns the versioned report. Stage splits are recorded with an
+// BenchJSON benchmarks every servable registry algorithm on one
+// synthetic workload and returns the versioned report, followed by the
+// utility-vs-time Pareto sweep. Stage splits are recorded with an
 // obs.Recorder threaded through the context, aggregated across all
 // repetitions of the algorithm.
 func BenchJSON(ctx context.Context, seed int64) BenchReport {
@@ -122,51 +141,25 @@ func BenchJSON(ctx context.Context, seed int64) BenchReport {
 	ref := core.SolveCtx(ctx, in, core.Options{Seed: seed})
 	target := ref.Utility * 0.8
 
-	type bench struct {
-		algo   string
-		traced bool
-		run    func(context.Context) (utility, cost float64)
-	}
-	benches := []bench{
-		{"rand", false, func(context.Context) (float64, float64) {
-			r := core.SolveRand(in, seed)
-			return r.Utility, r.Cost
-		}},
-		{"ig1", false, func(context.Context) (float64, float64) {
-			r := core.SolveIG1(in)
-			return r.Utility, r.Cost
-		}},
-		{"ig2", false, func(context.Context) (float64, float64) {
-			r := core.SolveIG2(in)
-			return r.Utility, r.Cost
-		}},
-		{"abcc", true, func(c context.Context) (float64, float64) {
-			r := core.SolveCtx(c, in, core.Options{Seed: seed})
-			return r.Utility, r.Cost
-		}},
-		{"gmc3", true, func(c context.Context) (float64, float64) {
-			r := gmc3.SolveCtx(c, in, target, gmc3.Options{Seed: seed})
-			return r.Utility, r.Cost
-		}},
-		{"ecc", true, func(c context.Context) (float64, float64) {
-			r := ecc.SolveCtx(c, in)
-			return r.Utility, r.Cost
-		}},
-	}
-
-	for _, b := range benches {
+	// One row per servable algorithm, straight from the registry: a new
+	// solver family shows up here by registering itself. The staged
+	// (anytime) solvers get an obs recorder for per-stage splits.
+	for _, name := range algo.ServableNames() {
+		d, _ := algo.Lookup(name)
+		params := algo.Params{Seed: seed, Target: target}
 		runCtx := ctx
 		var rec *obs.Recorder
-		if b.traced {
+		if d.Anytime {
 			rec = &obs.Recorder{}
 			runCtx = obs.WithRecorder(ctx, rec)
 		}
 		var utility, cost float64
 		runs, ns, allocs, bytes := benchLoop(ctx, minRuns, perAlgo, func() {
-			utility, cost = b.run(runCtx)
+			out, _ := d.Run(runCtx, in, params)
+			utility, cost = out.Utility, out.Cost
 		})
 		row := AlgoBench{
-			Algo:        b.algo,
+			Algo:        name,
 			Runs:        runs,
 			NsPerOp:     ns,
 			AllocsPerOp: allocs,
@@ -179,11 +172,68 @@ func BenchJSON(ctx context.Context, seed int64) BenchReport {
 		}
 		rep.Algorithms = append(rep.Algorithms, row)
 	}
+
+	rep.Pareto = paretoSweep(ctx, seed, in)
 	return rep
 }
 
+// paretoAlgos are the utility-vs-time comparison set: the A^BCC
+// reference against the greedy baselines and the two approximate
+// families added for fast serving tiers.
+var paretoAlgos = []string{"abcc", "ig1", "ig2", "submod", "evo"}
+
+// paretoSweep samples every pareto algorithm on each workload and
+// normalizes utility and speed against the workload's A^BCC run.
+func paretoSweep(ctx context.Context, seed int64, synthetic *model.Instance) []ParetoPoint {
+	const (
+		minRuns = 1
+		perAlgo = 200 * time.Millisecond
+	)
+	workloads := []struct {
+		name string
+		in   *model.Instance
+	}{
+		{"synthetic-2000-b800", synthetic},
+		{"bestbuy-b300", dataset.BestBuy(seed, 300)},
+	}
+	var out []ParetoPoint
+	for _, w := range workloads {
+		base := len(out)
+		var refNs int64
+		var refUtility float64
+		for _, name := range paretoAlgos {
+			d, _ := algo.Lookup(name)
+			var utility, cost float64
+			runs, ns, _, _ := benchLoop(ctx, minRuns, perAlgo, func() {
+				res, _ := d.Run(ctx, w.in, algo.Params{Seed: seed})
+				utility, cost = res.Utility, res.Cost
+			})
+			if name == "abcc" {
+				refNs, refUtility = ns, utility
+			}
+			out = append(out, ParetoPoint{
+				Workload: w.name,
+				Algo:     name,
+				Runs:     runs,
+				NsPerOp:  ns,
+				Utility:  utility,
+				Cost:     cost,
+			})
+		}
+		for i := base; i < len(out); i++ {
+			if refUtility > 0 {
+				out[i].UtilityVsABCC = out[i].Utility / refUtility
+			}
+			if out[i].NsPerOp > 0 {
+				out[i].SpeedupVsABCC = float64(refNs) / float64(out[i].NsPerOp)
+			}
+		}
+	}
+	return out
+}
+
 // WriteJSON renders the report with stable indentation so the committed
-// BENCH_PR3.json diffs cleanly between runs.
+// BENCH_PR7.json diffs cleanly between runs.
 func (r BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

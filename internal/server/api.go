@@ -2,10 +2,10 @@ package server
 
 import (
 	"context"
-	"math"
 	"time"
 
 	bcc "repro"
+	"repro/internal/algo"
 	"repro/internal/api"
 )
 
@@ -34,72 +34,48 @@ func errorf(code int, format string, args ...any) *Error {
 	return api.Errorf(code, format, args...)
 }
 
-var validAlgos = map[string]bool{
-	"abcc": true, "rand": true, "ig1": true, "ig2": true,
-	"gmc3": true, "ecc": true,
-}
-
-// runSolve executes the requested solver under ctx and prepares the full
-// response (plan always included; solveOne strips it per request). It
-// runs on a pool worker or a job worker. warm, when non-nil, seeds the
-// anytime solvers (abcc, gmc3) with a previous incumbent so a resumed
-// job never reports less than its last checkpoint; the one-shot algos
-// ignore it (they finish in a single slice anyway).
-func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequest, fp string, warm []bcc.PropSet) *SolveResponse {
+// runSolve executes the requested solver through the registry
+// (internal/algo) under ctx and prepares the full response (plan always
+// included; solveOne strips it per request). It runs on a pool worker
+// or a job worker. warm, when non-nil, seeds the anytime solvers with a
+// previous incumbent so a resumed job never reports less than its last
+// checkpoint; the one-shot algos ignore it (they finish in a single
+// slice anyway). prepareSolve already validated the algo name, so the
+// registry lookup here cannot miss.
+func runSolve(ctx context.Context, in *bcc.Instance, algoName string, req *SolveRequest, fp string, warm []bcc.PropSet) *SolveResponse {
 	start := time.Now()
 	resp := &SolveResponse{
 		Fingerprint: fp,
-		Algo:        algo,
+		Algo:        algoName,
 		Budget:      in.Budget(),
 		Queries:     in.NumQueries(),
 	}
-	var (
-		sol    *bcc.Solution
-		status bcc.Status
-		serr   error
-	)
-	switch algo {
-	case "abcc":
-		res := bcc.SolveCtx(ctx, in, bcc.Options{Seed: req.Seed, Warm: warm})
-		sol, status, serr = res.Solution, res.Status, res.Err
-		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
-	case "rand":
-		res := bcc.SolveRand(in, req.Seed)
-		sol = res.Solution
-		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
-	case "ig1":
-		res := bcc.SolveIG1(in)
-		sol = res.Solution
-		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
-	case "gmc3":
-		res := bcc.SolveGMC3Ctx(ctx, in, req.Target, bcc.GMC3Options{Seed: req.Seed, Warm: warm})
-		sol, status, serr = res.Solution, res.Status, res.Err
-		resp.Utility, resp.Cost = res.Utility, res.Cost
+	d, _ := algo.Lookup(algoName)
+	out, err := d.Run(ctx, in, algo.Params{
+		Seed:   req.Seed,
+		Target: req.Target,
+		Warm:   warm,
+	})
+	resp.Utility, resp.Cost, resp.Covered = out.Utility, out.Cost, out.Covered
+	resp.Status = out.Status.String()
+	if d.NeedsTarget {
 		resp.Target = req.Target
-		achieved := res.Achieved
-		resp.Achieved = &achieved
-		resp.Covered = countCovered(sol)
-	case "ecc":
-		res := bcc.SolveECCCtx(ctx, in)
-		sol, status, serr = res.Solution, res.Status, res.Err
-		resp.Utility, resp.Cost = res.Utility, res.Cost
-		if !math.IsInf(res.Ratio, 0) {
-			ratio := res.Ratio
-			resp.Ratio = &ratio
-		}
-		resp.Covered = countCovered(sol)
-	default: // "ig2"
-		res := bcc.SolveIG2(in)
-		sol = res.Solution
-		resp.Utility, resp.Cost, resp.Covered = res.Utility, res.Cost, res.Covered
 	}
-	resp.Status = status.String()
-	if serr != nil {
-		resp.SolverError = serr.Error()
+	resp.Achieved = out.Achieved
+	resp.Ratio = out.Ratio
+	switch {
+	case err != nil:
+		// A hard input rejection from a Run (none of the servable algos
+		// produce one today, but a registered family may): surface it
+		// like a contained solver failure rather than dropping it.
+		resp.Status = bcc.Recovered.String()
+		resp.SolverError = err.Error()
+	case out.Err != nil:
+		resp.SolverError = out.Err.Error()
 	}
-	if sol != nil {
+	if out.Solution != nil {
 		u := in.Universe()
-		for _, c := range sol.Classifiers() {
+		for _, c := range out.Solution.Classifiers() {
 			props := make([]string, c.Props.Len())
 			for i, id := range c.Props {
 				props[i] = u.Name(id)
@@ -109,11 +85,4 @@ func runSolve(ctx context.Context, in *bcc.Instance, algo string, req *SolveRequ
 	}
 	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp
-}
-
-func countCovered(sol *bcc.Solution) int {
-	if sol == nil {
-		return 0
-	}
-	return len(sol.CoveredQueries())
 }

@@ -33,11 +33,13 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	bcc "repro"
+	"repro/internal/algo"
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/jobs"
@@ -244,15 +246,17 @@ var errQueueFull = errorf(http.StatusTooManyRequests, "server overloaded: worker
 // canonical fingerprint. Shared by the synchronous Solve path and the
 // async job path so both reject exactly the same inputs.
 func (s *Server) prepareSolve(req *SolveRequest) (*bcc.Instance, string, string, *Error) {
-	algo := req.Algo
-	if algo == "" {
-		algo = "abcc"
+	algoName := req.Algo
+	if algoName == "" {
+		algoName = "abcc"
 	}
-	if !validAlgos[algo] {
-		return nil, "", "", errorf(http.StatusBadRequest, "unknown algo %q (want abcc, rand, ig1, ig2, gmc3 or ecc)", algo)
+	d, known := algo.Lookup(algoName)
+	if !known || !d.Servable {
+		return nil, "", "", errorf(http.StatusBadRequest, "unknown algo %q (supported: %s)",
+			algoName, strings.Join(algo.ServableNames(), ", "))
 	}
-	if algo == "gmc3" && !(req.Target > 0) {
-		return nil, "", "", errorf(http.StatusBadRequest, "algo gmc3 requires a positive target, got %v", req.Target)
+	if d.NeedsTarget && !(req.Target > 0) {
+		return nil, "", "", errorf(http.StatusBadRequest, "algo %s requires a positive target, got %v", algoName, req.Target)
 	}
 	in, err := dataset.FromFormat(req.Instance)
 	if err != nil {
@@ -265,7 +269,7 @@ func (s *Server) prepareSolve(req *SolveRequest) (*bcc.Instance, string, string,
 		}
 		in = in.WithBudget(b)
 	}
-	return in, algo, in.Fingerprint(), nil
+	return in, algoName, in.Fingerprint(), nil
 }
 
 // Solve runs one request through the full service path (cache,
