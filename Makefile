@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke jobs-smoke load chaos
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke jobs-smoke eval-smoke load chaos
 
 build:
 	$(GO) build ./...
@@ -78,23 +78,33 @@ jobs-smoke:
 	$(GO) test -race -run TestJobsChaosSoak -v ./internal/jobs/ -jobs.chaos 10s
 	$(GO) test -race -run TestKillResume -v -timeout 15m ./cmd/bccserver/ -jobs.soak
 
+## eval-smoke: the solution-quality gate — every registered algorithm
+## must clear its pinned utility-ratio floor on the golden eval suite
+## (internal/eval/testdata/suite.jsonl) at the pinned seed. Exits
+## non-zero on any regression below a floor.
+eval-smoke:
+	$(GO) run ./cmd/bcceval
+
 ## ci: what .github/workflows/ci.yml runs — build (including the server,
-## gateway and load-driver binaries), tests, vet, the race detector over
-## the concurrent/guarded packages and the serving/resilience stack, the
-## chaos soak, the cluster smoke, the durable-jobs smoke, a fuzz smoke,
-## and a one-iteration benchmark smoke.
+## gateway, load-driver and eval binaries), tests, vet, the race
+## detector over the concurrent/guarded packages and the
+## serving/resilience stack, the chaos soak, the cluster smoke, the
+## durable-jobs smoke, a fuzz smoke, the solution-quality gate, and a
+## one-iteration benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
 	$(GO) build -o /dev/null ./cmd/bccgate
 	$(GO) build -o /dev/null ./cmd/bccload
+	$(GO) build -o /dev/null ./cmd/bcceval
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/algo/ ./internal/evo/ ./internal/submod/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/algo/ ./internal/evo/ ./internal/submod/ ./internal/eval/
 	$(MAKE) soak-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) jobs-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) eval-smoke
 	$(MAKE) bench-smoke
 
 ## serve: run a local solving server, cache pre-warmed with the

@@ -1,0 +1,146 @@
+// Command bcceval is the solution-quality gate: it evaluates every
+// registered algorithm on the golden eval suite (small reproducible
+// instances with pinned best-known utilities, compiled into the binary)
+// and exits non-zero when any algorithm's utility ratio falls below its
+// pinned floor. `make eval-smoke` runs it in CI so a solver refactor
+// that silently costs quality fails the build.
+//
+// Usage:
+//
+//	bcceval [-suite suite.jsonl] [-dataset name] [-algo name]
+//	        [-min-ratio r] [-seed 42] [-json] [-out report.json]
+//	        [-update-golden]
+//
+// Without flags it evaluates the embedded golden suite with the
+// registry's per-algorithm floors and prints the verdict table.
+// -min-ratio overrides every floor with one global threshold. -json
+// emits the versioned bcc-eval/1 report instead of text.
+// -update-golden regenerates the suite from its named seeds
+// (internal/eval.Suite), re-pins best-known utilities, and rewrites the
+// fixture at -suite (default internal/eval/testdata/suite.jsonl) —
+// run it after deliberately changing the grid or the reference
+// algorithms, then commit the diff.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// goldenPath is where -update-golden writes by default: the committed
+// fixture, relative to the repo root.
+const goldenPath = "internal/eval/testdata/suite.jsonl"
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bcceval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		suitePath = fs.String("suite", "", "suite JSONL to evaluate (default: the embedded golden suite)")
+		dsName    = fs.String("dataset", "", "restrict to one dataset by name")
+		algoName  = fs.String("algo", "", "restrict to one algorithm by registry name")
+		minRatio  = fs.Float64("min-ratio", -1, "override every per-algorithm floor with this global minimum (negative keeps the pinned floors)")
+		seed      = fs.Int64("seed", eval.PinSeed, "solver seed (floors are pinned at the default)")
+		asJSON    = fs.Bool("json", false, "emit the bcc-eval/1 JSON report instead of text")
+		out       = fs.String("out", "", "write the report to this path instead of stdout")
+		update    = fs.Bool("update-golden", false, "regenerate the golden suite from its named seeds and rewrite -suite (default "+goldenPath+")")
+		version   = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "bcceval", obs.ReadBuild())
+		return 0
+	}
+	ctx := context.Background()
+
+	if *update {
+		path := *suitePath
+		if path == "" {
+			path = goldenPath
+		}
+		suite, err := eval.BuildSuite(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "bcceval: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "bcceval: %v\n", err)
+			return 1
+		}
+		if err := eval.WriteSuite(f, suite); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "bcceval: writing %s: %v\n", path, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "bcceval: closing %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "bcceval: wrote %d datasets to %s\n", len(suite), path)
+		return 0
+	}
+
+	var (
+		suite []eval.Dataset
+		err   error
+	)
+	if *suitePath != "" {
+		suite, err = eval.ReadSuiteFile(*suitePath)
+	} else {
+		suite, err = eval.DefaultSuite()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "bcceval: %v\n", err)
+		return 1
+	}
+
+	rep, err := eval.Evaluate(ctx, suite, eval.Options{
+		Seed:     *seed,
+		Dataset:  *dsName,
+		Algo:     *algoName,
+		MinRatio: *minRatio,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bcceval: %v\n", err)
+		return 1
+	}
+	build := obs.ReadBuild()
+	rep.Build = &build
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bcceval: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asJSON {
+		err = rep.WriteJSON(w)
+	} else {
+		err = rep.WriteText(w)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "bcceval: writing report: %v\n", err)
+		return 1
+	}
+	if !rep.Pass {
+		fmt.Fprintln(stderr, "bcceval: quality gate FAILED")
+		return 1
+	}
+	return 0
+}

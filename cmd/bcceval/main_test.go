@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// runEval invokes the CLI entry point in-process and returns its exit
+// code plus both streams.
+func runEval(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// The pass path: the embedded golden suite at the pinned floors must
+// clear the gate with exit 0.
+func TestGatePassesOnGoldenSuite(t *testing.T) {
+	code, out, errOut := runEval(t, "-dataset", "private-sub24-b20")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "PASS") || strings.Contains(out, "FAIL") {
+		t.Fatalf("unexpected verdict table:\n%s", out)
+	}
+}
+
+// The failure path the CI gate depends on: artificially raising the
+// floor above what any solver can reach must exit non-zero. If this
+// breaks, `make eval-smoke` can no longer fail the build.
+func TestGateFailsOnRaisedFloor(t *testing.T) {
+	code, out, errOut := runEval(t, "-dataset", "private-sub18-b8", "-min-ratio", "1.01")
+	if code == 0 {
+		t.Fatalf("gate passed with an unachievable -min-ratio 1.01\nstdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "quality gate FAILED") {
+		t.Fatalf("stderr does not announce the failure:\n%s", errOut)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("verdict table shows no FAIL rows:\n%s", out)
+	}
+}
+
+// -json must emit a parseable bcc-eval/1 report with build provenance.
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	code, _, errOut := runEval(t, "-dataset", "private-sub24-b20", "-json", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep eval.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, raw)
+	}
+	if rep.Schema != eval.Schema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, eval.Schema)
+	}
+	if rep.Build == nil {
+		t.Fatal("CLI report carries no build provenance")
+	}
+	if !rep.Pass || len(rep.Results) == 0 {
+		t.Fatalf("report = pass:%v results:%d", rep.Pass, len(rep.Results))
+	}
+}
+
+func TestBadInputsExitNonZero(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag":    {"-no-such-flag"},
+		"unknown dataset": {"-dataset", "no-such"},
+		"unknown algo":    {"-algo", "no-such"},
+		"missing suite":   {"-suite", "does-not-exist.jsonl"},
+	} {
+		if code, _, _ := runEval(t, args...); code == 0 {
+			t.Errorf("%s: exit 0", name)
+		}
+	}
+}

@@ -4,31 +4,77 @@
 // Usage:
 //
 //	bccgen -dataset bb|private|synthetic [-n 10000] [-budget 5000] [-seed 1] -out instance.json
+//	bccgen -eval-suite -out suite.jsonl
+//
+// With -eval-suite, bccgen ignores the single-instance flags and instead
+// regenerates the golden evaluation grid (internal/eval.Suite) from its
+// named seeds, pinning best-known utilities — the same artifact
+// `bcceval -update-golden` writes, produced from the generator side.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/model"
 	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bccgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ds      = flag.String("dataset", "synthetic", "dataset: bb, private, synthetic, private-subset")
-		n       = flag.Int("n", 10000, "number of queries (synthetic only)")
-		budget  = flag.Float64("budget", 5000, "budget to embed in the instance")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		out     = flag.String("out", "", "output path (default stdout)")
-		version = flag.Bool("version", false, "print build information and exit")
+		ds        = fs.String("dataset", "synthetic", "dataset: bb, private, synthetic, private-subset")
+		n         = fs.Int("n", 10000, "number of queries (synthetic only)")
+		budget    = fs.Float64("budget", 5000, "budget to embed in the instance")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		out       = fs.String("out", "", "output path (default stdout)")
+		evalSuite = fs.Bool("eval-suite", false, "regenerate the golden eval dataset grid (internal/eval) as JSONL")
+		version   = fs.Bool("version", false, "print build information and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *version {
-		fmt.Println("bccgen", obs.ReadBuild())
-		return
+		fmt.Fprintln(stdout, "bccgen", obs.ReadBuild())
+		return 0
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bccgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *evalSuite {
+		suite, err := eval.BuildSuite(context.Background())
+		if err != nil {
+			fmt.Fprintf(stderr, "bccgen: %v\n", err)
+			return 1
+		}
+		if err := eval.WriteSuite(w, suite); err != nil {
+			fmt.Fprintf(stderr, "bccgen: %v\n", err)
+			return 1
+		}
+		for _, d := range suite {
+			fmt.Fprintf(stderr, "bccgen: %-20s %4d queries %3d classifiers budget %.0f best %.4f (%s)\n",
+				d.Name, d.Queries, d.Classifiers, d.Budget, d.BestKnown, d.Method)
+		}
+		return 0
 	}
 
 	var in *model.Instance
@@ -42,23 +88,14 @@ func main() {
 	case "synthetic", "s":
 		in = dataset.Synthetic(*seed, *n, *budget)
 	default:
-		fmt.Fprintf(os.Stderr, "bccgen: unknown dataset %q\n", *ds)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bccgen: unknown dataset %q\n", *ds)
+		return 2
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bccgen: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
 	if err := dataset.Write(w, in); err != nil {
-		fmt.Fprintf(os.Stderr, "bccgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "bccgen: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "bccgen: budget %.0f\n%s\n", in.Budget(), dataset.Describe(in))
+	fmt.Fprintf(stderr, "bccgen: budget %.0f\n%s\n", in.Budget(), dataset.Describe(in))
+	return 0
 }

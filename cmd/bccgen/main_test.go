@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func TestGenerateInstance(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dataset", "private-subset", "-budget", "30", "-seed", "3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	in, err := dataset.Read(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("output is not a readable instance: %v", err)
+	}
+	if in.Budget() != 30 {
+		t.Fatalf("budget = %v, want 30", in.Budget())
+	}
+}
+
+// -eval-suite must emit the exact golden eval grid: same artifact as
+// `bcceval -update-golden`, produced from the generator side.
+func TestEvalSuiteMatchesEmbeddedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating the eval suite pins best-known via every solver")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-eval-suite"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	suite, err := eval.ReadSuite(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("output is not a readable suite: %v", err)
+	}
+	golden, err := eval.DefaultSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != len(golden) {
+		t.Fatalf("regenerated %d datasets, embedded golden has %d", len(suite), len(golden))
+	}
+	var regen, embedded bytes.Buffer
+	if err := eval.WriteSuite(&embedded, golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := eval.WriteSuite(&regen, suite); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(regen.Bytes(), embedded.Bytes()) {
+		t.Fatal("bccgen -eval-suite output drifted from the embedded golden suite; " +
+			"regenerate with `go run ./cmd/bcceval -update-golden` if deliberate")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dataset", "no-such"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown dataset accepted")
+	}
+}

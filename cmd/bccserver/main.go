@@ -7,6 +7,7 @@
 // Usage:
 //
 //	bccserver [-addr :8080] [-workers N] [-queue N]
+//	          [-shed-tier-depth N]
 //	          [-cache-size N] [-cache-ttl 15m]
 //	          [-deadline 30s] [-max-deadline 2m]
 //	          [-warm instance.json] [-drain 15s]
@@ -19,6 +20,14 @@
 // is logged and ignored — the server starts cold, never crashes),
 // rewritten atomically every -snapshot-interval, and saved one last
 // time on graceful drain.
+//
+// With -shed-tier-depth the server downgrades exact-tier requests
+// (algo=abcc) to the fast approximate tier (algo=submod) whenever more
+// than that many solves are already queued, instead of letting them
+// wait out the backlog; downgraded responses carry "algo_served":
+// "submod" next to the requested algo, and the bcc_shed_tier_total
+// counter tracks how often it happens. 0 (the default) disables tier
+// shedding — a full queue still answers 429 either way.
 //
 // With -jobs-dir the async job endpoints (POST /v1/jobs and friends)
 // come up, backed by a crash-safe store in that directory: jobs run in
@@ -64,6 +73,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 4, "solver worker pool size")
 		queue       = flag.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+		shedDepth   = flag.Int("shed-tier-depth", 0, "queue depth past which abcc requests are served by submod (0 disables)")
 		cacheSize   = flag.Int("cache-size", 1024, "solution cache capacity in entries (negative disables)")
 		cacheTTL    = flag.Duration("cache-ttl", 15*time.Minute, "solution cache entry TTL (0 disables expiry)")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request solve deadline")
@@ -93,6 +103,7 @@ func main() {
 	srv := server.New(server.Config{
 		Workers:               *workers,
 		Queue:                 *queue,
+		ShedTierDepth:         *shedDepth,
 		CacheSize:             *cacheSize,
 		CacheTTL:              *cacheTTL,
 		DefaultDeadline:       *deadline,

@@ -86,6 +86,17 @@ type Descriptor struct {
 	// Servable solvers are selectable through the HTTP API; the rest
 	// (brute force) are CLI-only.
 	Servable bool
+	// IgnoresBudget solvers optimize an objective that is allowed to
+	// spend past the instance budget (gmc3 minimizes cost to a target,
+	// ecc maximizes utility per cost); the quality harness skips the
+	// budget-feasibility invariant for them.
+	IgnoresBudget bool
+	// EvalFloor is the pinned minimum utility ratio (solver utility /
+	// best-known) this algorithm must reach on every golden eval dataset
+	// (internal/eval, cmd/bcceval) at the pinned seed. 0 means ungated.
+	// Floors are chosen from the observed per-suite minimum minus a
+	// safety margin — see DESIGN.md §15 for the methodology.
+	EvalFloor float64
 	// Run executes the solver.
 	Run RunFunc
 }

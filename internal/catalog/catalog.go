@@ -106,10 +106,17 @@ func Generate(seed int64, opts Options) *Catalog {
 		for len(ids) < n {
 			ids[draw()] = true
 		}
-		var all []propset.ID
-		var rec []propset.ID
+		// Iterate attributes in sorted order: ranging over the map would
+		// pair each rng draw with a run-dependent attribute, making
+		// Recorded — and everything derived from it — nondeterministic
+		// across processes.
+		all := make([]propset.ID, 0, len(ids))
 		for a := range ids {
 			all = append(all, a)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var rec []propset.ID
+		for _, a := range all {
 			if rng.Float64() < opts.RecordRate {
 				rec = append(rec, a)
 			}

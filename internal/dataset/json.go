@@ -42,9 +42,12 @@ type FileDefault struct {
 	PerProp float64 `json:"per_prop"`
 }
 
-// Write serializes an instance to JSON. Only explicitly enumerable costs
-// (those of classifiers in CL) are written.
-func Write(w io.Writer, in *model.Instance) error {
+// ToFormat renders an instance as the canonical on-disk FileFormat:
+// queries in builder order, costs sorted by property names, only the
+// explicitly enumerable costs (those of classifiers in CL). Write and
+// the eval-suite fixtures (internal/eval) share it so the same instance
+// always serializes to the same bytes.
+func ToFormat(in *model.Instance) FileFormat {
 	ff := FileFormat{Budget: in.Budget()}
 	u := in.Universe()
 	names := func(s propset.Set) []string {
@@ -58,12 +61,22 @@ func Write(w io.Writer, in *model.Instance) error {
 		ff.Queries = append(ff.Queries, FileQuery{Props: names(q.Props), Utility: q.Utility})
 	}
 	for _, c := range in.Classifiers() {
-		ff.Costs = append(ff.Costs, FileCost{Props: names(c.Props), Cost: c.Cost})
+		cost := FileCost{Props: names(c.Props), Cost: c.Cost}
+		if math.IsInf(cost.Cost, 1) {
+			cost.Cost, cost.Inf = 0, true
+		}
+		ff.Costs = append(ff.Costs, cost)
 	}
 	sort.Slice(ff.Costs, func(i, j int) bool { return less(ff.Costs[i].Props, ff.Costs[j].Props) })
+	return ff
+}
+
+// Write serializes an instance to JSON. Only explicitly enumerable costs
+// (those of classifiers in CL) are written.
+func Write(w io.Writer, in *model.Instance) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ff)
+	return enc.Encode(ToFormat(in))
 }
 
 func less(a, b []string) bool {

@@ -1,0 +1,195 @@
+// Package eval is the offline solution-quality harness: it runs every
+// registered solver (internal/algo) on a golden suite of small,
+// reproducible instances with pinned best-known utilities and gates
+// each algorithm's utility ratio against its pinned floor. It is the
+// quality counterpart of the bcc-bench/1 speed pins — a refactor of the
+// pruning rules or the solver hot path that silently costs utility now
+// fails CI (`make eval-smoke`, cmd/bcceval) instead of shipping.
+//
+// Everything is seed-deterministic: the suite is regenerated from named
+// seeds (Suite, bccgen -eval-suite), every solver runs with a fixed
+// Params.Seed and no deadline, and the bcc-eval/1 report canonicalizes
+// to byte-identical JSON across runs — which is what lets the report
+// bytes themselves be golden-pinned in tests.
+package eval
+
+import (
+	"context"
+	_ "embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+	"repro/internal/guard"
+)
+
+// PinSeed is the fixed Params.Seed every evaluation and best-known pin
+// runs with. Quality floors are statements about this seed; changing it
+// invalidates the golden suite.
+const PinSeed = 42
+
+// TargetFraction is the utility target handed to target-seeking solvers
+// (gmc3), as a fraction of the dataset's best-known utility. The gate
+// then checks the solver actually reaches it: ratio ≈ TargetFraction.
+const TargetFraction = 0.6
+
+//go:embed testdata/suite.jsonl
+var embeddedSuite []byte
+
+// DefaultSuite parses the golden suite compiled into the binary, so
+// bcceval gates quality from any working directory.
+func DefaultSuite() ([]Dataset, error) {
+	return ReadSuite(strings.NewReader(string(embeddedSuite)))
+}
+
+// Options tunes Evaluate. The zero value evaluates the full suite with
+// the registry's pinned floors.
+type Options struct {
+	// Seed overrides PinSeed (0 keeps it). The golden floors are only
+	// meaningful at PinSeed; other seeds are for exploration.
+	Seed int64
+	// Dataset, when non-empty, restricts evaluation to that dataset.
+	Dataset string
+	// Algo, when non-empty, restricts evaluation to that algorithm.
+	Algo string
+	// MinRatio, when >= 0, overrides every per-algorithm floor with one
+	// global threshold. Negative (the default built by cmd/bcceval)
+	// keeps the descriptors' pinned floors.
+	MinRatio float64
+}
+
+// Evaluate runs the gate: every registered algorithm on every suite
+// dataset, utility ratios against the pinned best-known, floors from
+// the algorithm descriptors (or the MinRatio override). The returned
+// report's Pass field is the CI verdict.
+func Evaluate(ctx context.Context, suite []Dataset, opts Options) (*Report, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = PinSeed
+	}
+	names := algo.Names()
+	if opts.Algo != "" {
+		if _, ok := algo.Lookup(opts.Algo); !ok {
+			return nil, fmt.Errorf("eval: unknown algo %q (registered: %s)", opts.Algo, strings.Join(names, ", "))
+		}
+		names = []string{opts.Algo}
+	}
+	if opts.Dataset != "" {
+		var filtered []Dataset
+		for _, ds := range suite {
+			if ds.Name == opts.Dataset {
+				filtered = append(filtered, ds)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("eval: unknown dataset %q", opts.Dataset)
+		}
+		suite = filtered
+	}
+
+	rep := &Report{Schema: Schema, Seed: seed}
+	for _, ds := range suite {
+		rep.Datasets = append(rep.Datasets, DatasetInfo{
+			Name: ds.Name, Generator: ds.Generator, Seed: ds.Seed,
+			Budget: ds.Budget, Queries: ds.Queries, Classifiers: ds.Classifiers,
+			BestKnown: ds.BestKnown, Method: ds.Method,
+		})
+		in, err := dataset.FromFormat(ds.Instance)
+		if err != nil {
+			return nil, fmt.Errorf("eval: dataset %s: %w", ds.Name, err)
+		}
+		for _, name := range names {
+			d, _ := algo.Lookup(name)
+			res := Result{Dataset: ds.Name, Algo: name, Floor: floorFor(d, opts.MinRatio)}
+			params := algo.Params{Seed: seed}
+			if d.NeedsTarget {
+				params.Target = TargetFraction * ds.BestKnown
+				res.Target = params.Target
+			}
+			out, err := d.Run(ctx, in, params)
+			if err != nil {
+				// A hard input rejection (brute force on an oversized
+				// instance) is a skip, not a quality failure.
+				res.Skipped, res.SkipReason = true, err.Error()
+				rep.Results = append(rep.Results, res)
+				continue
+			}
+			res.Utility, res.Cost, res.Covered = out.Utility, out.Cost, out.Covered
+			res.Status = out.Status.String()
+			res.Ratio = out.Utility / ds.BestKnown
+			res.Pass = res.Ratio >= res.Floor
+			if out.Status != guard.Complete {
+				res.Pass = false // the run was cut short or recovered
+			}
+			// Budget feasibility is part of the contract for every solver
+			// that optimizes under the budget; gmc3/ecc legitimately spend
+			// past it (their objectives ignore B).
+			if !d.IgnoresBudget && out.Cost > in.Budget()+1e-9 {
+				res.Pass = false
+				res.Infeasible = true
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	rep.Algorithms = summarize(rep.Results)
+	rep.Pass = true
+	for _, a := range rep.Algorithms {
+		if !a.Pass {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// floorFor resolves the effective floor: the global override when set,
+// the descriptor's pinned floor otherwise.
+func floorFor(d algo.Descriptor, minRatio float64) float64 {
+	if minRatio >= 0 {
+		return minRatio
+	}
+	return d.EvalFloor
+}
+
+// summarize folds per-(dataset, algo) rows into per-algorithm verdicts.
+// An algorithm passes when every non-skipped row passes; an algorithm
+// with only skipped rows passes vacuously (brute on a suite of large
+// instances has nothing to prove).
+func summarize(results []Result) []AlgoSummary {
+	byAlgo := map[string]*AlgoSummary{}
+	var order []string
+	for _, r := range results {
+		s, ok := byAlgo[r.Algo]
+		if !ok {
+			s = &AlgoSummary{Algo: r.Algo, Floor: r.Floor, MinRatio: -1, Pass: true}
+			byAlgo[r.Algo] = s
+			order = append(order, r.Algo)
+		}
+		if r.Skipped {
+			continue
+		}
+		s.Datasets++
+		s.MeanRatio += r.Ratio
+		if s.MinRatio < 0 || r.Ratio < s.MinRatio {
+			s.MinRatio = r.Ratio
+		}
+		if !r.Pass {
+			s.Pass = false
+		}
+	}
+	sort.Strings(order)
+	out := make([]AlgoSummary, 0, len(order))
+	for _, name := range order {
+		s := byAlgo[name]
+		if s.Datasets > 0 {
+			s.MeanRatio = round6(s.MeanRatio / float64(s.Datasets))
+		}
+		if s.MinRatio < 0 {
+			s.MinRatio = 0
+		}
+		s.MinRatio = round6(s.MinRatio)
+		out = append(out, *s)
+	}
+	return out
+}

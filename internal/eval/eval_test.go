@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/algo"
+)
+
+// The embedded suite and a full evaluation of it are shared across the
+// package's tests; both are deterministic, so computing them once is
+// safe and keeps the test binary inside CI seconds.
+var (
+	suiteOnce sync.Once
+	suite     []Dataset
+	suiteErr  error
+
+	reportOnce sync.Once
+	report     *Report
+	reportErr  error
+)
+
+func goldenSuite(t *testing.T) []Dataset {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = DefaultSuite()
+	})
+	if suiteErr != nil {
+		t.Fatalf("loading embedded suite: %v", suiteErr)
+	}
+	return suite
+}
+
+func goldenReport(t *testing.T) *Report {
+	t.Helper()
+	reportOnce.Do(func() {
+		report, reportErr = Evaluate(context.Background(), goldenSuite(t), Options{MinRatio: -1})
+	})
+	if reportErr != nil {
+		t.Fatalf("evaluating golden suite: %v", reportErr)
+	}
+	return report
+}
+
+// The committed fixture must be exactly what BuildSuite regenerates
+// from the named seeds: the golden file is a cache, not a source of
+// truth, and this is the test that keeps it honest (and reproducible
+// via bccgen -eval-suite / bcceval -update-golden).
+func TestSuiteRegeneratesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating the suite pins best-known via every solver")
+	}
+	built, err := BuildSuite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSuite(&buf, built); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), embeddedSuite) {
+		t.Fatalf("BuildSuite output differs from testdata/suite.jsonl (%d vs %d bytes);\n"+
+			"if the grid or a generator changed deliberately, regenerate with:\n"+
+			"  go run ./cmd/bcceval -update-golden", buf.Len(), len(embeddedSuite))
+	}
+}
+
+// Every registered algorithm must clear its pinned floor on the golden
+// suite — the library-level form of the `make eval-smoke` CI gate.
+func TestGoldenSuitePassesPinnedFloors(t *testing.T) {
+	rep := goldenReport(t)
+	if !rep.Pass {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Fatalf("quality gate failed:\n%s", buf.String())
+	}
+	// Every registered algorithm shows up, none silently dropped.
+	if got, want := len(rep.Algorithms), len(algo.Names()); got != want {
+		t.Fatalf("report covers %d algorithms, registry has %d", got, want)
+	}
+	for _, a := range rep.Algorithms {
+		d, ok := algo.Lookup(a.Algo)
+		if !ok {
+			t.Fatalf("report row for unregistered algo %q", a.Algo)
+		}
+		if d.EvalFloor == 0 {
+			t.Errorf("algo %q has no pinned EvalFloor; every built-in must be gated", a.Algo)
+		}
+		if a.Datasets == 0 && a.Algo != "brute" {
+			t.Errorf("algo %q was skipped on every dataset", a.Algo)
+		}
+	}
+}
+
+// Two evaluations of the same suite at the same seed must be
+// bit-identical — the property that makes the report bytes pinnable
+// and the floors meaningful.
+func TestEvaluateDeterministic(t *testing.T) {
+	first := goldenReport(t)
+	second, err := Evaluate(context.Background(), goldenSuite(t), Options{MinRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first.Canonical())
+	b, _ := json.Marshal(second.Canonical())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two evaluations differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// The exact reference must agree with the pin on every brute-pinned
+// dataset: ratio exactly 1 — anything else means the pinned best-known
+// drifted from the optimum.
+func TestBruteMatchesPinExactly(t *testing.T) {
+	rep := goldenReport(t)
+	pinned := map[string]string{}
+	for _, ds := range rep.Datasets {
+		pinned[ds.Name] = ds.Method
+	}
+	checked := 0
+	for _, res := range rep.Results {
+		if res.Algo != "brute" || res.Skipped {
+			continue
+		}
+		if pinned[res.Dataset] != "brute" {
+			t.Errorf("brute ran on %s but its pin method is %q", res.Dataset, pinned[res.Dataset])
+		}
+		if res.Ratio != 1 {
+			t.Errorf("brute ratio on %s = %v, want exactly 1", res.Dataset, res.Ratio)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no brute-pinned datasets in the suite")
+	}
+}
+
+// A global -min-ratio above any achievable ratio must flip the verdict:
+// the failure path the CI gate relies on.
+func TestMinRatioOverrideFailsGate(t *testing.T) {
+	rep, err := Evaluate(context.Background(), goldenSuite(t), Options{
+		Dataset: "private-sub18-b8", MinRatio: 1.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("gate passed with an unachievable min-ratio of 1.01")
+	}
+	for _, res := range rep.Results {
+		if res.Skipped {
+			continue
+		}
+		if res.Floor != 1.01 {
+			t.Errorf("row %s/%s floor = %v, want the 1.01 override", res.Dataset, res.Algo, res.Floor)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ctx := context.Background()
+	rep, err := Evaluate(ctx, goldenSuite(t), Options{Dataset: "private-sub18-b8", Algo: "ig1", MinRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Algo != "ig1" || rep.Results[0].Dataset != "private-sub18-b8" {
+		t.Fatalf("filtered report rows = %+v", rep.Results)
+	}
+	if _, err := Evaluate(ctx, goldenSuite(t), Options{Dataset: "no-such"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Evaluate(ctx, goldenSuite(t), Options{Algo: "no-such"}); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}
+
+func TestReadSuiteRejectsCorruption(t *testing.T) {
+	for name, line := range map[string]string{
+		"not json":      "{nope",
+		"no name":       `{"generator":"g","seed":1,"best_known":5,"instance":{"budget":1,"queries":[{"props":["a"],"utility":1}]}}`,
+		"zero best":     `{"name":"x","best_known":0,"instance":{"budget":1,"queries":[{"props":["a"],"utility":1}]}}`,
+		"bad instance":  `{"name":"x","best_known":5,"instance":{"budget":1,"queries":[{"props":["a","a"],"utility":1}]}}`,
+		"empty suite":   "\n\n",
+		"negative best": `{"name":"x","best_known":-2,"instance":{"budget":1,"queries":[{"props":["a"],"utility":1}]}}`,
+	} {
+		if _, err := ReadSuite(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// The suite must stay small enough that the full gate runs in CI
+// seconds: no dataset past a few thousand queries, and at least one
+// dataset pinned exactly by brute force.
+func TestSuiteStaysSmallAndPartlyExact(t *testing.T) {
+	exact := 0
+	for _, ds := range goldenSuite(t) {
+		if ds.Queries > 2000 {
+			t.Errorf("dataset %s has %d queries; the gate must stay CI-fast", ds.Name, ds.Queries)
+		}
+		if ds.Method == "brute" {
+			exact++
+		}
+	}
+	if exact == 0 {
+		t.Error("no brute-pinned dataset: the suite has lost its exact anchor")
+	}
+}

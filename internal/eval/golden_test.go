@@ -1,0 +1,44 @@
+// Golden pin of the bcc-eval/1 report bytes: a full evaluation of the
+// embedded suite at the pinned seed must render to exactly the
+// committed JSON — utilities, ratios, verdicts and all. If this breaks,
+// solution quality (or the report schema) changed: either a regression
+// the floors were too loose to catch, or a deliberate change — in which
+// case regenerate with `go test ./internal/eval -run Golden -update-eval-golden`
+// and justify the diff in review.
+package eval
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateEvalGolden = flag.Bool("update-eval-golden", false, "rewrite testdata/report_golden.json from the current evaluation")
+
+func TestReportGolden(t *testing.T) {
+	rep := goldenReport(t)
+	var buf bytes.Buffer
+	if err := rep.Canonical().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report_golden.json")
+	if *updateEvalGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden report (regenerate with -update-eval-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("bcc-eval/1 report drifted from the golden pin.\n"+
+			"Solver quality at the pinned seed changed (or the schema did).\n"+
+			"If deliberate: go test ./internal/eval -run Golden -update-eval-golden\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// Schema versions the machine-readable quality report, the bcc-eval/1
+// counterpart of internal/exper's bcc-bench/1. Bump the suffix whenever
+// a field changes meaning or disappears.
+const Schema = "bcc-eval/1"
+
+// DatasetInfo is the report's view of one suite dataset — the identity
+// and the pinned reference, without echoing the instance back.
+type DatasetInfo struct {
+	Name        string  `json:"name"`
+	Generator   string  `json:"generator"`
+	Seed        int64   `json:"seed"`
+	Budget      float64 `json:"budget"`
+	Queries     int     `json:"queries"`
+	Classifiers int     `json:"classifiers"`
+	BestKnown   float64 `json:"best_known"`
+	Method      string  `json:"method"`
+}
+
+// Result is one (dataset, algorithm) evaluation row.
+type Result struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	// Utility/Cost/Covered describe the solution found at the pinned
+	// seed; Status is the solver's final status (always "complete" in a
+	// healthy run — there is no deadline).
+	Utility float64 `json:"utility"`
+	Cost    float64 `json:"cost"`
+	Covered int     `json:"covered"`
+	Status  string  `json:"status,omitempty"`
+	// Target is set for target-seeking solvers: TargetFraction of the
+	// dataset's best-known utility.
+	Target float64 `json:"target,omitempty"`
+	// Ratio is Utility / best-known; Floor is the pinned (or overridden)
+	// minimum; Pass is the row verdict.
+	Ratio float64 `json:"ratio"`
+	Floor float64 `json:"floor"`
+	Pass  bool    `json:"pass"`
+	// Infeasible marks a budget-respecting solver that spent past the
+	// budget — always a failure, whatever the ratio.
+	Infeasible bool `json:"infeasible,omitempty"`
+	// Skipped rows record hard input rejections (brute force on an
+	// oversized instance); they do not gate.
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+}
+
+// AlgoSummary is the per-algorithm verdict across the suite.
+type AlgoSummary struct {
+	Algo string `json:"algo"`
+	// Datasets counts non-skipped evaluations.
+	Datasets  int     `json:"datasets"`
+	MinRatio  float64 `json:"min_ratio"`
+	MeanRatio float64 `json:"mean_ratio"`
+	Floor     float64 `json:"floor"`
+	Pass      bool    `json:"pass"`
+}
+
+// Report is the versioned bcc-eval/1 document cmd/bcceval emits.
+// Everything in it is deterministic for a fixed suite and seed — which
+// is why Build is a pointer set only by the CLI, never by Evaluate: the
+// canonical form golden tests pin carries no machine-varying bytes.
+type Report struct {
+	Schema string `json:"schema"`
+	// Build is stamped by cmd/bcceval for provenance; Evaluate leaves it
+	// nil so library callers (and golden tests) get canonical output.
+	Build      *obs.Build    `json:"build,omitempty"`
+	Seed       int64         `json:"seed"`
+	Datasets   []DatasetInfo `json:"datasets"`
+	Results    []Result      `json:"results"`
+	Algorithms []AlgoSummary `json:"algorithms"`
+	// Pass is the gate verdict: every algorithm at or above its floor,
+	// every budget-respecting solver feasible, every run complete.
+	Pass bool `json:"pass"`
+}
+
+// WriteJSON renders the report with stable indentation, the same
+// convention as bcc-bench/1, so committed reports diff cleanly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Canonical returns a copy stripped of provenance (Build), leaving only
+// the deterministic content. Golden tests pin the canonical bytes.
+func (r *Report) Canonical() *Report {
+	c := *r
+	c.Build = nil
+	return &c
+}
+
+// WriteText renders the human-readable gate table: one row per
+// algorithm plus the per-dataset detail for anything failing.
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "eval suite: %d datasets, seed %d (%s)\n", len(r.Datasets), r.Seed, r.Schema)
+	for _, ds := range r.Datasets {
+		fmt.Fprintf(w, "  %-20s %-20s q=%-4d cl=%-4d B=%-6.0f best=%.2f (%s)\n",
+			ds.Name, ds.Generator, ds.Queries, ds.Classifiers, ds.Budget, ds.BestKnown, ds.Method)
+	}
+	fmt.Fprintf(w, "\n%-8s %-9s %-10s %-10s %-7s %s\n", "algo", "datasets", "min-ratio", "mean-ratio", "floor", "verdict")
+	for _, a := range r.Algorithms {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-8s %-9d %-10.4f %-10.4f %-7.3f %s\n",
+			a.Algo, a.Datasets, a.MinRatio, a.MeanRatio, a.Floor, verdict)
+	}
+	for _, res := range r.Results {
+		if res.Pass || res.Skipped {
+			continue
+		}
+		why := fmt.Sprintf("ratio %.4f < floor %.3f", res.Ratio, res.Floor)
+		if res.Infeasible {
+			why = fmt.Sprintf("cost %.2f exceeds budget", res.Cost)
+		} else if res.Status != "" && res.Status != "complete" {
+			why = "status " + res.Status
+		}
+		fmt.Fprintf(w, "FAIL %s on %s: %s\n", res.Algo, res.Dataset, why)
+	}
+	return nil
+}
+
+// round6 keeps summary ratios readable (and stable) at six decimals.
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

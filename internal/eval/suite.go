@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// Spec names one generator configuration of the eval grid. The suite is
+// fully determined by these named seeds: regenerating it (bccgen
+// -eval-suite, bcceval -update-golden) must reproduce the committed
+// fixture byte for byte, so the golden file is auditable rather than an
+// opaque blob.
+type Spec struct {
+	// Name identifies the dataset in reports and -dataset filters.
+	Name string
+	// Generator describes the simulator family (bestbuy, private-subset,
+	// synthetic, synthetic-correlated, catalog).
+	Generator string
+	// Seed is the generator seed.
+	Seed int64
+	// Budget is the instance budget.
+	Budget float64
+	// Build materializes the instance from the spec.
+	Build func(Spec) *model.Instance `json:"-"`
+}
+
+// Suite is the golden evaluation grid: one entry per (simulator,
+// budget) point, curated small enough that best-known utilities are
+// computable (exactly where brute force fits) and the whole gate runs
+// in CI seconds. The BB/P/S simulators are the paper's three evaluation
+// workloads (internal/dataset); the catalog entry exercises the §6.2
+// end-to-end workload derivation (internal/catalog).
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name: "bb-b40", Generator: "bestbuy", Seed: 7, Budget: 40,
+			Build: func(s Spec) *model.Instance { return dataset.BestBuy(s.Seed, s.Budget) },
+		},
+		{
+			Name: "private-sub18-b8", Generator: "private-subset", Seed: 11, Budget: 8,
+			Build: func(s Spec) *model.Instance { return dataset.PrivateSubset(s.Seed, s.Budget, 18) },
+		},
+		{
+			Name: "private-sub24-b20", Generator: "private-subset", Seed: 23, Budget: 20,
+			Build: func(s Spec) *model.Instance { return dataset.PrivateSubset(s.Seed, s.Budget, 24) },
+		},
+		{
+			Name: "synth-150-b120", Generator: "synthetic", Seed: 5, Budget: 120,
+			Build: func(s Spec) *model.Instance { return dataset.SyntheticPool(s.Seed, 150, 200, s.Budget) },
+		},
+		{
+			Name: "synthcorr-150-b120", Generator: "synthetic-correlated", Seed: 9, Budget: 120,
+			Build: func(s Spec) *model.Instance { return dataset.SyntheticCorrelatedPool(s.Seed, 150, 200, s.Budget) },
+		},
+		{
+			Name: "catalog-b80", Generator: "catalog", Seed: 13, Budget: 80,
+			Build: func(s Spec) *model.Instance { return catalogWorkload(s) },
+		},
+	}
+}
+
+// catalogWorkload derives a BCC workload from a small simulated item
+// catalog, the §6.2 end-to-end pipeline. Costs are a deterministic
+// function of classifier length so the instance is reproducible.
+func catalogWorkload(s Spec) *model.Instance {
+	c := catalog.Generate(s.Seed, catalog.Options{Items: 1500, Attributes: 80, AttrsPerItem: 4})
+	cost := func(p propset.Set) float64 { return 2 + 3*float64(p.Len()) }
+	in, err := c.DeriveWorkload(s.Seed, catalog.WorkloadOptions{Queries: 60, MaxLen: 3}, cost, s.Budget)
+	if err != nil {
+		panic(fmt.Sprintf("eval: catalog workload %s: %v", s.Name, err))
+	}
+	return in
+}
+
+// Dataset is one golden suite entry as persisted in the JSONL fixture:
+// the spec identity, the instance itself (canonical dataset.FileFormat,
+// so bccsolve and the server accept it unchanged), and the pinned
+// best-known utility every algorithm is measured against.
+type Dataset struct {
+	Name      string  `json:"name"`
+	Generator string  `json:"generator"`
+	Seed      int64   `json:"seed"`
+	Budget    float64 `json:"budget"`
+	// Queries and Classifiers describe the instance size.
+	Queries     int `json:"queries"`
+	Classifiers int `json:"classifiers"`
+	// BestKnown is the pinned reference utility; Method records how it
+	// was computed: "brute" (exact optimum, instances small enough for
+	// core.BruteForce) or "best-of-registry" (max over every registered
+	// algorithm at the pinning seed).
+	BestKnown float64 `json:"best_known"`
+	Method    string  `json:"method"`
+	// Instance is the problem itself.
+	Instance dataset.FileFormat `json:"instance"`
+}
+
+// BuildSuite regenerates every suite dataset from its spec and pins the
+// best-known utility for each. It is deterministic: two calls (or two
+// machines) produce identical datasets.
+func BuildSuite(ctx context.Context) ([]Dataset, error) {
+	var out []Dataset
+	for _, spec := range Suite() {
+		in := spec.Build(spec)
+		ds := Dataset{
+			Name:        spec.Name,
+			Generator:   spec.Generator,
+			Seed:        spec.Seed,
+			Budget:      in.Budget(),
+			Queries:     in.NumQueries(),
+			Classifiers: len(in.Classifiers()),
+			Instance:    dataset.ToFormat(in),
+		}
+		best, method, err := bestKnown(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("eval: pinning %s: %w", spec.Name, err)
+		}
+		ds.BestKnown, ds.Method = best, method
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// bestKnown computes the reference utility for one instance: the exact
+// brute-force optimum when the candidate set is small enough, otherwise
+// the best utility any registered algorithm achieves at the pinning
+// seed (a lower bound on the optimum, which is the standard best-known
+// discipline when exact search is out of reach).
+func bestKnown(ctx context.Context, in *model.Instance) (float64, string, error) {
+	if r, err := core.BruteForce(in); err == nil {
+		return r.Utility, "brute", nil
+	}
+	best := 0.0
+	for _, name := range algo.Names() {
+		d, _ := algo.Lookup(name)
+		if d.NeedsTarget {
+			continue // target-seekers need a reference to aim at
+		}
+		out, err := d.Run(ctx, in, algo.Params{Seed: PinSeed})
+		if err != nil {
+			continue // hard input rejection (brute on oversized instances)
+		}
+		if d.IgnoresBudget && out.Cost > in.Budget()+1e-9 {
+			continue // not a budget-feasible reference
+		}
+		if out.Utility > best {
+			best = out.Utility
+		}
+	}
+	if best <= 0 {
+		return 0, "", fmt.Errorf("no algorithm produced positive utility")
+	}
+	return best, "best-of-registry", nil
+}
+
+// WriteSuite renders datasets as JSONL: one compact JSON object per
+// line, diffable and streamable.
+func WriteSuite(w io.Writer, suite []Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, ds := range suite {
+		raw, err := json.Marshal(ds)
+		if err != nil {
+			return fmt.Errorf("eval: encoding dataset %s: %w", ds.Name, err)
+		}
+		bw.Write(raw)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadSuite parses a JSONL suite, validating that every embedded
+// instance still decodes and that the pinned reference is positive.
+func ReadSuite(r io.Reader) ([]Dataset, error) {
+	var out []Dataset
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ds Dataset
+		if err := json.Unmarshal(raw, &ds); err != nil {
+			return nil, fmt.Errorf("eval: suite line %d: %w", line, err)
+		}
+		if ds.Name == "" {
+			return nil, fmt.Errorf("eval: suite line %d: dataset without a name", line)
+		}
+		if !(ds.BestKnown > 0) {
+			return nil, fmt.Errorf("eval: suite line %d (%s): best_known %v must be positive", line, ds.Name, ds.BestKnown)
+		}
+		if _, err := dataset.FromFormat(ds.Instance); err != nil {
+			return nil, fmt.Errorf("eval: suite line %d (%s): %w", line, ds.Name, err)
+		}
+		out = append(out, ds)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: reading suite: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: suite is empty")
+	}
+	return out, nil
+}
+
+// ReadSuiteFile loads a JSONL suite from disk.
+func ReadSuiteFile(path string) ([]Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSuite(f)
+}

@@ -54,6 +54,15 @@ type Config struct {
 	// Queue is the admission queue capacity (default: 64). A request
 	// arriving with all workers busy and the queue full is answered 429.
 	Queue int
+	// ShedTierDepth enables queue-pressure tier shedding: when the
+	// admission queue is deeper than this many waiting solves, a request
+	// for the exact tier (algo=abcc) is served by the fast approximate
+	// tier (algo=submod) instead of queueing behind the backlog. The
+	// response still reports the requested algo, with algo_served naming
+	// what actually ran. 0 (the default) disables shedding; a value >=
+	// Queue never triggers (the queue 429s first). Meaningful values sit
+	// well below Queue.
+	ShedTierDepth int
 	// CacheSize is the solution cache capacity in entries (default 1024;
 	// negative disables caching, single-flight still applies).
 	CacheSize int
@@ -152,6 +161,7 @@ type Server struct {
 	requests        atomic.Uint64 // solve requests admitted to solveOne (batch items count)
 	solves          atomic.Uint64 // underlying solver executions on the pool
 	rejected        atomic.Uint64 // 429 load-shed answers
+	shedTier        atomic.Uint64 // exact-tier requests downgraded to the fast tier
 	badRequests     atomic.Uint64 // 4xx validation failures
 	deadlineResults atomic.Uint64 // 200 answers with a non-complete status
 	inflight        atomic.Int64  // solver executions running on the pool right now
@@ -241,6 +251,17 @@ func (s *Server) Handler() http.Handler {
 // errQueueFull is the sentinel mapped to HTTP 429.
 var errQueueFull = errorf(http.StatusTooManyRequests, "server overloaded: worker queue full, retry later")
 
+// Tier shedding downgrades the exact tier to the fast approximate tier
+// under queue pressure (Config.ShedTierDepth). The downgrade runs
+// through the same registry path as a direct submod request and the
+// cache is keyed by the algorithm that actually ran, so a shed answer
+// can never shadow a real abcc solution — it lands in (and is served
+// from) the submod entry.
+const (
+	shedFromAlgo = "abcc"
+	shedToAlgo   = "submod"
+)
+
 // prepareSolve validates a request and materializes the instance: algo
 // selection, gmc3 target check, dataset parsing, budget override,
 // canonical fingerprint. Shared by the synchronous Solve path and the
@@ -284,12 +305,21 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	// 500 (and by recoverBatchItem for batch items).
 	guard.Inject("server.admit")
 
-	in, algo, fp, apiErr := s.prepareSolve(req)
+	in, requested, fp, apiErr := s.prepareSolve(req)
 	if apiErr != nil {
 		s.badRequests.Add(1)
 		return nil, apiErr
 	}
-	key := cacheKey(fp, algo, req)
+	// Tier shedding: with a deep backlog, answer exact-tier requests from
+	// the fast tier now rather than queueing them behind it. Decided per
+	// request at admission, before the cache key is formed, so the key
+	// names the algorithm that will actually run.
+	served := requested
+	if s.cfg.ShedTierDepth > 0 && requested == shedFromAlgo && s.pool.QueueDepth() > s.cfg.ShedTierDepth {
+		s.shedTier.Add(1)
+		served = shedToAlgo
+	}
+	key := cacheKey(fp, served, req)
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
@@ -315,15 +345,15 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 				if p := recover(); p != nil {
 					s.panics.Add(1)
 					if !answered {
-						resCh <- recoveredResponse(fp, algo, in, p)
+						resCh <- recoveredResponse(fp, served, in, p)
 					}
 				}
 			}()
 			s.inflight.Add(1)
 			guard.Inject("server.pool.dequeue")
 			t0 := time.Now()
-			resp := runSolve(ctx, in, algo, req, fp, nil)
-			s.observeSolve(algo, resp.Status, time.Since(t0).Seconds())
+			resp := runSolve(ctx, in, served, req, fp, nil)
+			s.observeSolve(served, resp.Status, time.Since(t0).Seconds())
 			answered = true
 			resCh <- resp
 		})
@@ -366,7 +396,7 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 			// empty anytime plan, mirroring the solver's own contract.
 			resp := &SolveResponse{
 				Fingerprint: fp,
-				Algo:        algo,
+				Algo:        requested,
 				Status:      bcc.DeadlineExceeded.String(),
 				Budget:      in.Budget(),
 				Queries:     in.NumQueries(),
@@ -387,6 +417,12 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 	// Copy the shared/cached template before per-request mutation; the
 	// classifier slice is shared read-only.
 	resp := *tmpl
+	if served != requested {
+		// The cached template is a pure fast-tier answer (Algo=submod);
+		// only this request's copy is marked as a downgrade.
+		resp.Algo = requested
+		resp.AlgoServed = served
+	}
 	resp.Cached = outcome == solvecache.Hit
 	resp.Shared = outcome == solvecache.Shared
 	if !req.IncludePlan {
@@ -599,6 +635,7 @@ type Statz struct {
 	Requests        uint64           `json:"requests"`
 	Solves          uint64           `json:"solves"`
 	Rejected        uint64           `json:"rejected"`
+	ShedTier        uint64           `json:"shed_tier"`
 	BadRequests     uint64           `json:"bad_requests"`
 	DeadlineResults uint64           `json:"deadline_results"`
 	PanicsRecovered uint64           `json:"panics_recovered"`
@@ -632,6 +669,7 @@ func (s *Server) snapshot() Statz {
 	// Numerators before their denominator.
 	st.Solves = s.solves.Load()
 	st.Rejected = s.rejected.Load()
+	st.ShedTier = s.shedTier.Load()
 	st.BadRequests = s.badRequests.Load()
 	st.DeadlineResults = s.deadlineResults.Load()
 	st.PanicsRecovered = s.panics.Load()

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	bcc "repro"
+	"repro/internal/guard"
+)
+
+// Contract: with ShedTierDepth set, an abcc request arriving while the
+// queue is deeper than the threshold is answered by submod — HTTP 200,
+// algo echoing the request, algo_served naming the fast tier — and the
+// downgrade is counted in statz and bcc_shed_tier_total.
+func TestShedTierDowngradesUnderQueuePressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 16, ShedTierDepth: 2})
+
+	// Stall the single worker so submitted solves pile up in the queue.
+	release := make(chan struct{})
+	var once sync.Once
+	guard.Arm("server.pool.dequeue", func() { <-release })
+	defer func() {
+		once.Do(func() { close(release) })
+		guard.Disarm("server.pool.dequeue")
+	}()
+
+	// Fill the queue past the shed threshold with distinct instances
+	// (distinct utilities → distinct fingerprints, so nothing collapses
+	// through the cache or single-flight). The fillers request ig1 — a
+	// tier the shed never touches — so the probe below is the only
+	// request that can be downgraded and the counter assertion is exact.
+	// Each filler blocks on the stalled worker, so fire them from
+	// goroutines.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			solve(t, ts, SolveRequest{Instance: quickstartFormat(100 + float64(i)), Algo: "ig1"})
+		}(i)
+	}
+	waitFor(t, func() bool { return s.pool.QueueDepth() > 2 })
+
+	// The probe request must be downgraded at admission — it never waits
+	// for the stalled worker's queue, but it does need a worker slot to
+	// run submod, so release the stall right after it is keyed. To keep
+	// the assertion deterministic, check the decision through the
+	// response fields.
+	probeDone := make(chan SolveResponse, 1)
+	go func() {
+		_, out := solve(t, ts, SolveRequest{Instance: quickstartFormat(999), Algo: "abcc"})
+		probeDone <- out
+	}()
+	waitFor(t, func() bool { return s.shedTier.Load() >= 1 })
+	once.Do(func() { close(release) })
+
+	out := <-probeDone
+	if out.Algo != "abcc" {
+		t.Fatalf("algo = %q, want the requested abcc echoed", out.Algo)
+	}
+	if out.AlgoServed != "submod" {
+		t.Fatalf("algo_served = %q, want submod", out.AlgoServed)
+	}
+	if out.Status != bcc.Complete.String() {
+		t.Fatalf("status = %q, want complete", out.Status)
+	}
+	wg.Wait()
+
+	st := statz(t, ts)
+	if st.ShedTier == 0 {
+		t.Fatal("statz shed_tier did not count the downgrade")
+	}
+	body := metricsBody(t, ts)
+	if !strings.Contains(body, "bcc_shed_tier_total 1") {
+		t.Fatalf("bcc_shed_tier_total missing or wrong in /metrics; shed lines:\n%s", grepLines(body, "shed"))
+	}
+}
+
+// Contract: shedding is a per-request downgrade, not a cache poisoning —
+// once pressure clears, the same abcc request gets a real abcc answer,
+// because the shed result was cached under the submod key.
+func TestShedTierDoesNotPoisonExactTierCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 16, ShedTierDepth: 1})
+
+	release := make(chan struct{})
+	var once sync.Once
+	guard.Arm("server.pool.dequeue", func() { <-release })
+	defer func() {
+		once.Do(func() { close(release) })
+		guard.Disarm("server.pool.dequeue")
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			solve(t, ts, SolveRequest{Instance: quickstartFormat(200 + float64(i)), Algo: "ig1"})
+		}(i)
+	}
+	waitFor(t, func() bool { return s.pool.QueueDepth() > 1 })
+
+	shedDone := make(chan SolveResponse, 1)
+	go func() {
+		_, out := solve(t, ts, SolveRequest{Instance: quickstartFormat(777), Algo: "abcc"})
+		shedDone <- out
+	}()
+	waitFor(t, func() bool { return s.shedTier.Load() >= 1 })
+	once.Do(func() { close(release) })
+	shed := <-shedDone
+	wg.Wait()
+	if shed.AlgoServed != "submod" {
+		t.Fatalf("setup: pressure request was not shed (algo_served=%q)", shed.AlgoServed)
+	}
+
+	// Queue is drained; the same request must now run abcc for real and
+	// must not be a cache hit off the shed (submod-keyed) entry.
+	resp, calm := solve(t, ts, SolveRequest{Instance: quickstartFormat(777), Algo: "abcc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("calm solve = %d", resp.StatusCode)
+	}
+	if calm.Algo != "abcc" || calm.AlgoServed != "" {
+		t.Fatalf("calm answer algo=%q algo_served=%q, want a pure abcc answer", calm.Algo, calm.AlgoServed)
+	}
+	if calm.Cached {
+		t.Fatal("calm abcc request hit the cache: the shed submod answer leaked into the abcc key")
+	}
+}
+
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func grepLines(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
