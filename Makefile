@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke jobs-smoke eval-smoke load chaos
+.PHONY: build test race bench bench-smoke bench-json figures figures-full cover fmt vet clean ci serve soak-smoke fuzz-smoke cluster-smoke jobs-smoke pipeline-smoke eval-smoke load chaos
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -52,12 +52,13 @@ soak-smoke:
 	$(GO) test -race -run TestChaosSoak -v ./internal/server/ -soak 10s
 
 ## fuzz-smoke: a short native-fuzz pass over the instance decode paths
-## (FuzzRead and the server-facing FuzzFromFormat) and the bccjob/1
-## durable job-record codec.
+## (FuzzRead and the server-facing FuzzFromFormat) and the durable
+## record codecs (bccjob/1 and the bccwal/1 query-log WAL framing).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFromFormat -fuzztime 10s ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz FuzzJobRecord -fuzztime 10s ./internal/jobs/
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s ./internal/wal/
 
 ## cluster-smoke: the scale-out acceptance scenario under the race
 ## detector — a bccgate gateway over two in-process backends, checking
@@ -76,7 +77,16 @@ cluster-smoke:
 ## (resumed counter > 0).
 jobs-smoke:
 	$(GO) test -race -run TestJobsChaosSoak -v ./internal/jobs/ -jobs.chaos 10s
-	$(GO) test -race -run TestKillResume -v -timeout 15m ./cmd/bccserver/ -jobs.soak
+	$(GO) test -race -run '^TestKillResume$$' -v -timeout 15m ./cmd/bccserver/ -jobs.soak
+
+## pipeline-smoke: the continuous-pipeline acceptance soak under the
+## race detector — a real bccserver SIGKILLed with acknowledged
+## query-log records still unconsumed (ideally mid-window-solve),
+## restarted on the same -wal-dir, and required to account for every
+## acknowledged record exactly once (zero loss, no double-solved
+## window) and re-publish a plan with the staleness gauge exposed.
+pipeline-smoke:
+	$(GO) test -race -run TestPipelineKillResume -v -timeout 15m ./cmd/bccserver/ -pipeline.soak
 
 ## eval-smoke: the solution-quality gate — every registered algorithm
 ## must clear its pinned utility-ratio floor on the golden eval suite
@@ -89,20 +99,21 @@ eval-smoke:
 ## gateway, load-driver and eval binaries), tests, vet, the race
 ## detector over the concurrent/guarded packages and the
 ## serving/resilience stack, the chaos soak, the cluster smoke, the
-## durable-jobs smoke, a fuzz smoke, the solution-quality gate, and a
-## one-iteration benchmark smoke.
+## durable-jobs smoke, the continuous-pipeline smoke, a fuzz smoke, the
+## solution-quality gate, and a one-iteration benchmark smoke.
 ci:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bccserver
 	$(GO) build -o /dev/null ./cmd/bccgate
 	$(GO) build -o /dev/null ./cmd/bccload
 	$(GO) build -o /dev/null ./cmd/bcceval
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/algo/ ./internal/evo/ ./internal/submod/ ./internal/eval/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/wal/ ./internal/pipeline/ ./internal/algo/ ./internal/evo/ ./internal/submod/ ./internal/eval/
 	$(MAKE) soak-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) jobs-smoke
+	$(MAKE) pipeline-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) eval-smoke
 	$(MAKE) bench-smoke

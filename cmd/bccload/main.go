@@ -36,6 +36,16 @@
 //	bccload -chaos -jobs -duration 10s
 //	bccload -chaos -jobs -faults "jobs.store.append:0.05,jobs.checkpoint:0.1" -duration 5s
 //
+// Ingest mode (-ingest) drives the continuous workload pipeline: every
+// op posts a fresh batch of timestamped query-log lines to /v1/ingest
+// (429 backlog sheds are classified outcomes, not noise), and the
+// report ends with the last-good plan read back from /v1/plan/current.
+// It composes with -chaos (the in-process server gets a throwaway WAL
+// directory and a 1s window):
+//
+//	bccload -ingest -addr http://localhost:8080 -duration 30s
+//	bccload -chaos -ingest -duration 10s
+//
 // The final report tallies ops, statuses, error classes, cache hits and
 // the client's breaker state; -json emits it machine-readable.
 package main
@@ -80,6 +90,8 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a self-contained in-process server with armed faults")
 		faultSpec   = flag.String("faults", "server.admit:0.02,server.pool.dequeue:0.02,solvecache.get:0.01,solvecache.put:0.01,core.phase:0.02",
 			"chaos faults as point:probability,... (panic faults; with -chaos)")
+		ingestMode      = flag.Bool("ingest", false, "drive the continuous pipeline: POST timestamped query-log lines at /v1/ingest, read back /v1/plan/current")
+		ingestBatch     = flag.Int("ingest-batch", 16, "query-log lines per ingest call in -ingest mode")
 		jobsMode        = flag.Bool("jobs", false, "drive the async job API: submit, poll to terminal, classify completed/resumed/canceled/lost")
 		jobsPoll        = flag.Duration("jobs-poll", 100*time.Millisecond, "status poll interval in -jobs mode")
 		jobsCancelEvery = flag.Int("jobs-cancel-every", 8, "cancel every Nth submitted job in -jobs mode (0 disables)")
@@ -159,6 +171,42 @@ func main() {
 		}
 	}
 
+	if *ingestMode {
+		if *jobsMode {
+			log.Fatalf("bccload: -ingest and -jobs are mutually exclusive")
+		}
+		if cl == nil {
+			// -targets spreads solves; ingest drives one pipeline, so it
+			// takes the first target's client.
+			cl = loadTargets[0].Client
+		}
+		log.Printf("bccload: driving %d ingest workers against %s for %v", *concurrency, targetDesc, *duration)
+		irep, err := loadgen.RunIngest(context.Background(), loadgen.IngestConfig{
+			Client:      cl,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+			BatchSize:   *ingestBatch,
+			Seed:        *seed,
+			OpDelay:     *opDelay,
+		})
+		if err != nil {
+			log.Fatalf("bccload: %v", err)
+		}
+		if chaosSrv != nil {
+			chaosSrv.drainAndReport(cl)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(irep); err != nil {
+				log.Fatalf("bccload: %v", err)
+			}
+			return
+		}
+		fmt.Print(irep.String())
+		return
+	}
+
 	if *jobsMode {
 		var jts []jobTarget
 		for _, lt := range loadTargets {
@@ -227,6 +275,7 @@ type chaosServer struct {
 	baseURL string
 	points  []string
 	jobsDir string
+	walDir  string
 }
 
 // startChaosServer listens on an ephemeral loopback port and arms the
@@ -245,6 +294,8 @@ func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
 		// Short checkpoint slices so -jobs chaos runs exercise several
 		// checkpoints per job, not one long slice.
 		JobCheckpointInterval: 200 * time.Millisecond,
+		// A short window so -ingest chaos runs see several publishes.
+		PipelineWindow: time.Second,
 	})
 
 	// Jobs are always on for the chaos server (a throwaway store dir) so
@@ -258,10 +309,26 @@ func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
 		return nil, err
 	}
 
+	// Likewise the pipeline (a throwaway WAL dir) so -chaos composes with
+	// -ingest.
+	walDir, err := os.MkdirTemp("", "bccload-wal-")
+	if err != nil {
+		srv.Close()
+		os.RemoveAll(jobsDir)
+		return nil, err
+	}
+	if err := srv.OpenPipeline(walDir, log.Printf); err != nil {
+		srv.Close()
+		os.RemoveAll(jobsDir)
+		os.RemoveAll(walDir)
+		return nil, err
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
 		os.RemoveAll(jobsDir)
+		os.RemoveAll(walDir)
 		return nil, err
 	}
 	httpSrv := &http.Server{
@@ -277,7 +344,7 @@ func startChaosServer(faultSpec string, seed int64) (*chaosServer, error) {
 		}
 	}()
 
-	cs := &chaosServer{srv: srv, httpSrv: httpSrv, baseURL: "http://" + ln.Addr().String(), jobsDir: jobsDir}
+	cs := &chaosServer{srv: srv, httpSrv: httpSrv, baseURL: "http://" + ln.Addr().String(), jobsDir: jobsDir, walDir: walDir}
 	points, err := armFaults(faultSpec, seed)
 	if err != nil {
 		cs.stop()
@@ -345,6 +412,9 @@ func (c *chaosServer) drainAndReport(cl *client.Client) {
 	if c.jobsDir != "" {
 		os.RemoveAll(c.jobsDir)
 	}
+	if c.walDir != "" {
+		os.RemoveAll(c.walDir)
+	}
 }
 
 func (c *chaosServer) stopListener() {
@@ -359,5 +429,8 @@ func (c *chaosServer) stop() {
 	c.srv.Close()
 	if c.jobsDir != "" {
 		os.RemoveAll(c.jobsDir)
+	}
+	if c.walDir != "" {
+		os.RemoveAll(c.walDir)
 	}
 }

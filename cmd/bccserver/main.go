@@ -14,6 +14,8 @@
 //	          [-snapshot cache.bccsnap] [-snapshot-interval 5m]
 //	          [-jobs-dir /var/lib/bcc/jobs] [-job-workers N]
 //	          [-job-checkpoint 2s] [-job-deadline 10m]
+//	          [-wal-dir /var/lib/bcc/wal] [-window 30s] [-retention 1h]
+//	          [-pipeline-algo submod] [-pipeline-budget 10]
 //
 // With -snapshot the solution cache survives restarts: the file is
 // restored at boot (a missing, corrupt or version-mismatched snapshot
@@ -36,12 +38,26 @@
 // warm-started from their last checkpoint. Without the flag the job
 // routes answer 501.
 //
+// With -wal-dir the continuous workload pipeline comes up: POST
+// /v1/ingest appends timestamped query-log lines to a crash-safe WAL in
+// that directory (fsynced before the 200 — an acknowledged line is
+// never lost), a supervised scheduler tumbles the log into -window
+// batches and re-solves each as a checkpointed job, and GET
+// /v1/plan/current serves the last-good plan with its staleness. When
+// behind, the scheduler coalesces or skips stale windows (counted in
+// /metrics) rather than queueing without bound, and sheds ingest with
+// 429 + Retry-After past -pipeline-max-backlog. -wal-dir implies jobs:
+// if -jobs-dir is empty the job store lands in <wal-dir>/jobs. Without
+// the flag the pipeline routes answer 501.
+//
 // Endpoints:
 //
 //	POST /v1/solve            solve one instance (see internal/server.SolveRequest)
 //	POST /v1/solve/batch      solve many in one call
 //	POST /v1/jobs             submit a durable async solve job (with -jobs-dir)
 //	GET  /v1/jobs             list jobs; /v1/jobs/{id}[/result|/cancel] per job
+//	POST /v1/ingest           append query-log lines to the durable WAL (with -wal-dir)
+//	GET  /v1/plan/current     last-good published plan + staleness (with -wal-dir)
 //	GET  /v1/healthz          liveness
 //	GET  /v1/statz            counters: cache hits, queue depth, shed requests, ...
 //	GET  /metrics             Prometheus text exposition
@@ -60,6 +76,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -90,6 +107,13 @@ func main() {
 		jobCkpt     = flag.Duration("job-checkpoint", 2*time.Second, "initial checkpoint slice length for async jobs (doubles per slice)")
 		jobDeadline = flag.Duration("job-deadline", 10*time.Minute, "default cumulative solve deadline per async job")
 		jobMaxDl    = flag.Duration("job-max-deadline", time.Hour, "cap on any requested async-job deadline")
+		walDir      = flag.String("wal-dir", "", "directory for the durable query-log WAL (empty = pipeline endpoints answer 501)")
+		window      = flag.Duration("window", 30*time.Second, "tumbling re-solve window for the continuous pipeline (with -wal-dir)")
+		retention   = flag.Duration("retention", time.Hour, "how long consumed WAL segments are kept before compaction (with -wal-dir)")
+		pipeAlgo    = flag.String("pipeline-algo", "submod", "solver for pipeline window solves (with -wal-dir)")
+		pipeBudget  = flag.Float64("pipeline-budget", 10, "classifier budget for pipeline window solves (with -wal-dir)")
+		pipeSeed    = flag.Int64("pipeline-seed", 1, "seed for pipeline window solves (with -wal-dir)")
+		pipeBacklog = flag.Int64("pipeline-max-backlog", 100000, "unconsumed WAL records past which ingest sheds 429 (with -wal-dir)")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /metrics")
 		version     = flag.Bool("version", false, "print build information and exit")
@@ -116,6 +140,12 @@ func main() {
 		JobCheckpointInterval: *jobCkpt,
 		JobDefaultDeadline:    *jobDeadline,
 		JobMaxDeadline:        *jobMaxDl,
+		PipelineWindow:        *window,
+		PipelineRetention:     *retention,
+		PipelineMaxBacklog:    *pipeBacklog,
+		PipelineAlgo:          *pipeAlgo,
+		PipelineBudget:        *pipeBudget,
+		PipelineSeed:          *pipeSeed,
 	})
 
 	if *jobsDir != "" {
@@ -126,6 +156,25 @@ func main() {
 		}
 		log.Printf("bccserver: durable jobs on %s (workers=%d checkpoint=%v deadline=%v)",
 			*jobsDir, *jobWorkers, *jobCkpt, *jobDeadline)
+	}
+
+	if *walDir != "" {
+		// Window solves run as durable jobs; with no explicit -jobs-dir the
+		// store lands next to the WAL so one directory carries the whole
+		// pipeline's crash-safe state.
+		if *jobsDir == "" {
+			dir := filepath.Join(*walDir, "jobs")
+			if err := srv.OpenJobs(dir, log.Printf); err != nil {
+				log.Fatalf("bccserver: opening job store %s: %v", dir, err)
+			}
+			log.Printf("bccserver: durable jobs on %s (workers=%d checkpoint=%v deadline=%v)",
+				dir, *jobWorkers, *jobCkpt, *jobDeadline)
+		}
+		if err := srv.OpenPipeline(*walDir, log.Printf); err != nil {
+			log.Fatalf("bccserver: opening pipeline on %s: %v", *walDir, err)
+		}
+		log.Printf("bccserver: continuous pipeline on %s (window=%v retention=%v algo=%s budget=%v max-backlog=%d)",
+			*walDir, *window, *retention, *pipeAlgo, *pipeBudget, *pipeBacklog)
 	}
 
 	if *snapshot != "" {

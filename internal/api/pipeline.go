@@ -1,0 +1,57 @@
+package api
+
+// Continuous-pipeline wire types: the bodies of the streaming workload
+// endpoints.
+//
+//	POST /v1/ingest        IngestRequest → 200 IngestResponse
+//	                                       400 Error (malformed line)
+//	                                       429 Error (backlog full)
+//	GET  /v1/plan/current  → 200 CurrentPlanResponse
+//	                         404 Error (nothing published yet)
+//
+// Ingested lines are acknowledged only after they are durably appended
+// to the server's query-log WAL; the pipeline then assembles them into
+// tumbling windows, re-solves each window as a checkpointed job, and
+// publishes the latest successful plan here.
+
+// IngestRequest is the body of POST /v1/ingest: timestamped query-log
+// lines ("ts<TAB>terms[<TAB>count]", the querylog.ParseTimed format).
+// Blank and comment lines are accepted and discarded.
+type IngestRequest struct {
+	Lines []string `json:"lines"`
+}
+
+// IngestResponse acknowledges a durable ingest.
+type IngestResponse struct {
+	// Accepted counts the lines durably appended (blank/comment lines
+	// are dropped before the WAL and not counted).
+	Accepted int `json:"accepted"`
+	// BacklogRecords is the ingest backlog not yet consumed by a solved
+	// window, after this append.
+	BacklogRecords int64 `json:"backlog_records"`
+}
+
+// CurrentPlanResponse is the last-good published plan plus the window
+// and staleness metadata a caller needs to judge it.
+type CurrentPlanResponse struct {
+	// Seq increments on every publish; a consumer can cheaply poll for
+	// change.
+	Seq uint64 `json:"seq"`
+	// Plan is the solve response for the most recent successful window.
+	Plan *SolveResponse `json:"plan"`
+	// WindowFromUnixMS/WindowToUnixMS bracket the arrival times of the
+	// records the plan was solved from.
+	WindowFromUnixMS int64 `json:"window_from_unix_ms"`
+	WindowToUnixMS   int64 `json:"window_to_unix_ms"`
+	// WindowRecords is how many query-log records fed the plan;
+	// CoalescedWindows how many extra whole windows were folded into it
+	// because the solver was behind (0 = a single on-time window).
+	WindowRecords    int `json:"window_records"`
+	CoalescedWindows int `json:"coalesced_windows,omitempty"`
+	// PublishedUnixMS/AgeSeconds report plan staleness (the
+	// bcc_pipeline_plan_age_seconds gauge).
+	PublishedUnixMS int64   `json:"published_unix_ms"`
+	AgeSeconds      float64 `json:"age_seconds"`
+	// BacklogRecords is the current unconsumed ingest backlog.
+	BacklogRecords int64 `json:"backlog_records"`
+}

@@ -354,6 +354,13 @@ func newHTTPError(code int, header http.Header, data []byte) *HTTPError {
 	if h := header.Get("Retry-After"); h != "" {
 		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
 			he.RetryAfter = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(h); err == nil {
+			// RFC 9110 §10.2.3: Retry-After is either delta-seconds or an
+			// HTTP-date. A date in the past (or exactly now) means "no
+			// wait", not "no advice".
+			if d := time.Until(t); d > 0 {
+				he.RetryAfter = d
+			}
 		}
 	}
 	return he

@@ -163,6 +163,65 @@ func TestRespectsRetryAfterAdvice(t *testing.T) {
 	}
 }
 
+// RFC 9110 §10.2.3 allows Retry-After to be an HTTP-date instead of
+// delta-seconds; the advised sleep must stretch to roughly the gap
+// between now and that date.
+func TestRespectsRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(7*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write(okBody())
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	if _, err := c.Solve(context.Background(), quickReq()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %v, want exactly one stretched delay", slept)
+	}
+	// HTTP-dates have whole-second resolution, so the parsed advice can
+	// round down by up to a second from the 7s the server intended.
+	if slept[0] < 5*time.Second {
+		t.Errorf("retried after %v, before the server's HTTP-date advice", slept[0])
+	}
+}
+
+// An HTTP-date in the past means "no wait", not "no advice": the retry
+// falls back to ordinary backoff instead of a stretched sleep.
+func TestRetryAfterHTTPDateInPast(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write(okBody())
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	if _, err := c.Solve(context.Background(), quickReq()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %v, want exactly one backoff delay", slept)
+	}
+	if slept[0] > time.Second {
+		t.Errorf("slept %v on a past-date Retry-After; want plain backoff", slept[0])
+	}
+}
+
 // A Retry-After that overshoots the caller's deadline aborts instead of
 // scheduling a doomed sleep.
 func TestRetryAfterBeyondDeadlineAborts(t *testing.T) {

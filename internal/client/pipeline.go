@@ -1,0 +1,73 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/api"
+)
+
+// Continuous-pipeline helpers: durable query-log ingest and last-good
+// plan reads, sharing the client's retry policy, breaker and Retry-After
+// handling with every other call. An ingest acknowledged here is on the
+// server's WAL — fsynced before the 200 — so a crash on either side
+// cannot lose it.
+
+// ErrNoPlan is wrapped into the error CurrentPlan returns while the
+// server has not published a plan yet (HTTP 404) — expected during the
+// first window after a cold start, so callers can poll politely.
+var ErrNoPlan = errors.New("no plan published yet")
+
+// Ingest appends timestamped query-log lines ("ts<TAB>terms[<TAB>count]")
+// to the server's durable ingest WAL (POST /v1/ingest). A 429 backlog
+// shed is retried under the client's policy, honoring the server's
+// Retry-After advice.
+func (c *Client) Ingest(ctx context.Context, lines []string) (*api.IngestResponse, error) {
+	return c.IngestOpts(ctx, lines, nil)
+}
+
+// IngestOpts is Ingest with per-call options.
+func (c *Client) IngestOpts(ctx context.Context, lines []string, opts *CallOpts) (*api.IngestResponse, error) {
+	var out api.IngestResponse
+	err := c.callMethod(ctx, opts, http.MethodPost, "/v1/ingest", &api.IngestRequest{Lines: lines},
+		func(code int, data []byte) error {
+			if code != http.StatusOK {
+				return errors.New("expected 200")
+			}
+			return json.Unmarshal(data, &out)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CurrentPlan fetches the last-good published plan with its window and
+// staleness metadata (GET /v1/plan/current). Before the first publish
+// the returned error wraps ErrNoPlan.
+func (c *Client) CurrentPlan(ctx context.Context) (*api.CurrentPlanResponse, error) {
+	return c.CurrentPlanOpts(ctx, nil)
+}
+
+// CurrentPlanOpts is CurrentPlan with per-call options.
+func (c *Client) CurrentPlanOpts(ctx context.Context, opts *CallOpts) (*api.CurrentPlanResponse, error) {
+	var out api.CurrentPlanResponse
+	err := c.callMethod(ctx, opts, http.MethodGet, "/v1/plan/current", nil,
+		func(code int, data []byte) error {
+			if code != http.StatusOK {
+				return errors.New("expected 200")
+			}
+			return json.Unmarshal(data, &out)
+		})
+	if err != nil {
+		var he *HTTPError
+		if errors.As(err, &he) && he.StatusCode == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: %v", ErrNoPlan, err)
+		}
+		return nil, err
+	}
+	return &out, nil
+}

@@ -129,6 +129,7 @@ type Manager struct {
 	cpErrors    atomic.Uint64
 	storeErrors atomic.Uint64
 	quarantined atomic.Uint64
+	orphans     atomic.Uint64
 
 	durations *obs.Histogram
 }
@@ -145,6 +146,7 @@ type Stats struct {
 	CheckpointErrors uint64 `json:"checkpoint_errors"`
 	StoreErrors      uint64 `json:"store_errors"`
 	Quarantined      uint64 `json:"quarantined"`
+	OrphansSwept     uint64 `json:"orphans_swept"`
 }
 
 // Open builds a Manager over cfg.Dir, scans the store, requeues every
@@ -206,6 +208,10 @@ func (m *Manager) resumeFromStore() error {
 		m.quarantined.Add(uint64(scan.Quarantined))
 		m.logf("jobs: quarantined %d corrupt record(s) in %s", scan.Quarantined, m.store.Dir())
 	}
+	if scan.OrphansSwept > 0 {
+		m.orphans.Add(uint64(scan.OrphansSwept))
+		m.logf("jobs: swept %d orphaned tmp file(s) in %s", scan.OrphansSwept, m.store.Dir())
+	}
 	for _, rec := range scan.Records {
 		j := &job{rec: rec}
 		m.jobs[rec.ID] = j
@@ -260,8 +266,10 @@ func (m *Manager) initMetrics(reg *obs.Registry) {
 		func() float64 { return float64(m.cpErrors.Load()) })
 	reg.CounterFunc("bcc_jobs_store_errors_total", "Job record writes that failed outside checkpointing.", nil,
 		func() float64 { return float64(m.storeErrors.Load()) })
-	reg.CounterFunc("bcc_jobs_quarantined_total", "Corrupt job records quarantined at startup.", nil,
+	reg.CounterFunc("bcc_jobs_corrupt_total", "Corrupt job records quarantined (*.corrupt) at startup.", nil,
 		func() float64 { return float64(m.quarantined.Load()) })
+	reg.CounterFunc("bcc_jobs_orphan_swept_total", "Orphaned tmp files from mid-write crashes swept at startup.", nil,
+		func() float64 { return float64(m.orphans.Load()) })
 	m.durations = reg.Histogram("bcc_jobs_duration_seconds",
 		"Cumulative solve wall-clock of finished jobs (across resumes).", nil, jobDurationBuckets)
 }
@@ -279,6 +287,7 @@ func (m *Manager) Stats() Stats {
 		CheckpointErrors: m.cpErrors.Load(),
 		StoreErrors:      m.storeErrors.Load(),
 		Quarantined:      m.quarantined.Load(),
+		OrphansSwept:     m.orphans.Load(),
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -85,6 +87,33 @@ func awaitState(t *testing.T, m *Manager, id string, want string, timeout time.D
 	st, _ := m.Get(id)
 	t.Fatalf("job %s never reached %q (last: %+v)", id, want, st)
 	return nil
+}
+
+// TestOpenCountsCorruptAndOrphanFiles pins the startup hygiene
+// accounting: a corrupt record and an orphaned tmp in the store dir
+// must surface in Stats (and through it /v1/statz and the
+// bcc_jobs_corrupt_total / bcc_jobs_orphan_swept_total counters), not
+// vanish silently.
+func TestOpenCountsCorruptAndOrphanFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeJunk := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJunk("0123456789abcdef"+recordExt, "bccjob/1 00000000 999\n{")
+	writeJunk("deadbeef"+recordExt+".tmp42", "partial")
+
+	m := openTestManager(t, dir, &fakeSolver{perSlice: 1, total: 1}, nil)
+	defer m.Close()
+	st := m.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.OrphansSwept != 1 {
+		t.Errorf("OrphansSwept = %d, want 1", st.OrphansSwept)
+	}
 }
 
 func TestJobRunsToCompletion(t *testing.T) {

@@ -113,10 +113,12 @@ func (s *Store) Delete(id string) error {
 
 // ScanResult reports one directory scan: the readable records (sorted
 // by creation time, oldest first, so resume order matches submit
-// order) and how many files were quarantined.
+// order), how many files were quarantined, and how many orphaned
+// *.tmp leftovers from mid-write crashes were swept away.
 type ScanResult struct {
-	Records     []*Record
-	Quarantined int
+	Records      []*Record
+	Quarantined  int
+	OrphansSwept int
 }
 
 // Scan reads every record in the store. Corrupt files — bad framing,
@@ -135,9 +137,12 @@ func (s *Store) Scan() (ScanResult, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, recordExt) {
 			// Leftover temp files from a mid-write crash are harmless
-			// (the rename never happened); sweep them.
+			// (the rename never happened); sweep them, counted so the
+			// crash frequency they imply stays visible in /v1/statz.
 			if strings.Contains(name, recordExt+".tmp") {
-				_ = os.Remove(filepath.Join(s.dir, name))
+				if os.Remove(filepath.Join(s.dir, name)) == nil {
+					res.OrphansSwept++
+				}
 			}
 			continue
 		}

@@ -93,6 +93,9 @@ func TestScanQuarantinesCorruptRecords(t *testing.T) {
 	if res.Quarantined != 1 {
 		t.Fatalf("Quarantined = %d, want 1", res.Quarantined)
 	}
+	if res.OrphansSwept != 1 {
+		t.Fatalf("OrphansSwept = %d, want 1", res.OrphansSwept)
+	}
 	if _, err := os.Stat(torn + quarantineExt); err != nil {
 		t.Errorf("corrupt record was not renamed aside: %v", err)
 	}
@@ -105,7 +108,7 @@ func TestScanQuarantinesCorruptRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Quarantined != 0 || len(res2.Records) != 1 {
+	if res2.Quarantined != 0 || res2.OrphansSwept != 0 || len(res2.Records) != 1 {
 		t.Fatalf("second Scan = %+v, want clean", res2)
 	}
 }

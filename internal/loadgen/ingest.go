@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// SyntheticQueryLog builds n timestamped query-log lines in the
+// pipeline ingest format ("unix-seconds<TAB>terms[<TAB>count]"),
+// deterministic in seed, with timestamps spread evenly from start over
+// spread. The term pool matches SyntheticWorkload so ingest-driven
+// window solves look like the synthetic solve workload.
+func SyntheticQueryLog(n int, seed int64, start time.Time, spread time.Duration) []string {
+	rng := rand.New(rand.NewSource(seed))
+	props := []string{"wooden", "table", "running", "shoes", "red", "leather", "office", "garden"}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ts := start
+		if n > 1 {
+			ts = start.Add(spread * time.Duration(i) / time.Duration(n-1))
+		}
+		a, b := rng.Intn(len(props)), rng.Intn(len(props))
+		if a == b {
+			b = (a + 1) % len(props)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		lines = append(lines, fmt.Sprintf("%d\t%s %s\t%d", ts.Unix(), props[a], props[b], 1+rng.Intn(9)))
+	}
+	return lines
+}
+
+// IngestConfig tunes an ingest load run (bccload -ingest).
+type IngestConfig struct {
+	// Client sends the traffic (required).
+	Client *client.Client
+	// Concurrency is the worker count (default 4).
+	Concurrency int
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+	// BatchSize is how many lines each ingest call carries (default 16).
+	BatchSize int
+	// Seed drives the synthetic query-log generator.
+	Seed int64
+	// OpDelay, when positive, spaces a worker's ops.
+	OpDelay time.Duration
+}
+
+// IngestReport tallies one ingest run. A 429 shed is a classified
+// outcome, not noise: the pipeline is expected to push back when the
+// drivers outrun the solve cadence.
+type IngestReport struct {
+	Ops           uint64            `json:"ops"`
+	OK            uint64            `json:"ok"`
+	Failed        uint64            `json:"failed"`
+	LinesAccepted uint64            `json:"lines_accepted"`
+	Errors        map[string]uint64 `json:"errors,omitempty"`
+	// Backlog is the server's unconsumed-record count on the last
+	// acknowledged ingest.
+	Backlog int64 `json:"backlog"`
+	// Plan is the last-good plan observed after the run (nil when the
+	// server had not published one yet).
+	Plan    *api.CurrentPlanResponse `json:"plan,omitempty"`
+	Elapsed time.Duration            `json:"elapsed_ns"`
+	Client  client.Stats             `json:"client"`
+}
+
+// RunIngest drives timestamped query-log lines at POST /v1/ingest until
+// Duration elapses, then reads back the current plan. Each op generates
+// a fresh batch stamped now, so a long run keeps feeding the pipeline's
+// newest window rather than replaying one stale burst.
+func RunIngest(ctx context.Context, cfg IngestConfig) (*IngestReport, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("loadgen: Client is required")
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 4
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+
+	start := time.Now()
+	type tally struct {
+		ops, ok, failed, lines uint64
+		backlog                int64
+		errors                 map[string]uint64
+	}
+	tallies := make([]*tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		t := &tally{errors: map[string]uint64{}}
+		tallies[w] = t
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for seq := 0; runCtx.Err() == nil; seq++ {
+				t.ops++
+				lines := SyntheticQueryLog(batch, cfg.Seed+int64(worker*1_000_003+seq), time.Now(), 0)
+				resp, err := cfg.Client.Ingest(runCtx, lines)
+				switch {
+				case err != nil && runCtx.Err() != nil:
+					t.ops-- // cut off by the run clock, not a real outcome
+				case err != nil:
+					t.failed++
+					t.errors[Classify(err)]++
+				default:
+					t.ok++
+					t.lines += uint64(resp.Accepted)
+					t.backlog = resp.BacklogRecords
+				}
+				if cfg.OpDelay > 0 {
+					timer := time.NewTimer(cfg.OpDelay)
+					select {
+					case <-runCtx.Done():
+						timer.Stop()
+					case <-timer.C:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &IngestReport{
+		Errors:  map[string]uint64{},
+		Elapsed: time.Since(start),
+		Client:  cfg.Client.Stats(),
+	}
+	for _, t := range tallies {
+		rep.Ops += t.ops
+		rep.OK += t.ok
+		rep.Failed += t.failed
+		rep.LinesAccepted += t.lines
+		if t.backlog > rep.Backlog {
+			rep.Backlog = t.backlog
+		}
+		for k, v := range t.errors {
+			rep.Errors[k] += v
+		}
+	}
+
+	// Read back the plan with the caller's context (the run clock has
+	// expired); no plan yet is a report field, not an error.
+	planCtx, planCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer planCancel()
+	if plan, err := cfg.Client.CurrentPlan(planCtx); err == nil {
+		rep.Plan = plan
+	} else if !errors.Is(err, client.ErrNoPlan) {
+		rep.Errors["plan-"+Classify(err)]++
+	}
+	return rep, nil
+}
+
+// String renders the report for terminals.
+func (r *IngestReport) String() string {
+	var b strings.Builder
+	secs := r.Elapsed.Seconds()
+	fmt.Fprintf(&b, "ingest ops=%d ok=%d failed=%d lines=%d (%.1f lines/s over %.1fs) backlog=%d\n",
+		r.Ops, r.OK, r.Failed, r.LinesAccepted, float64(r.LinesAccepted)/secs, secs, r.Backlog)
+	writeMap(&b, "errors", r.Errors)
+	if r.Plan != nil {
+		fmt.Fprintf(&b, "plan: seq=%d utility=%.2f cost=%.2f records=%d age=%.1fs\n",
+			r.Plan.Seq, r.Plan.Plan.Utility, r.Plan.Plan.Cost, r.Plan.WindowRecords, r.Plan.AgeSeconds)
+	} else {
+		b.WriteString("plan: none published\n")
+	}
+	fmt.Fprintf(&b, "client: requests=%d retries=%d breaker=%s opens=%d open-rejects=%d\n",
+		r.Client.Requests, r.Client.Retries, r.Client.Breaker.State,
+		r.Client.Breaker.Opens, r.Client.BreakerOpenRejects)
+	return b.String()
+}

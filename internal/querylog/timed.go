@@ -113,6 +113,36 @@ func ParseTimed(r io.Reader, opts TimedOptions) (*model.Builder, TimedStats, err
 	return b, st, nil
 }
 
+// CheckTimedLine validates one timestamped query-log line without
+// accumulating it: the shape ParseTimed would accept (ts<TAB>terms
+// [<TAB>count], blank and comment lines allowed). The continuous ingest
+// path (internal/pipeline) runs it before acknowledging a line into the
+// WAL, so a malformed event is the submitter's 400 at ingest time —
+// never a poisoned window that fails a solve hours later.
+func CheckTimedLine(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	fields := strings.SplitN(line, "\t", 3)
+	if len(fields) < 2 {
+		return fmt.Errorf("querylog: want ts<TAB>terms[<TAB>count], got %q", line)
+	}
+	if _, err := parseTimestamp(strings.TrimSpace(fields[0])); err != nil {
+		return fmt.Errorf("querylog: %v", err)
+	}
+	if len(fields) == 3 {
+		cs := strings.TrimSpace(fields[2])
+		if cs != "" {
+			v, err := strconv.ParseFloat(cs, 64)
+			if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("querylog: invalid count %q", cs)
+			}
+		}
+	}
+	return nil
+}
+
 // parseTimestamp accepts unix seconds (integer or fractional) or an
 // RFC 3339 time.
 func parseTimestamp(s string) (time.Time, error) {

@@ -137,6 +137,102 @@ func TestParseTimedDuplicateQueriesAccumulate(t *testing.T) {
 	}
 }
 
+// RFC 3339 timestamps carrying non-UTC offsets must normalize onto the
+// same instant line as everything else: an event written as 02:00+02:00
+// is midnight UTC and belongs to the window exactly as its Z spelling
+// would — and an offset spelling of the To instant itself is still
+// excluded by the half-open contract.
+func TestParseTimedNonUTCOffsets(t *testing.T) {
+	log := strings.Join([]string{
+		"2024-06-10T14:00:00+02:00\twooden table\t3",  // 12:00Z, inside
+		"2024-06-30T19:30:00-05:00\twooden table\t4",  // 00:30Z next day, past To
+		"2024-06-30T18:00:00-05:00\trunning shoes\t2", // 23:00Z, inside
+		"2024-07-01T02:00:00+02:00\trunning shoes\t9", // exactly To (00:00Z), excluded
+		"2024-06-05T01:59:59+02:00\twooden table\t7",  // 23:59:59Z Jun 4, before From
+	}, "\n")
+	b, st, err := ParseTimed(strings.NewReader(log), TimedOptions{
+		Window: Window{
+			From: mustTime(t, "2024-06-05T00:00:00Z"),
+			To:   mustTime(t, "2024-07-01T00:00:00Z"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedOutOfWindow != 3 {
+		t.Fatalf("DroppedOutOfWindow = %d, want 3 (at-To and pre-From offsets)", st.DroppedOutOfWindow)
+	}
+	if st.Kept != 2 {
+		t.Fatalf("Kept = %d, want 2", st.Kept)
+	}
+	in := b.MustInstance(1)
+	for _, q := range in.Queries() {
+		switch in.Universe().Format(q.Props) {
+		case "{table wooden}":
+			if q.Utility != 3 {
+				t.Fatalf("offset-normalized utility = %v, want 3", q.Utility)
+			}
+		case "{running shoes}":
+			if q.Utility != 2 {
+				t.Fatalf("at-To event leaked in: utility = %v, want 2", q.Utility)
+			}
+		}
+	}
+}
+
+// A record landing exactly at To is excluded — [From, To) is half-open
+// on the right, and the boundary instant belongs to the next window.
+// The same instant used as From is included, so consecutive tumbling
+// windows partition the timeline with no gap and no double-count.
+func TestParseTimedBoundaryExactlyAtTo(t *testing.T) {
+	boundary := "2024-06-10T00:00:00Z"
+	log := boundary + "\ttable\t5\n"
+	countKept := func(w Window) int {
+		_, st, err := ParseTimed(strings.NewReader(log), TimedOptions{Window: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Kept
+	}
+	before := Window{From: mustTime(t, "2024-06-09T00:00:00Z"), To: mustTime(t, boundary)}
+	after := Window{From: mustTime(t, boundary), To: mustTime(t, "2024-06-11T00:00:00Z")}
+	if got := countKept(before); got != 0 {
+		t.Fatalf("event at To kept by the earlier window (kept=%d)", got)
+	}
+	if got := countKept(after); got != 1 {
+		t.Fatalf("event at From dropped by the later window (kept=%d)", got)
+	}
+}
+
+func TestCheckTimedLine(t *testing.T) {
+	good := []string{
+		"2024-06-01T12:00:00Z\twooden table\t3",
+		"1717243200\trunning shoes",
+		"1717243200.5\ttable\t2.5",
+		"2024-06-30T19:30:00-05:00\ttable",
+		"# a comment line",
+		"",
+		"   ",
+	}
+	for _, line := range good {
+		if err := CheckTimedLine(line); err != nil {
+			t.Errorf("CheckTimedLine(%q) = %v, want nil", line, err)
+		}
+	}
+	bad := []string{
+		"no tab at all",
+		"notatime\ttable",
+		"2024-06-01T12:00:00Z\ttable\tNaN",
+		"2024-06-01T12:00:00Z\ttable\t-3",
+		"2024-06-01T12:00:00Z\ttable\tInf",
+	}
+	for _, line := range bad {
+		if err := CheckTimedLine(line); err == nil {
+			t.Errorf("CheckTimedLine(%q) accepted a malformed line", line)
+		}
+	}
+}
+
 func TestParseTimedMalformed(t *testing.T) {
 	cases := map[string]string{
 		"missing terms field": "2024-06-01T00:00:00Z\n",

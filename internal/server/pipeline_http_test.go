@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// newPipelineServer is newJobsServer plus an opened WAL directory, with
+// a fast window so tests see publishes quickly.
+func newPipelineServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.PipelineWindow == 0 {
+		cfg.PipelineWindow = 100 * time.Millisecond
+	}
+	s, ts := newJobsServer(t, t.TempDir(), cfg)
+	if err := s.OpenPipeline(t.TempDir(), t.Logf); err != nil {
+		t.Fatalf("OpenPipeline: %v", err)
+	}
+	return s, ts
+}
+
+func ingestLines(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d\tpipeline term%d\t%d", 1717243200+i, i, i+1)
+	}
+	return out
+}
+
+func TestPipelineRoutesDisabledWithoutWALDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/ingest", api.IngestRequest{Lines: ingestLines(1)})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, data)
+	}
+	r2, err := http.Get(ts.URL + "/v1/plan/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("plan/current = %d", r2.StatusCode)
+	}
+}
+
+func TestIngestThenPlanCurrentRoundtrip(t *testing.T) {
+	_, ts := newPipelineServer(t, Config{})
+
+	// Before any publish the plan endpoint is a clean 404, not an error.
+	r0, err := http.Get(ts.URL + "/v1/plan/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Body.Close()
+	if r0.StatusCode != http.StatusNotFound {
+		t.Fatalf("plan/current before ingest = %d, want 404", r0.StatusCode)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/ingest", api.IngestRequest{Lines: ingestLines(3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, data)
+	}
+	var ack api.IngestResponse
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatalf("decoding ingest response %s: %v", data, err)
+	}
+	if ack.Accepted != 3 {
+		t.Fatalf("accepted %d of 3 lines: %s", ack.Accepted, data)
+	}
+
+	var plan api.CurrentPlanResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/plan/current")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &plan); err != nil {
+				t.Fatalf("decoding plan %s: %v", body, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no plan published after 10s; last status %d: %s", r.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if plan.Seq < 1 || plan.Plan == nil || plan.WindowRecords != 3 {
+		t.Fatalf("plan = %+v, want seq>=1 covering 3 records", plan)
+	}
+	if plan.Plan.Utility <= 0 {
+		t.Errorf("published plan has utility %v, want > 0", plan.Plan.Utility)
+	}
+	if plan.AgeSeconds < 0 {
+		t.Errorf("plan age %v, want >= 0", plan.AgeSeconds)
+	}
+
+	// The statz snapshot grows a pipeline section once the pipeline is
+	// open, with the conservation counters visible.
+	r, err := http.Get(ts.URL + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pipeline == nil {
+		t.Fatal("statz has no pipeline section")
+	}
+	if st.Pipeline.RecordsTotal != 3 || st.Pipeline.WindowsSolved < 1 {
+		t.Errorf("statz pipeline = %+v, want 3 records in >=1 solved window", st.Pipeline)
+	}
+}
+
+func TestIngestRejectsMalformedLine(t *testing.T) {
+	_, ts := newPipelineServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/ingest", api.IngestRequest{
+		Lines: []string{"1717243200\tfine query", "no tab separator"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "line 1") {
+		t.Errorf("error %s does not name the offending line", data)
+	}
+}
+
+func TestIngestShedsWithRetryAfterWhenBacklogFull(t *testing.T) {
+	// A huge window keeps the scheduler from draining mid-test: after
+	// the immediate startup tick (empty WAL) the next tick is an hour
+	// out, so backlog accounting is deterministic.
+	_, ts := newPipelineServer(t, Config{
+		PipelineWindow:     time.Hour,
+		PipelineMaxBacklog: 2,
+	})
+	resp, data := postJSON(t, ts.URL+"/v1/ingest", api.IngestRequest{Lines: ingestLines(2)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest within backlog = %d: %s", resp.StatusCode, data)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/ingest", api.IngestRequest{Lines: ingestLines(1)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("ingest over backlog = %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3600" {
+		t.Errorf("Retry-After = %q, want one window (3600)", got)
+	}
+	var e struct {
+		RetryAfterSeconds int `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.RetryAfterSeconds != 3600 {
+		t.Errorf("shed body %s, want retry_after_seconds 3600 (err %v)", data, err)
+	}
+}

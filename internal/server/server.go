@@ -44,6 +44,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/solvecache"
 )
 
@@ -93,6 +94,19 @@ type Config struct {
 	JobCheckpointInterval time.Duration
 	JobDefaultDeadline    time.Duration
 	JobMaxDeadline        time.Duration
+
+	// PipelineWindow, PipelineRetention, PipelineMaxBacklog,
+	// PipelineAlgo, PipelineBudget, PipelineSeed and PipelineTarget tune
+	// the continuous workload pipeline once OpenPipeline is called; zero
+	// values take the internal/pipeline defaults. Inert while the
+	// pipeline is disabled.
+	PipelineWindow     time.Duration
+	PipelineRetention  time.Duration
+	PipelineMaxBacklog int64
+	PipelineAlgo       string
+	PipelineBudget     float64
+	PipelineSeed       int64
+	PipelineTarget     float64
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +169,9 @@ type Server struct {
 	// before the handler serves traffic (cmd/bccserver calls OpenJobs
 	// during startup); handlers answer 501 while nil.
 	jobs *jobs.Manager
+	// pipe is the continuous workload pipeline, nil until OpenPipeline
+	// (which requires OpenJobs); handlers answer 501 while nil.
+	pipe *pipeline.Pipeline
 
 	closeOnce sync.Once
 
@@ -211,6 +228,12 @@ func (s *Server) BackendID() string { return s.cfg.BackendID }
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.closeOnce.Do(func() {
+		// The pipeline stops before the job manager: its scheduler may be
+		// mid-await on a job, and the in-flight window must persist before
+		// jobs checkpoint and requeue.
+		if s.pipe != nil {
+			s.pipe.Close()
+		}
 		if s.jobs != nil {
 			s.jobs.Close()
 		}
@@ -242,6 +265,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("/v1/jobs/{id}/cancel", s.handleJobCancel))
+	mux.HandleFunc("POST /v1/ingest", s.instrument("/v1/ingest", s.handleIngest))
+	mux.HandleFunc("GET /v1/plan/current", s.instrument("/v1/plan/current", s.handlePlanCurrent))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/statz", s.instrument("/v1/statz", s.handleStatz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -645,6 +670,9 @@ type Statz struct {
 	Snapshot        SnapshotStats    `json:"snapshot"`
 	// Jobs is present once OpenJobs has enabled the async subsystem.
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
+	// Pipeline is present once OpenPipeline has enabled the continuous
+	// workload pipeline.
+	Pipeline *pipeline.Stats `json:"pipeline,omitempty"`
 }
 
 // snapshot captures every statz field in one pass, in an order that
@@ -680,6 +708,9 @@ func (s *Server) snapshot() Statz {
 	if s.jobs != nil {
 		js := s.jobs.Stats()
 		st.Jobs = &js
+	}
+	if s.pipe != nil {
+		st.Pipeline = s.pipe.Stats()
 	}
 	st.UptimeSeconds = time.Since(s.start).Seconds()
 	return st

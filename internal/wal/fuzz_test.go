@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// FuzzWALRecord hammers the bccwal/1 frame decoder the way FuzzJobRecord
+// hammers the job-record decoder: arbitrary bytes must decode into a
+// frame that re-encodes byte-identically, report an incomplete tail, or
+// fail as corruption — never panic, never mix the two failure modes up
+// (Open truncates on either, but the runtime reader waits on incomplete
+// and must alarm on corrupt).
+func FuzzWALRecord(f *testing.F) {
+	f.Add(encodeFrame([]byte("1717243200\twooden table\t3"), 1717243200000))
+	f.Add(encodeFrame(nil, 1))
+	f.Add(encodeFrame(bytes.Repeat([]byte("q"), 512), 42))
+	f.Add([]byte(Format + " 00000000 0 0\n\n"))
+	f.Add([]byte(Format + " deadbeef 4 12\nnope\n"))
+	f.Add([]byte("bccjob/1 00000000 0\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, unixMS, n, err := decodeFrame(data)
+		if err != nil {
+			var ferr *durable.FormatError
+			if !errors.Is(err, errIncomplete) && !errors.As(err, &ferr) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if unixMS < 0 {
+			t.Fatalf("decoder accepted negative timestamp %d", unixMS)
+		}
+		re := encodeFrame(body, unixMS)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode not byte-identical:\n%q\n%q", re, data[:n])
+		}
+		body2, unixMS2, n2, err := decodeFrame(re)
+		if err != nil || !bytes.Equal(body2, body) || unixMS2 != unixMS || n2 != len(re) {
+			t.Fatalf("re-decode mismatch: body=%q ms=%d n=%d err=%v", body2, unixMS2, n2, err)
+		}
+	})
+}

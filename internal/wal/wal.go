@@ -1,0 +1,598 @@
+// Package wal is the durable ingest side of the continuous workload
+// pipeline: a segmented append-only write-ahead log of query-log lines,
+// built on the same CRC-32/Castagnoli framing discipline as the rest of
+// the system's on-disk formats (internal/durable).
+//
+// Layout: a directory of segment files
+//
+//	wal-0000000000000001.bccwal
+//	wal-0000000000000002.bccwal   ← active (appends go here)
+//	cursor.bccwalcur              ← reader cursor (atomic rewrite)
+//
+// Each segment is a sequence of framed records:
+//
+//	bccwal/1 <crc32c-hex> <body-length> <append-unix-ms>\n
+//	<body>\n
+//
+// The checksum covers the body; the explicit length plus the trailing
+// newline let a reader detect a torn tail byte-exactly. Appends are
+// batched — one write plus one fsync acknowledges a whole ingest call —
+// and the active segment rotates on size or age so retention can drop
+// whole files.
+//
+// Crash contract: Open repairs every segment by truncating any corrupt
+// or incomplete tail (counted, never fatal — an un-fsynced torn append
+// is the expected shape of a crash, and the bytes past the tear were
+// never acknowledged). The reader cursor is persisted atomically and is
+// allowed to lag: replaying records past the cursor is the consumer's
+// job to dedupe (internal/pipeline keeps its own consumed position
+// inside its atomically-published state record and takes the max).
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+)
+
+const (
+	// Format is the record framing version tag.
+	Format = "bccwal/1"
+	// CursorFormat frames the persisted reader cursor.
+	CursorFormat = "bccwalcur/1"
+
+	segmentExt  = ".bccwal"
+	segmentGlob = "wal-*" + segmentExt
+	cursorFile  = "cursor" + segmentExt + "cur"
+
+	// maxHeader bounds the header-line scan: a valid header is well
+	// under this, so a missing newline within the bound is corruption,
+	// not an incomplete write still in flight.
+	maxHeader = 128
+	// maxBody caps a single record (matching the querylog line scanner's
+	// 4 MiB) so a corrupt length field cannot demand a giant allocation.
+	maxBody = 4 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errIncomplete distinguishes "the record's bytes stop mid-frame" (a
+// torn tail: truncate at open, wait during runtime reads) from framing
+// corruption (*durable.FormatError).
+var errIncomplete = errors.New("wal: incomplete record")
+
+// Position addresses a byte offset inside a segment. Positions order
+// lexicographically by (Seg, Off); the zero Position is "before
+// everything" and reads clamp it to the oldest retained record.
+type Position struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Less orders positions.
+func (p Position) Less(q Position) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// IsZero reports the zero position.
+func (p Position) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// Record is one appended entry read back from the log.
+type Record struct {
+	// Body is the appended payload (one query-log line for the pipeline).
+	Body []byte
+	// AppendUnixMS is when the record was appended — the arrival
+	// timestamp the pipeline's degradation ladder measures backlog age
+	// with (distinct from any event time inside the body).
+	AppendUnixMS int64
+	// End is the position just past this record: consuming through this
+	// record means resuming from End.
+	End Position
+}
+
+// Options configures Open. Dir is required.
+type Options struct {
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// SegmentAge rotates the active segment once its first record is
+	// this old (0 = size-only rotation). Age rotation keeps retention
+	// granular under trickle traffic that would never fill a segment.
+	SegmentAge time.Duration
+	// NoSync skips the per-append fsync (tests only: a crash may then
+	// lose acknowledged records).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the log.
+type Stats struct {
+	Segments    int    `json:"segments"`
+	ActiveSeq   uint64 `json:"active_seq"`
+	Bytes       int64  `json:"bytes"`
+	Appends     uint64 `json:"appends"`
+	Records     uint64 `json:"records"` // appended this process
+	Truncations uint64 `json:"truncations"`
+	Compacted   uint64 `json:"compacted_segments"`
+}
+
+// segment is the in-memory index entry for one on-disk segment file:
+// its sequence number and committed (durably readable) size. Readers
+// never look past size, so a writer mid-append can never expose a torn
+// record to its own process.
+type segment struct {
+	seq        uint64
+	size       int64
+	bornUnixMS int64 // first append into this segment (0 = inherited/unknown)
+}
+
+// WAL is a segmented append-only log. All methods are safe for
+// concurrent use.
+type WAL struct {
+	opts Options
+
+	mu     sync.Mutex
+	segs   []segment // sorted by seq; last is active
+	active *os.File  // open handle on the active segment
+	closed bool
+
+	appends     atomic.Uint64
+	records     atomic.Uint64
+	truncations atomic.Uint64
+	compacted   atomic.Uint64
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016x%s", seq, segmentExt) }
+
+func segSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, segmentExt) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), segmentExt), 16, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open opens (creating if needed) the log in opts.Dir, repairing any
+// corrupt or incomplete segment tails by truncation. Repair is never
+// fatal: the discarded bytes were never acknowledged (the append fsync
+// had not returned) or are damage a checksum caught — either way the
+// log continues from the last intact record.
+func Open(opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	w := &WAL{opts: opts}
+
+	names, err := filepath.Glob(filepath.Join(opts.Dir, segmentGlob))
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range names {
+		seq, ok := segSeq(filepath.Base(path))
+		if !ok {
+			continue
+		}
+		size, err := w.repairSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		w.segs = append(w.segs, segment{seq: seq, size: size})
+	}
+	sort.Slice(w.segs, func(i, j int) bool { return w.segs[i].seq < w.segs[j].seq })
+
+	if len(w.segs) == 0 {
+		if err := w.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := &w.segs[len(w.segs)-1]
+		f, err := os.OpenFile(w.segPath(last.seq), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening active segment: %w", err)
+		}
+		w.active = f
+	}
+	return w, nil
+}
+
+func (w *WAL) segPath(seq uint64) string {
+	return filepath.Join(w.opts.Dir, segName(seq))
+}
+
+// repairSegment scans one segment and truncates everything past the
+// last intact record, returning the repaired size.
+func (w *WAL) repairSegment(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		_, _, n, err := decodeFrame(data[off:])
+		if err != nil {
+			break
+		}
+		off += int64(n)
+	}
+	if off < int64(len(data)) {
+		if err := os.Truncate(path, off); err != nil {
+			return 0, fmt.Errorf("wal: truncating damaged tail of %s: %w", path, err)
+		}
+		w.truncations.Add(1)
+	}
+	return off, nil
+}
+
+// createSegmentLocked seals the current active handle (if any) and
+// starts segment seq. Caller holds w.mu (or is inside Open).
+func (w *WAL) createSegmentLocked(seq uint64) error {
+	if w.active != nil {
+		if !w.opts.NoSync {
+			_ = w.active.Sync()
+		}
+		w.active.Close()
+	}
+	f, err := os.OpenFile(w.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	// The new file's directory entry must be durable before any record
+	// in it is acknowledged.
+	if !w.opts.NoSync {
+		if err := durable.SyncDir(w.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.active = f
+	w.segs = append(w.segs, segment{seq: seq})
+	return nil
+}
+
+// Append atomically appends a batch of records — one write, one fsync —
+// and returns the position past the batch. An error means nothing in
+// the batch is acknowledged (a torn partial write is repaired away at
+// the next Open).
+func (w *WAL) Append(bodies ...[]byte) (Position, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return Position{}, errors.New("wal: closed")
+	}
+	if len(bodies) == 0 {
+		return w.endLocked(), nil
+	}
+	now := time.Now().UnixMilli()
+	var buf bytes.Buffer
+	for _, b := range bodies {
+		if len(b) > maxBody {
+			return Position{}, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(b), maxBody)
+		}
+		buf.Write(encodeFrame(b, now))
+	}
+
+	active := &w.segs[len(w.segs)-1]
+	rotate := active.size > 0 && active.size+int64(buf.Len()) > w.opts.SegmentBytes
+	if !rotate && w.opts.SegmentAge > 0 && active.bornUnixMS > 0 &&
+		now-active.bornUnixMS >= w.opts.SegmentAge.Milliseconds() {
+		rotate = true
+	}
+	if rotate {
+		if err := w.createSegmentLocked(active.seq + 1); err != nil {
+			return Position{}, err
+		}
+		active = &w.segs[len(w.segs)-1]
+	}
+
+	if _, err := w.active.Write(buf.Bytes()); err != nil {
+		return Position{}, fmt.Errorf("wal: appending: %w", err)
+	}
+	if !w.opts.NoSync {
+		if err := w.active.Sync(); err != nil {
+			return Position{}, fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	if active.bornUnixMS == 0 {
+		active.bornUnixMS = now
+	}
+	active.size += int64(buf.Len())
+	w.appends.Add(1)
+	w.records.Add(uint64(len(bodies)))
+	return Position{Seg: active.seq, Off: active.size}, nil
+}
+
+// End returns the position past the last acknowledged record.
+func (w *WAL) End() Position {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.endLocked()
+}
+
+func (w *WAL) endLocked() Position {
+	active := w.segs[len(w.segs)-1]
+	return Position{Seg: active.seq, Off: active.size}
+}
+
+// Start returns the oldest retained position (compaction moves it
+// forward).
+func (w *WAL) Start() Position {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Position{Seg: w.segs[0].seq, Off: 0}
+}
+
+// clampLocked normalizes a consumer position onto the retained range:
+// positions before the oldest segment (compacted away, or the zero
+// cursor of a fresh consumer) move to the oldest record.
+func (w *WAL) clampLocked(pos Position) Position {
+	if pos.Seg < w.segs[0].seq {
+		return Position{Seg: w.segs[0].seq, Off: 0}
+	}
+	return pos
+}
+
+// ReadFrom reads up to max records starting at pos (max <= 0 means all
+// pending). It returns the records and the position to resume from —
+// which advances past fully-consumed sealed segments even when no
+// records remain.
+func (w *WAL) ReadFrom(pos Position, max int) ([]Record, Position, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, pos, errors.New("wal: closed")
+	}
+	pos = w.clampLocked(pos)
+	var out []Record
+	for i := 0; i < len(w.segs); i++ {
+		seg := w.segs[i]
+		if seg.seq < pos.Seg {
+			continue
+		}
+		off := int64(0)
+		if seg.seq == pos.Seg {
+			off = pos.Off
+		}
+		if off < seg.size {
+			data, err := os.ReadFile(w.segPath(seg.seq))
+			if err != nil {
+				return out, pos, err
+			}
+			if int64(len(data)) > seg.size {
+				data = data[:seg.size] // never read past the committed size
+			}
+			for off < seg.size {
+				body, ms, n, err := decodeFrame(data[off:])
+				if err != nil {
+					// Committed bytes that fail to decode mean damage
+					// after the fact (bit rot under a running process);
+					// surface it rather than silently skipping.
+					return out, pos, fmt.Errorf("wal: segment %d offset %d: %w", seg.seq, off, err)
+				}
+				off += int64(n)
+				pos = Position{Seg: seg.seq, Off: off}
+				out = append(out, Record{Body: body, AppendUnixMS: ms, End: pos})
+				if max > 0 && len(out) >= max {
+					return out, pos, nil
+				}
+			}
+		}
+		if i < len(w.segs)-1 {
+			// Fully consumed a sealed segment: resume at the next one so
+			// compaction of the consumed file never strands the cursor.
+			pos = Position{Seg: w.segs[i+1].seq, Off: 0}
+		} else {
+			pos = Position{Seg: seg.seq, Off: seg.size}
+		}
+	}
+	return out, pos, nil
+}
+
+// CountFrom counts the records pending past pos — the startup backlog
+// gauge seed for a consumer that tracks increments itself afterwards.
+func (w *WAL) CountFrom(pos Position) (int, error) {
+	recs, _, err := w.ReadFrom(pos, 0)
+	return len(recs), err
+}
+
+// SaveCursor atomically persists a reader cursor. The cursor is advice,
+// not truth: a consumer that also persists its position elsewhere (the
+// pipeline's plan record) should resume from the max of the two.
+func (w *WAL) SaveCursor(pos Position) error {
+	body, err := json.Marshal(pos)
+	if err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(filepath.Join(w.opts.Dir, cursorFile),
+		durable.EncodeRecord(CursorFormat, body))
+}
+
+// LoadCursor reads the persisted cursor. A missing or corrupt cursor
+// file returns the zero position with ok = false — the consumer starts
+// from the oldest retained record, which at-least-once delivery makes
+// safe.
+func (w *WAL) LoadCursor() (Position, bool) {
+	path := filepath.Join(w.opts.Dir, cursorFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Position{}, false
+	}
+	body, err := durable.DecodeRecord(CursorFormat, path, data)
+	if err != nil {
+		return Position{}, false
+	}
+	var pos Position
+	if err := json.Unmarshal(body, &pos); err != nil {
+		return Position{}, false
+	}
+	return pos, true
+}
+
+// Compact removes segments wholly consumed below upto — sealed segments
+// whose every record sits before the consumer's position — that are
+// older than keepAge (0 keeps nothing extra). The active segment and
+// any segment at or past upto.Seg are never touched. Returns how many
+// segment files were removed.
+func (w *WAL) Compact(upto Position, keepAge time.Duration) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	for len(w.segs) > 1 && w.segs[0].seq < upto.Seg {
+		path := w.segPath(w.segs[0].seq)
+		if keepAge > 0 {
+			fi, err := os.Stat(path)
+			if err == nil && time.Since(fi.ModTime()) < keepAge {
+				break // segments age in order; nothing younger qualifies
+			}
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return removed, fmt.Errorf("wal: compacting %s: %w", path, err)
+		}
+		w.segs = w.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		w.compacted.Add(uint64(removed))
+		if err := durable.SyncDir(w.opts.Dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Truncations reports corrupt/incomplete tails repaired at Open — the
+// bcc_wal_corrupt_truncated_total counter.
+func (w *WAL) Truncations() uint64 { return w.truncations.Load() }
+
+// Stats captures the log's counters in one pass.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Stats{
+		Segments:    len(w.segs),
+		Appends:     w.appends.Load(),
+		Records:     w.records.Load(),
+		Truncations: w.truncations.Load(),
+		Compacted:   w.compacted.Load(),
+	}
+	for _, s := range w.segs {
+		st.Bytes += s.size
+	}
+	st.ActiveSeq = w.segs[len(w.segs)-1].seq
+	return st
+}
+
+// Close syncs and closes the active segment. The log stays reopenable.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active != nil {
+		if !w.opts.NoSync {
+			_ = w.active.Sync()
+		}
+		return w.active.Close()
+	}
+	return nil
+}
+
+// encodeFrame frames one record body with its append timestamp.
+func encodeFrame(body []byte, unixMS int64) []byte {
+	header := fmt.Sprintf("%s %08x %d %d\n", Format, crc32.Checksum(body, castagnoli), len(body), unixMS)
+	out := make([]byte, 0, len(header)+len(body)+1)
+	out = append(out, header...)
+	out = append(out, body...)
+	out = append(out, '\n')
+	return out
+}
+
+// decodeFrame decodes the record at the start of data, returning the
+// body, append timestamp and total frame length. errIncomplete means
+// data ends mid-frame (a torn tail still being written, or cut by a
+// crash); a *durable.FormatError means the bytes can never become a
+// valid record.
+func decodeFrame(data []byte) ([]byte, int64, int, error) {
+	limit := len(data)
+	if limit > maxHeader {
+		limit = maxHeader
+	}
+	nl := bytes.IndexByte(data[:limit], '\n')
+	if nl < 0 {
+		if len(data) < maxHeader {
+			return nil, 0, 0, errIncomplete
+		}
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: "no header newline within bound"}
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 4 || fields[0] != Format {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("malformed header %q", string(data[:nl]))}
+	}
+	wantCRC, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("bad checksum field %q", fields[1])}
+	}
+	bodyLen, err := strconv.Atoi(fields[2])
+	if err != nil || bodyLen < 0 || bodyLen > maxBody {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("bad length field %q", fields[2])}
+	}
+	unixMS, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil || unixMS < 0 {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("bad timestamp field %q", fields[3])}
+	}
+	// Only the canonical spelling is valid: a header that parses but
+	// re-serializes differently (uppercase hex, leading zeros, doubled
+	// spaces) is damage, and rejecting it keeps encode/decode bijective.
+	if canon := fmt.Sprintf("%s %08x %d %d", Format, uint32(wantCRC), bodyLen, unixMS); canon != string(data[:nl]) {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("non-canonical header %q", string(data[:nl]))}
+	}
+	total := nl + 1 + bodyLen + 1
+	if len(data) < total {
+		return nil, 0, 0, errIncomplete
+	}
+	body := data[nl+1 : nl+1+bodyLen]
+	if data[total-1] != '\n' {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: "missing record terminator"}
+	}
+	if got := crc32.Checksum(body, castagnoli); got != uint32(wantCRC) {
+		return nil, 0, 0, &durable.FormatError{Path: "wal", Reason: fmt.Sprintf("checksum %08x, header says %08x", got, uint32(wantCRC))}
+	}
+	// Copy out of the read buffer so callers can hold bodies without
+	// pinning the whole segment.
+	out := make([]byte, bodyLen)
+	copy(out, body)
+	return out, unixMS, total, nil
+}

@@ -1,0 +1,344 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+)
+
+func openT(t *testing.T, opts Options) *WAL {
+	t.Helper()
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func readAll(t *testing.T, w *WAL, pos Position) ([]Record, Position) {
+	t.Helper()
+	recs, next, err := w.ReadFrom(pos, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, next
+}
+
+func TestAppendReadRoundtrip(t *testing.T) {
+	w := openT(t, Options{Dir: t.TempDir(), NoSync: true})
+	want := [][]byte{
+		[]byte("1717243200\twooden table\t3"),
+		[]byte("1717243201\trunning shoes"),
+		[]byte(""), // empty body is a legal record
+	}
+	end, err := w.Append(want...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, next := readAll(t, w, Position{})
+	if len(recs) != len(want) {
+		t.Fatalf("read %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r.Body, want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r.Body, want[i])
+		}
+		if r.AppendUnixMS <= 0 {
+			t.Fatalf("record %d missing append timestamp", i)
+		}
+	}
+	if next != end {
+		t.Fatalf("read position %v, append returned %v", next, end)
+	}
+	if recs[len(recs)-1].End != end {
+		t.Fatalf("last record End %v, want %v", recs[len(recs)-1].End, end)
+	}
+	// Reading from the end yields nothing and stays put.
+	more, again := readAll(t, w, next)
+	if len(more) != 0 || again != next {
+		t.Fatalf("read past end: %d records, pos %v", len(more), again)
+	}
+}
+
+func TestReadFromMidStream(t *testing.T) {
+	w := openT(t, Options{Dir: t.TempDir(), NoSync: true})
+	var ends []Position
+	for i := 0; i < 5; i++ {
+		end, err := w.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, end)
+	}
+	recs, _ := readAll(t, w, ends[1]) // resume after the second record
+	if len(recs) != 3 {
+		t.Fatalf("read %d records from mid-stream, want 3", len(recs))
+	}
+	if string(recs[0].Body) != "rec-2" {
+		t.Fatalf("first resumed record = %q, want rec-2", recs[0].Body)
+	}
+	// Bounded read honours max and returns a resumable position.
+	two, next, err := w.ReadFrom(Position{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || next != ends[1] {
+		t.Fatalf("bounded read: %d records, pos %v (want 2, %v)", len(two), next, ends[1])
+	}
+	n, err := w.CountFrom(ends[1])
+	if err != nil || n != 3 {
+		t.Fatalf("CountFrom = %d, %v; want 3", n, err)
+	}
+}
+
+func TestSegmentRotationBySize(t *testing.T) {
+	w := openT(t, Options{Dir: t.TempDir(), SegmentBytes: 256, NoSync: true})
+	body := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 6; i++ {
+		if _, err := w.Append(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no rotation after %d bytes across 6 appends (segments=%d)", 6*len(body), st.Segments)
+	}
+	recs, _ := readAll(t, w, Position{})
+	if len(recs) != 6 {
+		t.Fatalf("rotation lost records: read %d, want 6", len(recs))
+	}
+	// Record positions must be monotonic across the segment boundary.
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].End.Less(recs[i].End) {
+			t.Fatalf("positions not monotonic: %v then %v", recs[i-1].End, recs[i].End)
+		}
+	}
+}
+
+func TestReopenPreservesRecords(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, Options{Dir: dir, SegmentBytes: 128, NoSync: true})
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("persist-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	endBefore := w.End()
+	w.Close()
+
+	w2 := openT(t, Options{Dir: dir, SegmentBytes: 128, NoSync: true})
+	if got := w2.End(); got != endBefore {
+		t.Fatalf("end after reopen %v, want %v", got, endBefore)
+	}
+	recs, _ := readAll(t, w2, Position{})
+	if len(recs) != 4 {
+		t.Fatalf("reopen lost records: %d, want 4", len(recs))
+	}
+	if w2.Truncations() != 0 {
+		t.Fatalf("clean reopen counted %d truncations", w2.Truncations())
+	}
+	// Appends continue where the old process stopped.
+	if _, err := w2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = readAll(t, w2, endBefore)
+	if len(recs) != 1 || string(recs[0].Body) != "after-reopen" {
+		t.Fatalf("append after reopen: got %d records", len(recs))
+	}
+}
+
+// A crash tears the last append mid-frame: reopen must truncate the
+// torn tail (counted), keep every earlier record, and accept new
+// appends on the repaired segment.
+func TestReopenTruncatesTornTail(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"partial header": func(d []byte) []byte { return append(d, []byte(Format+" 0000")...) },
+		"partial body": func(d []byte) []byte {
+			frame := encodeFrame([]byte("torn-record-body"), 123)
+			return append(d, frame[:len(frame)-5]...)
+		},
+		"flipped body bit": func(d []byte) []byte {
+			frame := encodeFrame([]byte("bitrot-victim"), 123)
+			frame[len(frame)-3] ^= 0x40
+			return append(d, frame...)
+		},
+		"garbage tail": func(d []byte) []byte { return append(d, []byte("not a frame at all\n")...) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openT(t, Options{Dir: dir, NoSync: true})
+			if _, err := w.Append([]byte("survivor-1"), []byte("survivor-2")); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+
+			seg := filepath.Join(dir, segName(1))
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			w2 := openT(t, Options{Dir: dir, NoSync: true})
+			if w2.Truncations() != 1 {
+				t.Fatalf("truncations = %d, want 1", w2.Truncations())
+			}
+			recs, _ := readAll(t, w2, Position{})
+			if len(recs) != 2 {
+				t.Fatalf("repair kept %d records, want the 2 acknowledged", len(recs))
+			}
+			if _, err := w2.Append([]byte("post-repair")); err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			recs, _ = readAll(t, w2, Position{})
+			if len(recs) != 3 || string(recs[2].Body) != "post-repair" {
+				t.Fatalf("after repair+append: %d records", len(recs))
+			}
+		})
+	}
+}
+
+func TestCursorRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, Options{Dir: dir, NoSync: true})
+	if _, ok := w.LoadCursor(); ok {
+		t.Fatal("fresh log reported a cursor")
+	}
+	end, err := w.Append([]byte("a"), []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveCursor(end); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.LoadCursor()
+	if !ok || got != end {
+		t.Fatalf("LoadCursor = %v, %v; want %v, true", got, ok, end)
+	}
+	w.Close()
+
+	// The cursor survives reopen; a corrupted cursor file resets to the
+	// zero position instead of failing the open.
+	w2 := openT(t, Options{Dir: dir, NoSync: true})
+	if got, ok := w2.LoadCursor(); !ok || got != end {
+		t.Fatalf("cursor after reopen = %v, %v", got, ok)
+	}
+	if err := os.WriteFile(filepath.Join(dir, cursorFile), []byte("scribble"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := w2.LoadCursor(); ok || !got.IsZero() {
+		t.Fatalf("corrupt cursor returned %v, %v; want zero, false", got, ok)
+	}
+}
+
+func TestCompactRemovesConsumedSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, Options{Dir: dir, SegmentBytes: 128, NoSync: true})
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(bytes.Repeat([]byte("z"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("test needs several segments, got %d", before.Segments)
+	}
+	_, next := readAll(t, w, Position{}) // consume everything
+	removed, err := w.Compact(next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != before.Segments-1 {
+		t.Fatalf("compacted %d segments, want %d (all but active)", removed, before.Segments-1)
+	}
+	if st := w.Stats(); st.Segments != 1 || st.Compacted != uint64(removed) {
+		t.Fatalf("after compact: segments=%d compacted=%d", st.Segments, st.Compacted)
+	}
+	// A stale (pre-compaction) position clamps to the oldest retained
+	// record instead of erroring.
+	if _, _, err := w.ReadFrom(Position{}, 0); err != nil {
+		t.Fatalf("read from compacted position: %v", err)
+	}
+	// New appends still work and the log reopens cleanly.
+	if _, err := w.Append([]byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2 := openT(t, Options{Dir: dir, SegmentBytes: 128, NoSync: true})
+	recs, _ := readAll(t, w2, Position{})
+	if len(recs) == 0 || string(recs[len(recs)-1].Body) != "post-compact" {
+		t.Fatalf("reopen after compact: %d records", len(recs))
+	}
+}
+
+func TestCompactRespectsRetentionAge(t *testing.T) {
+	w := openT(t, Options{Dir: t.TempDir(), SegmentBytes: 64, NoSync: true})
+	for i := 0; i < 6; i++ {
+		if _, err := w.Append(bytes.Repeat([]byte("y"), 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, next := readAll(t, w, Position{})
+	// Every segment was just written: a 1-hour retention keeps them all.
+	removed, err := w.Compact(next, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("retention age ignored: removed %d fresh segments", removed)
+	}
+}
+
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	frame := encodeFrame([]byte("hello world"), 42)
+	body, ms, n, err := decodeFrame(frame)
+	if err != nil || string(body) != "hello world" || ms != 42 || n != len(frame) {
+		t.Fatalf("roundtrip: body=%q ms=%d n=%d err=%v", body, ms, n, err)
+	}
+
+	var ferr *durable.FormatError
+	corrupt := [][]byte{
+		[]byte("bccjob/1 00000000 0 42\nx"),               // wrong format tag
+		[]byte(Format + " zzzzzzzz 11 42\nhello world\n"), // bad checksum field
+		[]byte(Format + " 00000000 -1 42\n"),              // negative length
+		[]byte(Format + " 00000000 3 -9\nabc\n"),          // negative timestamp
+		bytes.Repeat([]byte("a"), maxHeader+1),            // unbounded header
+	}
+	for i, c := range corrupt {
+		if _, _, _, err := decodeFrame(c); !errors.As(err, &ferr) {
+			t.Errorf("corrupt case %d: err = %v, want *durable.FormatError", i, err)
+		}
+	}
+
+	// A bad CRC over an otherwise intact frame is corruption.
+	flipped := bytes.Clone(frame)
+	flipped[len(flipped)-2] ^= 0x01
+	if _, _, _, err := decodeFrame(flipped); !errors.As(err, &ferr) {
+		t.Errorf("flipped body: err = %v, want *durable.FormatError", err)
+	}
+
+	// Prefixes of a valid frame are incomplete, never corrupt — a torn
+	// tail must not be mistaken for damage.
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, _, err := decodeFrame(frame[:cut])
+		if !errors.Is(err, errIncomplete) {
+			t.Fatalf("prefix len %d: err = %v, want errIncomplete", cut, err)
+		}
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	w := openT(t, Options{Dir: t.TempDir(), NoSync: true})
+	if _, err := w.Append(make([]byte, maxBody+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
