@@ -22,11 +22,12 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout=30m ./...
 
-## bench-json: regenerate BENCH_PR7.json, the versioned machine-readable
+## bench-json: regenerate BENCH_PR10.json, the versioned machine-readable
 ## benchmark report (ns/op, allocs, per-stage time splits for every
-## servable registry algorithm, plus the utility-vs-time Pareto sweep).
+## servable registry algorithm, the utility-vs-time Pareto sweep, and the
+## warm-vs-cold incremental re-solve drift sweep at 1%/5%/20% churn).
 bench-json:
-	$(GO) run ./cmd/bccbench -bench-json BENCH_PR7.json
+	$(GO) run ./cmd/bccbench -bench-json BENCH_PR10.json
 
 ## figures: print the reproduced tables for every figure (Small preset).
 figures:
@@ -109,7 +110,7 @@ ci:
 	$(GO) build -o /dev/null ./cmd/bcceval
 	$(GO) test -shuffle=on ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/wal/ ./internal/pipeline/ ./internal/algo/ ./internal/evo/ ./internal/submod/ ./internal/eval/
+	$(GO) test -race ./internal/qk/ ./internal/core/ ./internal/cover/ ./internal/server/ ./internal/solvecache/ ./internal/obs/ ./internal/resilience/ ./internal/client/ ./internal/loadgen/ ./internal/cluster/ ./internal/jobs/ ./internal/durable/ ./internal/wal/ ./internal/pipeline/ ./internal/algo/ ./internal/evo/ ./internal/submod/ ./internal/eval/ ./internal/incr/
 	$(MAKE) soak-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) jobs-smoke

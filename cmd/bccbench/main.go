@@ -7,7 +7,7 @@
 //	bccbench -fig 3b      # one experiment
 //	bccbench -full        # paper-scale dimensions (long-running)
 //	bccbench -seed 7      # different workload seeds
-//	bccbench -bench-json BENCH_PR7.json   # machine-readable ns/op + stage splits
+//	bccbench -bench-json BENCH_PR10.json  # machine-readable ns/op + stage splits
 //
 // The -bench-json report benchmarks every servable algorithm in the
 // solver registry (internal/algo) and adds a utility-vs-time Pareto

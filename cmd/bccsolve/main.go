@@ -11,10 +11,12 @@
 //	bccsolve -in instance.json -plan plan.json   # machine-readable plan
 //	bccsolve -in instance.json -plan -           # human-readable plan
 //	bccsolve -in instance.json -trace            # per-stage timing on stderr
+//	bccsolve -in instance.json -warm-from plan.json  # warm-start from a previous plan
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +25,7 @@ import (
 	bcc "repro"
 	"repro/internal/algo"
 	"repro/internal/dataset"
+	"repro/internal/incr"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -38,6 +41,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the selected classifiers")
 		planOut    = flag.String("plan", "", "write a construction plan: '-' for text on stdout, else a JSON path")
 		timeout    = flag.Duration("timeout", 0, "deadline for the solve; the best solution found so far is returned (exit code 3 when truncated)")
+		warmFrom   = flag.String("warm-from", "", "warm-start from a previous plan's JSON ({\"classifiers\":[{\"props\":[...]}]}, as written by -plan or the server); repaired to this instance's budget first")
 		fprint     = flag.Bool("fingerprint", false, "print the instance's canonical hash (the bccserver cache key prefix) and exit")
 		trace      = flag.Bool("trace", false, "print a per-stage timing breakdown on stderr after the solve")
 		version    = flag.Bool("version", false, "print build information and exit")
@@ -94,7 +98,24 @@ func main() {
 		ctx = obs.WithRecorder(ctx, rec)
 	}
 
-	out, err := d.Run(ctx, in, algo.Params{Seed: *seed, Target: *gmc3Target})
+	params := algo.Params{Seed: *seed, Target: *gmc3Target}
+	if *warmFrom != "" {
+		plan, err := readWarmPlan(*warmFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bccsolve: -warm-from: %v\n", err)
+			os.Exit(1)
+		}
+		if !d.WarmStart {
+			fmt.Fprintf(os.Stderr, "bccsolve: algorithm %q cannot consume warm starts; -warm-from ignored\n", name)
+		} else {
+			// Repair never fails: stale or over-budget classifiers are
+			// dropped, and an empty survivor set just means a cold solve.
+			params.Warm = incr.Repair(in, plan)
+			fmt.Fprintf(os.Stderr, "warm-from: %d of %d classifiers survived repair\n", len(params.Warm), len(plan))
+		}
+	}
+
+	out, err := d.Run(ctx, in, params)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bccsolve: %v\n", err)
 		os.Exit(1)
@@ -155,4 +176,31 @@ func main() {
 		fmt.Printf("status=%s\n", out.Status)
 		os.Exit(3)
 	}
+}
+
+// readWarmPlan extracts the classifier property lists from a plan JSON
+// file. The shape it reads ({"classifiers":[{"props":[...]}]}) is
+// shared by bccsolve -plan output, the server's solve responses, and
+// published pipeline plans, so any of them can seed a local re-solve.
+func readWarmPlan(path string) ([][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Classifiers []struct {
+			Props []string `json:"props"`
+		} `json:"classifiers"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if len(doc.Classifiers) == 0 {
+		return nil, fmt.Errorf("%s has no classifiers to warm-start from", path)
+	}
+	plan := make([][]string, len(doc.Classifiers))
+	for i, c := range doc.Classifiers {
+		plan[i] = c.Props
+	}
+	return plan, nil
 }

@@ -91,6 +91,13 @@ type Descriptor struct {
 	// ecc maximizes utility per cost); the quality harness skips the
 	// budget-feasibility invariant for them.
 	IgnoresBudget bool
+	// WarmStart solvers consume Params.Warm as an initial incumbent:
+	// infeasible, oversized or stale seeds must be repaired or ignored,
+	// never fatal, and the warm result must not fall below what the cold
+	// greedy floor (incr.Floor) would deliver. The incremental re-solve
+	// subsystem (internal/incr, DESIGN.md §17) only routes warm plans to
+	// solvers with this flag.
+	WarmStart bool
 	// EvalFloor is the pinned minimum utility ratio (solver utility /
 	// best-known) this algorithm must reach on every golden eval dataset
 	// (internal/eval, cmd/bcceval) at the pinned seed. 0 means ungated.

@@ -24,6 +24,7 @@ import (
 func init() {
 	MustRegister(Descriptor{
 		Name:          "abcc",
+		WarmStart:     true,
 		Summary:       "the paper's A^BCC (Algorithm 1: pruning, knapsack + QK phases, MC3, residual rounds)",
 		Tier:          "reference",
 		Anytime:       true,
@@ -105,6 +106,7 @@ func init() {
 	})
 	MustRegister(Descriptor{
 		Name:          "gmc3",
+		WarmStart:     true,
 		Summary:       "cheapest classifier set reaching a utility target (A^GMC3)",
 		Tier:          "reference",
 		Anytime:       true,
@@ -150,6 +152,7 @@ func init() {
 	})
 	MustRegister(Descriptor{
 		Name:          "evo",
+		WarmStart:     true,
 		Summary:       "anytime evolutionary search (coverage-aware crossover, utility-per-cost mutation, elitism)",
 		Tier:          "anytime-meta",
 		Anytime:       true,
@@ -168,6 +171,7 @@ func init() {
 	})
 	MustRegister(Descriptor{
 		Name:          "submod",
+		WarmStart:     true,
 		Summary:       "budgeted submodular lazy greedy (cost-scaled + unscaled passes, max of both)",
 		Tier:          "fast-approx",
 		Anytime:       true,

@@ -1,0 +1,105 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+// The incremental re-solve subsystem routes warm plans only to solvers
+// that declare WarmStart; pin the set so adding a solver forces a
+// decision about its warm contract.
+func TestWarmStartRegistry(t *testing.T) {
+	want := map[string]bool{"abcc": true, "gmc3": true, "evo": true, "submod": true}
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		if d.WarmStart != want[name] {
+			t.Errorf("%s: WarmStart = %v, want %v", name, d.WarmStart, want[name])
+		}
+	}
+}
+
+// warmSeeds builds the adversarial Warm inputs every WarmStart solver
+// must survive: a stale set outside CL, a plan that overshoots the
+// budget, duplicates, and an empty set.
+func warmSeeds(in *model.Instance) map[string][]propset.Set {
+	u := in.Universe()
+	// A conjunction of many properties is (almost surely) no query's
+	// subset, so its cost is +Inf — the "stale plan after drift" case.
+	stale := make(propset.Set, 0, 12)
+	for id := 0; id < u.Size() && len(stale) < 12; id++ {
+		stale = append(stale, propset.ID(id))
+	}
+	// An oversized plan: the solution of a 3x-budget solve, whose total
+	// cost exceeds this instance's budget.
+	rich := core.Solve(in.WithBudget(in.Budget()*3), core.Options{Seed: 1})
+	var oversized []propset.Set
+	for _, c := range rich.Solution.Classifiers() {
+		oversized = append(oversized, c.Props)
+	}
+	good := core.SolveIG1(in)
+	var dup []propset.Set
+	for _, c := range good.Solution.Classifiers() {
+		dup = append(dup, c.Props, c.Props) // every set twice
+	}
+	return map[string][]propset.Set{
+		"stale":     {stale},
+		"oversized": oversized,
+		"dup":       dup,
+		"empty-set": {nil, {}},
+		"mixed":     append([]propset.Set{stale, nil}, dup...),
+	}
+}
+
+// TestWarmContract runs every WarmStart solver against every
+// adversarial seed: no error, no panic, budget feasibility (unless the
+// family ignores budgets), and utility no worse than the cold IG1
+// greedy floor — a garbage warm seed must never make a solver worse
+// than not warming at all.
+func TestWarmContract(t *testing.T) {
+	in := dataset.Synthetic(2, 120, 80)
+	floor := core.SolveIG1(in).Utility
+	if floor <= 0 {
+		t.Fatal("IG1 floor not positive; instance unusable")
+	}
+	target := floor // a reachable utility target for gmc3
+	seeds := warmSeeds(in)
+
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		if !d.WarmStart {
+			continue
+		}
+		for label, warm := range seeds {
+			t.Run(name+"/"+label, func(t *testing.T) {
+				out, err := d.Run(context.Background(), in, Params{
+					Seed: 1, Target: target, Warm: warm,
+				})
+				if err != nil {
+					t.Fatalf("warm run rejected: %v", err)
+				}
+				if out.Err != nil {
+					t.Fatalf("warm run failed: status=%v err=%v", out.Status, out.Err)
+				}
+				if !d.IgnoresBudget && out.Cost > in.Budget()+1e-9 {
+					t.Errorf("warm cost %v exceeds budget %v", out.Cost, in.Budget())
+				}
+				if d.IgnoresBudget {
+					// Target-seeking: the contract is reaching the target,
+					// not the budgeted floor.
+					if out.Achieved != nil && !*out.Achieved {
+						t.Errorf("warm run missed target %v (utility %v)", target, out.Utility)
+					}
+					return
+				}
+				if out.Utility < floor {
+					t.Errorf("warm utility %v below cold IG1 floor %v", out.Utility, floor)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package api
+
+import (
+	"fmt"
+	"math"
+)
+
+// Incremental re-solve wire pieces (DESIGN.md §17): the shared cache-key
+// and sibling-tag formats, the warm-source vocabulary, and the body of
+// the cache-entry export endpoint
+//
+//	GET /v1/cache/entry?key=<cache key>          exact lookup
+//	GET /v1/cache/entry?fp2=<hash>&algo=<name>   near-miss (sibling) lookup
+//	→ 200 CacheEntryResponse | 404 Error
+//
+// which is how a backend that just took over a fingerprint (rendezvous
+// remap after a join) fetches the previous owner's cached plan to
+// warm-start from (peer fill).
+
+// Warm-source values for SolveResponse.WarmSource. The gateway's peer
+// fill arrives at the backend as a request-supplied plan, so it reports
+// WarmSourceRequest there; WarmSourcePeer is the gateway-side accounting
+// (bcc_incr_peer_fill_total).
+const (
+	WarmSourceRequest = "request"
+	WarmSourceSibling = "sibling"
+	WarmSourcePeer    = "peer"
+)
+
+// CacheKey is the exact solution-cache key: the canonical instance
+// fingerprint extended with every request parameter that changes the
+// answer. Deadlines and warm plans are deliberately excluded — they
+// change how long/where we search, not what the full answer is, and
+// truncated or floor-violating results are never stored. The format is
+// shared by the server (keying its cache) and the gateway (peer-fill
+// lookups on another backend's cache).
+func CacheKey(fp, algo string, seed int64, target float64) string {
+	return fmt.Sprintf("%s|a=%s|s=%d|t=%x", fp, algo, seed, math.Float64bits(target))
+}
+
+// SiblingTag is the near-miss index tag: instances sharing a query set
+// (bccfp2/1) and an algorithm are warm-start siblings however much
+// their budgets, utilities or costs differ.
+func SiblingTag(fp2, algo string) string {
+	return fp2 + "|a=" + algo
+}
+
+// CacheEntryResponse is the body of GET /v1/cache/entry.
+type CacheEntryResponse struct {
+	// Key is the cache key of the returned entry (for a sibling lookup,
+	// the neighbor's key — not necessarily one the caller could have
+	// computed).
+	Key string `json:"key"`
+	// Sibling reports the entry was found through the near-miss index
+	// rather than an exact key match.
+	Sibling bool `json:"sibling,omitempty"`
+	// Response is the cached solve answer, plan included.
+	Response *SolveResponse `json:"response"`
+}

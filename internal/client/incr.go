@@ -1,0 +1,117 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/api"
+)
+
+// Incremental re-solve helpers (DESIGN.md §17): the cache-entry export
+// used for fleet peer fill, and the conditional form of CurrentPlan so
+// plan pollers pay for a body only when a new window actually published.
+
+// ErrNoCacheEntry is wrapped into the error a cache-entry fetch returns
+// when the backend has nothing matching (HTTP 404) — the expected
+// outcome for a cold peer, so callers fall back to a cold solve without
+// logging noise.
+var ErrNoCacheEntry = errors.New("no matching cache entry")
+
+// ErrPlanUnchanged is wrapped into the error CurrentPlanIfChanged
+// returns when the server answered 304: the caller's plan is still
+// current.
+var ErrPlanUnchanged = errors.New("plan unchanged")
+
+// CacheEntry fetches one solution-cache entry by its exact key
+// (GET /v1/cache/entry?key=). A backend taking over a fingerprint after
+// a rendezvous remap uses it to pull the previous owner's answer.
+func (c *Client) CacheEntry(ctx context.Context, key string) (*api.CacheEntryResponse, error) {
+	return c.CacheEntryOpts(ctx, key, nil)
+}
+
+// CacheEntryOpts is CacheEntry with per-call options.
+func (c *Client) CacheEntryOpts(ctx context.Context, key string, opts *CallOpts) (*api.CacheEntryResponse, error) {
+	return c.cacheEntry(ctx, opts, url.Values{"key": {key}})
+}
+
+// CacheSibling fetches any near-miss cache entry for a query-set hash
+// and algorithm (GET /v1/cache/entry?fp2=&algo=): the peer-fill lookup
+// when the exact key is unknown or missing on the peer.
+func (c *Client) CacheSibling(ctx context.Context, fp2, algo string) (*api.CacheEntryResponse, error) {
+	return c.CacheSiblingOpts(ctx, fp2, algo, nil)
+}
+
+// CacheSiblingOpts is CacheSibling with per-call options.
+func (c *Client) CacheSiblingOpts(ctx context.Context, fp2, algo string, opts *CallOpts) (*api.CacheEntryResponse, error) {
+	return c.cacheEntry(ctx, opts, url.Values{"fp2": {fp2}, "algo": {algo}})
+}
+
+func (c *Client) cacheEntry(ctx context.Context, opts *CallOpts, q url.Values) (*api.CacheEntryResponse, error) {
+	var out api.CacheEntryResponse
+	err := c.callMethod(ctx, opts, http.MethodGet, "/v1/cache/entry?"+q.Encode(), nil,
+		func(code int, data []byte) error {
+			if code != http.StatusOK {
+				return errors.New("expected 200")
+			}
+			return json.Unmarshal(data, &out)
+		})
+	if err != nil {
+		var he *HTTPError
+		if errors.As(err, &he) && he.StatusCode == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: %v", ErrNoCacheEntry, err)
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CurrentPlanIfChanged is CurrentPlan with a conditional GET: etag is
+// the validator from a previous call ("" for the first), and the
+// returned string is the current one to carry into the next call. When
+// the server answers 304 the response is nil and the error wraps
+// ErrPlanUnchanged; before the first publish it wraps ErrNoPlan.
+func (c *Client) CurrentPlanIfChanged(ctx context.Context, etag string) (*api.CurrentPlanResponse, string, error) {
+	return c.CurrentPlanIfChangedOpts(ctx, etag, nil)
+}
+
+// CurrentPlanIfChangedOpts is CurrentPlanIfChanged with per-call
+// options.
+func (c *Client) CurrentPlanIfChangedOpts(ctx context.Context, etag string, opts *CallOpts) (*api.CurrentPlanResponse, string, error) {
+	var (
+		out       api.CurrentPlanResponse
+		newTag    string
+		unchanged bool
+	)
+	var reqHeader http.Header
+	if etag != "" {
+		reqHeader = http.Header{"If-None-Match": {etag}}
+	}
+	err := c.callMethodHeader(ctx, opts, http.MethodGet, "/v1/plan/current", nil, reqHeader,
+		func(code int, header http.Header, data []byte) error {
+			switch code {
+			case http.StatusOK:
+				newTag = header.Get("ETag")
+				return json.Unmarshal(data, &out)
+			case http.StatusNotModified:
+				unchanged, newTag = true, etag
+				return nil
+			default:
+				return errors.New("expected 200 or 304")
+			}
+		})
+	if err != nil {
+		var he *HTTPError
+		if errors.As(err, &he) && he.StatusCode == http.StatusNotFound {
+			return nil, "", fmt.Errorf("%w: %v", ErrNoPlan, err)
+		}
+		return nil, "", err
+	}
+	if unchanged {
+		return nil, newTag, fmt.Errorf("%w (etag %s)", ErrPlanUnchanged, etag)
+	}
+	return &out, newTag, nil
+}

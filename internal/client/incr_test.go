@@ -1,0 +1,108 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func TestCacheEntryExactAndSibling(t *testing.T) {
+	var gotQuery atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotQuery.Store(r.URL.RawQuery)
+		switch {
+		case r.URL.Path != "/v1/cache/entry":
+			http.NotFound(w, r)
+		case r.URL.Query().Get("key") == "hit":
+			json.NewEncoder(w).Encode(api.CacheEntryResponse{
+				Key:      "hit",
+				Response: &api.SolveResponse{Algo: "abcc", Classifiers: []api.PlanClassifier{{Props: []string{"p"}}}},
+			})
+		case r.URL.Query().Get("fp2") == "f2":
+			json.NewEncoder(w).Encode(api.CacheEntryResponse{Key: "other", Sibling: true,
+				Response: &api.SolveResponse{Algo: "abcc"}})
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"no cache entry"}`))
+		}
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+
+	entry, err := c.CacheEntry(context.Background(), "hit")
+	if err != nil || entry.Key != "hit" || len(entry.Response.Classifiers) != 1 {
+		t.Fatalf("CacheEntry = %+v, %v", entry, err)
+	}
+
+	sib, err := c.CacheSibling(context.Background(), "f2", "abcc")
+	if err != nil || !sib.Sibling || sib.Key != "other" {
+		t.Fatalf("CacheSibling = %+v, %v", sib, err)
+	}
+	if q, _ := gotQuery.Load().(string); q != "algo=abcc&fp2=f2" {
+		t.Errorf("sibling query = %q", q)
+	}
+
+	// 404 is the expected cold-peer outcome: a typed sentinel, no
+	// retries burned.
+	if _, err := c.CacheEntry(context.Background(), "miss"); !errors.Is(err, ErrNoCacheEntry) {
+		t.Fatalf("miss error = %v, want ErrNoCacheEntry", err)
+	}
+	if len(slept) != 0 {
+		t.Errorf("cache lookups scheduled %d retries, want 0", len(slept))
+	}
+}
+
+func TestCurrentPlanIfChanged(t *testing.T) {
+	const tag = `"fp-7"`
+	var gotINM atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inm := r.Header.Get("If-None-Match")
+		gotINM.Store(inm)
+		if inm == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", tag)
+		json.NewEncoder(w).Encode(api.CurrentPlanResponse{Seq: 7})
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+
+	plan, etag, err := c.CurrentPlanIfChanged(context.Background(), "")
+	if err != nil || plan == nil || plan.Seq != 7 || etag != tag {
+		t.Fatalf("first poll = %+v, %q, %v", plan, etag, err)
+	}
+	if inm, _ := gotINM.Load().(string); inm != "" {
+		t.Errorf("first poll sent If-None-Match %q, want none", inm)
+	}
+
+	plan, etag2, err := c.CurrentPlanIfChanged(context.Background(), etag)
+	if !errors.Is(err, ErrPlanUnchanged) || plan != nil || etag2 != tag {
+		t.Fatalf("second poll = %+v, %q, %v, want ErrPlanUnchanged with carried etag", plan, etag2, err)
+	}
+	if inm, _ := gotINM.Load().(string); inm != tag {
+		t.Errorf("second poll sent If-None-Match %q, want %q", inm, tag)
+	}
+}
+
+func TestCurrentPlanIfChangedNoPlan(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no plan published yet"}`))
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	c := newClient(t, srv.URL, &slept, Config{})
+	if _, _, err := c.CurrentPlanIfChanged(context.Background(), ""); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("err = %v, want ErrNoPlan", err)
+	}
+}

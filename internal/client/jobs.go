@@ -200,6 +200,14 @@ func (c *Client) AwaitJobOpts(ctx context.Context, id string, poll time.Duration
 // non-2xx code is replaced by the richer *HTTPError so retry discipline
 // and breaker accounting see the status code.
 func (c *Client) callMethod(ctx context.Context, opts *CallOpts, method, path string, in any, handle func(code int, data []byte) error) error {
+	return c.callMethodHeader(ctx, opts, method, path, in, nil,
+		func(code int, _ http.Header, data []byte) error { return handle(code, data) })
+}
+
+// callMethodHeader is callMethod with request headers attached to every
+// attempt and response headers surfaced to handle — the conditional-GET
+// (If-None-Match / ETag) variant.
+func (c *Client) callMethodHeader(ctx context.Context, opts *CallOpts, method, path string, in any, reqHeader http.Header, handle func(code int, header http.Header, data []byte) error) error {
 	base := c.base
 	if opts != nil && opts.BaseURL != "" {
 		base = strings.TrimRight(opts.BaseURL, "/")
@@ -217,11 +225,11 @@ func (c *Client) callMethod(ctx context.Context, opts *CallOpts, method, path st
 	}
 	start := time.Now()
 	err := c.retrier.Do(ctx, func(actx context.Context) error {
-		code, header, data, err := c.roundTrip(actx, method, base, path, body)
+		code, header, data, err := c.roundTrip(actx, method, base, path, reqHeader, body)
 		if err != nil {
 			return err
 		}
-		if herr := handle(code, data); herr != nil {
+		if herr := handle(code, header, data); herr != nil {
 			if code/100 != 2 {
 				return newHTTPError(code, header, data)
 			}
@@ -245,7 +253,7 @@ func (c *Client) callMethod(ctx context.Context, opts *CallOpts, method, path st
 
 // roundTrip performs one HTTP attempt of any method and returns the
 // status, headers and capped body.
-func (c *Client) roundTrip(ctx context.Context, method, base, path string, body []byte) (int, http.Header, []byte, error) {
+func (c *Client) roundTrip(ctx context.Context, method, base, path string, header http.Header, body []byte) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -253,6 +261,11 @@ func (c *Client) roundTrip(ctx context.Context, method, base, path string, body 
 	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return 0, nil, nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

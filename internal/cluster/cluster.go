@@ -54,6 +54,16 @@ type Config struct {
 	HTTPClient *http.Client
 	// Registry receives the cluster's metric series (nil = a fresh one).
 	Registry *obs.Registry
+	// PeerFillWindow bounds how long after joining the membership a
+	// backend counts as "new" for fleet peer fill (peerfill.go): a
+	// rendezvous-remapped request landing on a new backend within the
+	// window first fetches the previous owner's cached plan as a warm
+	// start. Default 30s; negative disables peer fill.
+	PeerFillWindow time.Duration
+	// PeerFillTimeout caps one peer cache-entry fetch (default 500ms) —
+	// peer fill is an accelerator and must never stall the solve it
+	// serves.
+	PeerFillTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +84,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.PeerFillWindow == 0 {
+		c.PeerFillWindow = 30 * time.Second
+	}
+	if c.PeerFillTimeout <= 0 {
+		c.PeerFillTimeout = 500 * time.Millisecond
 	}
 	return c
 }
@@ -130,6 +146,12 @@ type backend struct {
 	breaker *resilience.Breaker
 	acct    *acct
 
+	// joinedAtNS is when this backend entered an already-running
+	// membership (0 for initial members): the peer-fill window anchor.
+	// A backend that was in the initial set never peer-fills — there was
+	// no previous owner to fetch from.
+	joinedAtNS atomic.Int64
+
 	healthy    atomic.Bool
 	draining   atomic.Bool
 	reportedID atomic.Value // string: X-BCC-Backend from the last probe
@@ -183,12 +205,14 @@ type Cluster struct {
 
 	latHist *obs.Histogram // successful solve-call latency, feeds hedging
 
-	affinityPicks atomic.Uint64
-	fallbackPicks atomic.Uint64
-	hedges        atomic.Uint64
-	hedgeWins     atomic.Uint64
-	failovers     atomic.Uint64
-	noBackend     atomic.Uint64
+	affinityPicks  atomic.Uint64
+	fallbackPicks  atomic.Uint64
+	hedges         atomic.Uint64
+	hedgeWins      atomic.Uint64
+	failovers      atomic.Uint64
+	noBackend      atomic.Uint64
+	peerFills      atomic.Uint64
+	peerFillMisses atomic.Uint64
 
 	// Async-job tracking (jobs.go): external job ID -> owning backend.
 	jobsMu          sync.Mutex
@@ -346,6 +370,11 @@ func (c *Cluster) SetBackends(urls []string) error {
 			b.healthy.Store(true) // innocent until the probe below says otherwise
 			b.reportedID.Store("")
 			b.probeErr.Store("")
+			if old != nil {
+				// A mid-life join: requests remapped here find a cold
+				// cache, so peer fill applies for the next window.
+				b.joinedAtNS.Store(time.Now().UnixNano())
+			}
 		}
 		list = append(list, b)
 		byURL[u] = b
@@ -544,6 +573,9 @@ type RouteInfo struct {
 	HedgeWon bool
 	// FailedOver reports the primary failed and the secondary answered.
 	FailedOver bool
+	// PeerFilled reports the request was warm-seeded with a cached plan
+	// fetched from the previous owner before dispatch (peerfill.go).
+	PeerFilled bool
 }
 
 // outcome is one backend call's result inside Solve.
@@ -557,6 +589,16 @@ type outcome struct {
 // one cross-backend failover. fp is the instance's canonical
 // fingerprint (the routing key).
 func (c *Cluster) Solve(ctx context.Context, req *api.SolveRequest, fp string) (*api.SolveResponse, RouteInfo, error) {
+	return c.SolveRouted(ctx, req, fp, "")
+}
+
+// SolveRouted is Solve with the near-miss hash (bccfp2/1) available for
+// fleet peer fill: when the chosen primary joined the membership
+// recently (its cache is cold for remapped fingerprints), the previous
+// owner's cached plan — exact key first, near-miss sibling second — is
+// attached as the request's warm seed before dispatch. fp2 may be empty
+// (exact-key peer fill still applies).
+func (c *Cluster) SolveRouted(ctx context.Context, req *api.SolveRequest, fp, fp2 string) (*api.SolveResponse, RouteInfo, error) {
 	primary, secondary, affinity := c.pick(fp, nil)
 	if primary == nil {
 		c.noBackend.Add(1)
@@ -568,6 +610,10 @@ func (c *Cluster) Solve(ctx context.Context, req *api.SolveRequest, fp string) (
 		c.fallbackPicks.Add(1)
 	}
 	route := RouteInfo{BackendURL: primary.url, BackendID: primary.displayID(), Affinity: affinity}
+	if filled := c.maybePeerFill(ctx, req, fp, fp2, primary, secondary); filled != req {
+		req = filled
+		route.PeerFilled = true
+	}
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -834,22 +880,29 @@ type Stats struct {
 	HedgeWins     uint64          `json:"hedge_wins"`
 	Failovers     uint64          `json:"failovers"`
 	NoBackend     uint64          `json:"no_backend"`
-	HedgeDelayMS  float64         `json:"hedge_delay_ms"`
-	Jobs          JobStats        `json:"jobs"`
-	Client        client.Stats    `json:"client"`
+	// PeerFills / PeerFillMisses count fleet warm transfers: requests
+	// dispatched to a recently joined backend with the previous owner's
+	// cached plan attached, and fill attempts that found nothing.
+	PeerFills      uint64       `json:"peer_fills"`
+	PeerFillMisses uint64       `json:"peer_fill_misses"`
+	HedgeDelayMS   float64      `json:"hedge_delay_ms"`
+	Jobs           JobStats     `json:"jobs"`
+	Client         client.Stats `json:"client"`
 }
 
 // Stats captures the cluster counters and every member's status.
 func (c *Cluster) Stats() Stats {
 	st := Stats{
-		AffinityPicks: c.affinityPicks.Load(),
-		FallbackPicks: c.fallbackPicks.Load(),
-		Hedges:        c.hedges.Load(),
-		HedgeWins:     c.hedgeWins.Load(),
-		Failovers:     c.failovers.Load(),
-		NoBackend:     c.noBackend.Load(),
-		Jobs:          c.jobStats(),
-		Client:        c.cl.Stats(),
+		AffinityPicks:  c.affinityPicks.Load(),
+		FallbackPicks:  c.fallbackPicks.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		Failovers:      c.failovers.Load(),
+		NoBackend:      c.noBackend.Load(),
+		PeerFills:      c.peerFills.Load(),
+		PeerFillMisses: c.peerFillMisses.Load(),
+		Jobs:           c.jobStats(),
+		Client:         c.cl.Stats(),
 	}
 	if d, ok := c.hedgeDelay(); ok {
 		st.HedgeDelayMS = float64(d) / float64(time.Millisecond)
@@ -903,6 +956,10 @@ func (c *Cluster) initMetrics() {
 		func() float64 { return float64(c.failovers.Load()) })
 	reg.CounterFunc("bcc_gate_no_backend_total", "Requests refused because no backend was eligible.", nil,
 		func() float64 { return float64(c.noBackend.Load()) })
+	reg.CounterFunc("bcc_incr_peer_fill_total", "Requests warm-seeded from the previous owner's cache after a backend join.", nil,
+		func() float64 { return float64(c.peerFills.Load()) })
+	reg.CounterFunc("bcc_incr_peer_fill_miss_total", "Peer-fill attempts that found no usable cached plan.", nil,
+		func() float64 { return float64(c.peerFillMisses.Load()) })
 	reg.GaugeFunc("bcc_gate_hedge_delay_seconds", "Current hedge delay (0 while hedging is inactive).", nil,
 		func() float64 {
 			if d, ok := c.hedgeDelay(); ok {

@@ -113,18 +113,27 @@ func (g *Gateway) Handler() http.Handler {
 // backends). Validation failures mirror the backend's 400s so a bad
 // request is rejected at the edge without spending a backend call.
 func RouteFingerprint(req *api.SolveRequest) (string, *api.Error) {
+	fp, _, apiErr := RouteFingerprints(req)
+	return fp, apiErr
+}
+
+// RouteFingerprints is RouteFingerprint plus the near-miss hash
+// (bccfp2/1) — the instance is already materialized for the canonical
+// fingerprint, so the second hash costs one more pass, and it lets the
+// cluster run sibling peer-fill lookups at the edge.
+func RouteFingerprints(req *api.SolveRequest) (fp, fp2 string, _ *api.Error) {
 	in, err := dataset.FromFormat(req.Instance)
 	if err != nil {
-		return "", api.Errorf(http.StatusBadRequest, "invalid instance: %v", err)
+		return "", "", api.Errorf(http.StatusBadRequest, "invalid instance: %v", err)
 	}
 	if req.Budget != nil {
 		b := *req.Budget
 		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
-			return "", api.Errorf(http.StatusBadRequest, "invalid budget override %v", b)
+			return "", "", api.Errorf(http.StatusBadRequest, "invalid budget override %v", b)
 		}
 		in = in.WithBudget(b)
 	}
-	return in.Fingerprint(), nil
+	return in.Fingerprint(), in.Fingerprint2(), nil
 }
 
 func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -135,13 +144,13 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	fp, apiErr := RouteFingerprint(&req)
+	fp, fp2, apiErr := RouteFingerprints(&req)
 	if apiErr != nil {
 		g.badRequests.Add(1)
 		writeError(w, apiErr)
 		return
 	}
-	resp, route, err := g.cl.Solve(r.Context(), &req, fp)
+	resp, route, err := g.cl.SolveRouted(r.Context(), &req, fp, fp2)
 	if err != nil {
 		writeError(w, routeError(err))
 		return

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// Fleet peer fill (DESIGN.md §17): when a backend joins a running
+// cluster, rendezvous hashing remaps a slice of every other member's
+// fingerprints onto it — and its solution cache is cold for all of
+// them. Instead of re-solving each remapped instance from scratch, the
+// gateway fetches the previous owner's cached plan through the
+// cache-entry export (GET /v1/cache/entry) and attaches it to the
+// request as a warm seed. The new owner repairs the plan against the
+// instance and solves warm, held to the IG1 quality floor like every
+// other warm path — so peer fill can only buy latency, never cost
+// answer quality.
+//
+// The "previous owner" is the next backend in rendezvous order after
+// the new primary: exactly the member the fingerprint mapped to before
+// the join (the cluster already computes it as the hedge/failover
+// secondary).
+
+// maybePeerFill returns req, or a copy with WarmPlan attached when a
+// peer fill applies and the donor had a usable plan. Fill applies when
+// the primary joined within the configured window, the request carries
+// no warm seed of its own, the cache is in play, and the algorithm can
+// consume warm starts. Failures are misses, never errors: the solve
+// proceeds cold exactly as it would have without peer fill.
+func (c *Cluster) maybePeerFill(ctx context.Context, req *api.SolveRequest, fp, fp2 string, primary, donor *backend) *api.SolveRequest {
+	if c.cfg.PeerFillWindow < 0 || donor == nil || len(req.WarmPlan) > 0 || req.NoCache {
+		return req
+	}
+	joined := primary.joinedAtNS.Load()
+	if joined == 0 || time.Since(time.Unix(0, joined)) > c.cfg.PeerFillWindow {
+		return req
+	}
+	algoName := req.Algo
+	if algoName == "" {
+		algoName = "abcc"
+	}
+	if d, ok := algo.Lookup(algoName); !ok || !d.WarmStart {
+		return req
+	}
+
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.PeerFillTimeout)
+	defer cancel()
+	opts := &client.CallOpts{BaseURL: donor.url}
+	entry, err := c.cl.CacheEntryOpts(fctx, api.CacheKey(fp, algoName, req.Seed, req.Target), opts)
+	if !usablePlan(entry, err) && fp2 != "" {
+		// No exact answer on the donor; any near-miss sibling (same
+		// queries, different budget/utilities) still seeds well.
+		entry, err = c.cl.CacheSiblingOpts(fctx, fp2, algoName, opts)
+	}
+	if !usablePlan(entry, err) {
+		c.peerFillMisses.Add(1)
+		return req
+	}
+	warm := make([][]string, len(entry.Response.Classifiers))
+	for i, pc := range entry.Response.Classifiers {
+		warm[i] = pc.Props
+	}
+	c.peerFills.Add(1)
+	filled := *req
+	filled.WarmPlan = warm
+	return &filled
+}
+
+func usablePlan(entry *api.CacheEntryResponse, err error) bool {
+	return err == nil && entry != nil && entry.Response != nil && len(entry.Response.Classifiers) > 0
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataset"
+	"repro/internal/incr"
+	"repro/internal/loadgen"
+)
+
+// doSolve is postSolve without t.Fatalf, safe to call from load
+// goroutines.
+func doSolve(gatewayURL string, req *api.SolveRequest) (*api.SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(gatewayURL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out api.SolveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TestPeerFillOnBackendJoin is the PR's cluster acceptance scenario:
+// a third backend joins mid-load, rendezvous remaps a slice of the
+// keyspace onto its cold cache, and the gateway fills those solves from
+// the previous owner's cache — at least one peer fill happens, and no
+// request (before, during, or after the join) is ever answered below
+// the IG1 quality floor. Run under -race by make race / CI.
+func TestPeerFillOnBackendJoin(t *testing.T) {
+	_, tsA := newRealBackend(t, "pf-a")
+	_, tsB := newRealBackend(t, "pf-b")
+	c := newTestCluster(t, []string{tsA.URL, tsB.URL}, nil)
+	gw := NewGateway(c, GatewayConfig{})
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+
+	reqs := loadgen.SyntheticWorkload(20, 42)
+	floors := make([]float64, len(reqs))
+	for i := range reqs {
+		reqs[i].IncludePlan = true
+		in, err := dataset.FromFormat(reqs[i].Instance)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		floors[i] = incr.Floor(in)
+	}
+
+	// Phase 1: prime both initial backends so every fingerprint has a
+	// cached plan somewhere in the fleet.
+	for i := range reqs {
+		resp, _ := postSolve(t, gts.URL, &reqs[i])
+		if resp.Utility < floors[i] {
+			t.Fatalf("primed instance %d: utility %v below IG1 floor %v", i, resp.Utility, floors[i])
+		}
+	}
+
+	// Phase 2: load goroutines replay the workload while the third
+	// backend joins. Every answer is floor-checked as it arrives.
+	_, tsC := newRealBackend(t, "pf-c")
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations atomic.Int64
+		loadErrs   atomic.Int64
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(reqs)
+				resp, err := doSolve(gts.URL, &reqs[idx])
+				if err != nil {
+					loadErrs.Add(1)
+					continue
+				}
+				if resp.Utility < floors[idx] {
+					violations.Add(1)
+					t.Errorf("instance %d answered with utility %v below floor %v (warm_source %q)",
+						idx, resp.Utility, floors[idx], resp.WarmSource)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c.SetBackends([]string{tsA.URL, tsB.URL, tsC.URL}); err != nil {
+		t.Fatalf("SetBackends join: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Phase 3: determinism backstop — explicitly re-send every instance
+	// the new membership remaps onto the joiner, so at least one
+	// peer-fill attempt is guaranteed even if the load phase raced past
+	// the join.
+	remapped := 0
+	for i := range reqs {
+		fp, _, apiErr := RouteFingerprints(&reqs[i])
+		if apiErr != nil {
+			t.Fatalf("fingerprint %d: %v", i, apiErr)
+		}
+		if Rank(fp, []string{tsA.URL, tsB.URL, tsC.URL})[0] != tsC.URL {
+			continue
+		}
+		remapped++
+		resp, _ := postSolve(t, gts.URL, &reqs[i])
+		if resp.Utility < floors[i] {
+			t.Errorf("remapped instance %d: utility %v below floor %v", i, resp.Utility, floors[i])
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("workload has no instance remapping to the joiner; grow the workload")
+	}
+
+	st := c.Stats()
+	if st.PeerFills < 1 {
+		t.Fatalf("cluster stats = %+v after %d remapped keys, want peer_fills >= 1", st, remapped)
+	}
+	if violations.Load() > 0 {
+		t.Fatalf("%d responses below the IG1 quality floor", violations.Load())
+	}
+	if loadErrs.Load() > 0 {
+		t.Logf("load phase: %d transient errors (tolerated; floors checked on successes)", loadErrs.Load())
+	}
+
+	// The counter is also the bcc_incr_peer_fill_total metric on the
+	// gateway's scrape endpoint.
+	mresp, err := http.Get(gts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	if !peerFillMetricPositive(string(metrics)) {
+		t.Errorf("bcc_incr_peer_fill_total not positive in gateway metrics")
+	}
+}
+
+func peerFillMetricPositive(metrics string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "bcc_incr_peer_fill_total") && !strings.HasSuffix(strings.TrimSpace(line), " 0") {
+			fields := strings.Fields(line)
+			return len(fields) == 2 && fields[1] != "0"
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"time"
 
 	"repro/internal/cover"
@@ -55,6 +56,10 @@ type Options struct {
 	// MC3 only adopts strictly cheaper re-coverings. Sets that no longer
 	// fit (e.g. after a budget override) are skipped, not fatal.
 	Warm []propset.Set
+	// warmFast marks a run whose warm seed restored most of the coverage:
+	// the solver then runs only residual work (see SolveCtx). Set
+	// internally — never by callers — so cold runs stay byte-identical.
+	warmFast bool
 	// QK tunes the inner Quadratic Knapsack solver.
 	QK qk.Options
 }
@@ -205,12 +210,15 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 	}
 	// Warm start: restore the incumbent before any optimization so even
 	// the bottom rung of the degradation ladder keeps prior progress.
+	warmed := 0
 	for _, w := range opts.Warm {
 		if t.Has(w) {
 			continue
 		}
 		if t.Cost()+in.Cost(w) <= in.Budget()+1e-9 {
-			t.Add(w)
+			if t.Add(w) {
+				warmed++
+			}
 		}
 	}
 
@@ -222,8 +230,22 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 		return finish()
 	}
 
+	// Incremental fast path: when the warm seed already consumed most of
+	// the budget, the run's only real job is the residual — whatever
+	// cheap additions still fit the unspent sliver (plus what MC3 frees).
+	// Candidate pruning is skipped (the per-phase budget filter in
+	// phaseMaxCost shrinks the subproblems far harder than the pruning
+	// rules would), QK restarts are trimmed as on the light degradation
+	// rung, and the greedy floor runs un-refined. A warm seed that spent
+	// little gets the full cold pipeline: correctness first, speed only
+	// when the seed earned it.
+	opts.warmFast = warmed > 0 && t.Cost() >= in.Budget()/2
+	if opts.warmFast && (opts.QK.Iterations == 0 || opts.QK.Iterations > 2) {
+		opts.QK.Iterations = 2
+	}
+
 	var allowed map[string]bool
-	if !opts.DisablePruning {
+	if !opts.DisablePruning && !opts.warmFast {
 		t0 := rec.Start()
 		allowed, pruned = pruneClassifiers(g, t, opts)
 		rec.End(obs.StagePrune, t0, pruned)
@@ -242,14 +264,19 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 		// solution, reclaim cost with MC3 and spend the freed budget on
 		// further residual rounds. A^BCC therefore never trails the
 		// adaptive per-query greedy, and usually improves on it
-		// (documented in DESIGN.md).
+		// (documented in DESIGN.md). On warm runs the refined pipeline is
+		// the dominant cost and its refinement duplicates work the
+		// incumbent already embodies, so only the plain IG1 comparison
+		// runs — the never-below-IG1 guarantee is kept either way.
 		t0 := rec.Start()
 		t2 := cover.New(in)
 		ig1Fill(g, t2)
-		if !opts.DisableMC3 {
-			mc3Improve(g, rec, t2)
+		if !opts.warmFast {
+			if !opts.DisableMC3 {
+				mc3Improve(g, rec, t2)
+			}
+			iterations += improveLoop(g, rec, t2, allowed, opts)
 		}
-		iterations += improveLoop(g, rec, t2, allowed, opts)
 		rec.End(obs.StageGreedyFloor, t0, t2.CoveredCount())
 		if t2.Utility() > t.Utility() ||
 			(t2.Utility() == t.Utility() && t2.Cost() < t.Cost()) {
@@ -289,6 +316,20 @@ func improveLoop(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker, allowed ma
 	return iterations
 }
 
+// phaseMaxCost bounds the per-candidate cost considered by a phase's
+// subproblems. On warm fast-path runs a candidate costing more than the
+// residual phase budget can never appear in a feasible selection, so
+// filtering it up front shrinks the knapsack item list and — because
+// 2-cover edges are quadratic in the candidates per query — collapses
+// the QK graph, which is where warm runs otherwise spend their time.
+// Cold runs keep the unfiltered subproblems, byte-for-byte.
+func phaseMaxCost(opts Options, budget float64) float64 {
+	if opts.warmFast {
+		return budget
+	}
+	return math.Inf(1)
+}
+
 // phase solves BCC(1) (knapsack) and BCC(2) (QK) on the residual problem
 // with the given absolute cost ceiling, applies the better of the two
 // candidate selections, and reports whether utility increased.
@@ -298,7 +339,7 @@ func phase(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker, allowed map[stri
 		return false
 	}
 	guard.Inject("core.phase")
-	sp := buildSubproblems(g, t, allowed)
+	sp := buildSubproblems(g, t, allowed, phaseMaxCost(opts, budget))
 
 	// BCC(1): knapsack over 1-covers.
 	t0 := rec.Start()
@@ -335,7 +376,7 @@ func phase(g *guard.Guard, rec *obs.Recorder, t *cover.Tracker, allowed map[stri
 			c.Add(s)
 			add = append(add, s)
 		}
-		sp2 := buildSubproblems(g, c, allowed)
+		sp2 := buildSubproblems(g, c, allowed, phaseMaxCost(opts, ceiling-c.Cost()))
 		t0 := rec.Start()
 		k2 := knapsack.SolveGuard(g, sp2.items, ceiling-c.Cost(), opts.Epsilon)
 		rec.End(obs.StageKnapsack, t0, len(sp2.items))

@@ -62,7 +62,7 @@ func pruneClassifiers(g *guard.Guard, t *cover.Tracker, opts Options) (map[strin
 	protectCoverability(g, t, allowed)
 
 	// R2: leverage-score pruning of the QK graph.
-	sp := buildSubproblems(g, t, allowed)
+	sp := buildSubproblems(g, t, allowed, math.Inf(1))
 	if qg := sp.graph; qg.NumNodes() >= 32 && qg.NumEdges() > 0 && !g.Tripped() {
 		scores := leverageScores(qg, 3, 40)
 		order := make([]int, qg.NumNodes())

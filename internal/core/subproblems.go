@@ -36,8 +36,10 @@ type subproblems struct {
 
 // buildSubproblems scans the uncovered queries and assembles both
 // subproblem inputs. allowed (nil = everything) restricts the candidate
-// classifiers, implementing the pruning of Algorithm 1 step 1.
-func buildSubproblems(g *guard.Guard, t *cover.Tracker, allowed map[string]bool) *subproblems {
+// classifiers, implementing the pruning of Algorithm 1 step 1. maxCost
+// (+Inf = everything) drops candidates that cannot fit the calling
+// phase's budget — the warm fast path's replacement for pruning.
+func buildSubproblems(g *guard.Guard, t *cover.Tracker, allowed map[string]bool, maxCost float64) *subproblems {
 	sp := &subproblems{nodeIndex: make(map[string]int)}
 	itemIndex := make(map[string]int)
 	type edgeAgg map[[2]int]float64
@@ -91,7 +93,7 @@ func buildSubproblems(g *guard.Guard, t *cover.Tracker, allowed map[string]bool)
 				return
 			}
 			cost := in.Cost(sub)
-			if math.IsInf(cost, 1) {
+			if math.IsInf(cost, 1) || cost > maxCost+1e-9 {
 				return
 			}
 			cands = append(cands, cand{c: sub, cost: cost})

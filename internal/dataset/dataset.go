@@ -323,6 +323,22 @@ func Synthetic(seed int64, nQueries int, budget float64) *model.Instance {
 
 // SyntheticPool is Synthetic with an explicit property-pool size.
 func SyntheticPool(seed int64, nQueries, poolSize int, budget float64) *model.Instance {
+	return syntheticDriftPool(seed, nQueries, poolSize, budget, 0)
+}
+
+// SyntheticDrift returns the Synthetic(seed, nQueries, budget) workload
+// after a churn event: ⌈churn·nQueries⌉ (at least one) randomly chosen
+// queries are replaced with freshly drawn conjunctions over the same
+// property pool, utility distribution, and cost model. The replacement
+// stream is seeded independently of the base stream, so the un-churned
+// queries are byte-identical to the base workload — exactly the drifted
+// re-solve the incremental subsystem (internal/incr) warm-starts against,
+// and deterministic for benchmark pinning.
+func SyntheticDrift(seed int64, nQueries int, budget, churn float64) *model.Instance {
+	return syntheticDriftPool(seed, nQueries, 10000, budget, churn)
+}
+
+func syntheticDriftPool(seed int64, nQueries, poolSize int, budget, churn float64) *model.Instance {
 	rng := rand.New(rand.NewSource(seed))
 	b := model.NewBuilder()
 	u := b.Universe()
@@ -331,29 +347,63 @@ func SyntheticPool(seed int64, nQueries, poolSize int, budget float64) *model.In
 		props[i] = u.Intern("s" + itoa(i))
 	}
 	seenQ := map[string]bool{}
-	added := 0
-	for attempts := 0; added < nQueries && attempts < nQueries*20; attempts++ {
-		// Length i with probability 2^-i, capped at 6.
+	// draw samples one conjunction: length i with probability 2^-i, capped
+	// at 6, properties uniform without replacement. Reports false on a
+	// duplicate of an already-drawn conjunction (caller redraws).
+	draw := func(r *rand.Rand) (propset.Set, bool) {
 		ln := 1
-		for ln < 6 && rng.Float64() < 0.5 {
+		for ln < 6 && r.Float64() < 0.5 {
 			ln++
 		}
 		ids := make([]propset.ID, 0, ln)
 		seen := map[int]bool{}
 		for len(ids) < ln {
-			p := rng.Intn(poolSize)
+			p := r.Intn(poolSize)
 			if !seen[p] {
 				seen[p] = true
 				ids = append(ids, props[p])
 			}
 		}
 		q := propset.New(ids...)
-		if seenQ[q.Key()] {
+		return q, !seenQ[q.Key()]
+	}
+	type qrow struct {
+		props   propset.Set
+		utility float64
+	}
+	var rows []qrow
+	for attempts := 0; len(rows) < nQueries && attempts < nQueries*20; attempts++ {
+		q, fresh := draw(rng)
+		if !fresh {
 			continue // redraw duplicate conjunctions
 		}
 		seenQ[q.Key()] = true
-		b.AddQuerySet(q, float64(1+rng.Intn(50)))
-		added++
+		rows = append(rows, qrow{q, float64(1 + rng.Intn(50))})
+	}
+	if churn > 0 && len(rows) > 0 {
+		drng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ 0xd21f7))))
+		k := int(churn * float64(len(rows)))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(rows) {
+			k = len(rows)
+		}
+		perm := drng.Perm(len(rows))
+		for i := 0; i < k; i++ {
+			for attempts := 0; attempts < 20*nQueries; attempts++ {
+				q, fresh := draw(drng)
+				if !fresh {
+					continue
+				}
+				seenQ[q.Key()] = true
+				rows[perm[i]] = qrow{q, float64(1 + drng.Intn(50))}
+				break
+			}
+		}
+	}
+	for _, r := range rows {
+		b.AddQuerySet(r.props, r.utility)
 	}
 	hseed := splitmix64(uint64(seed) ^ 0x5feed)
 	b.SetDefaultCost(func(s propset.Set) float64 {

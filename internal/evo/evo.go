@@ -170,12 +170,13 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 
 	// Shared base: free classifiers plus the warm incumbent. Every
 	// individual is a clone of it, so prior progress is never lost.
-	base := cover.New(in)
+	free := cover.New(in)
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
-			base.Add(c.Props)
+			free.Add(c.Props)
 		}
 	}
+	base := free.Clone()
 	for _, w := range opts.Warm {
 		if base.Has(w) {
 			continue
@@ -195,6 +196,11 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 	if left, ok := g.Remaining(); ok && left < degradeFloor {
 		if !opts.DisableGreedyFloor {
 			core.IG1Fill(g, best)
+			if len(opts.Warm) > 0 {
+				cold := free.Clone()
+				core.IG1Fill(g, cold)
+				updateIncumbent(&best, []*cover.Tracker{cold})
+			}
 		}
 		return finish()
 	}
@@ -219,6 +225,15 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 		fl := base.Clone()
 		core.IG1Fill(g, fl)
 		pop = append(pop, fl)
+		// A poor warm seed can crowd the budget out of the floor
+		// individual, so with a warm base the cold IG1 floor joins the
+		// population too — the warm contract (algo.Descriptor.WarmStart)
+		// promises never to land below the cold IG1 utility.
+		if len(opts.Warm) > 0 {
+			cold := free.Clone()
+			core.IG1Fill(g, cold)
+			pop = append(pop, cold)
+		}
 	}
 	for len(pop) < opts.Population && !g.Tripped() {
 		ind := base.Clone()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/incr"
 	"repro/internal/model"
 	"repro/internal/obs"
 )
@@ -59,8 +60,31 @@ type ParetoPoint struct {
 	SpeedupVsABCC float64 `json:"speedup_vs_abcc"`
 }
 
+// DriftPoint is one warm-vs-cold incremental re-solve sample
+// (DESIGN.md §17): the base workload's plan is repaired against a
+// churned variant and seeds a warm A^BCC run, timed against the cold
+// solve of the same churned instance.
+type DriftPoint struct {
+	Workload string  `json:"workload"`
+	Churn    float64 `json:"churn"`
+	Runs     int     `json:"runs"`
+	// ColdNsPerOp / WarmNsPerOp time the churned re-solve without and
+	// with the repaired seed; warm includes the repair itself.
+	ColdNsPerOp int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	ColdUtility float64 `json:"cold_utility"`
+	WarmUtility float64 `json:"warm_utility"`
+	// UtilityRatio is warm/cold; FloorMet reports it against the abcc
+	// registry EvalFloor — the PR 10 acceptance gate at 1% churn.
+	UtilityRatio float64 `json:"utility_ratio"`
+	FloorMet     bool    `json:"floor_met"`
+	// RepairKept counts base-plan classifiers that survived repair.
+	RepairKept int `json:"repair_kept"`
+}
+
 // BenchReport is the versioned JSON document that `bccbench -bench-json`
-// and `make bench-json` emit (BENCH_PR7.json).
+// and `make bench-json` emit (BENCH_PR10.json).
 type BenchReport struct {
 	Schema      string      `json:"schema"`
 	Build       obs.Build   `json:"build"`
@@ -71,6 +95,8 @@ type BenchReport struct {
 	Algorithms  []AlgoBench `json:"algorithms"`
 	// Pareto compares the fast tiers against A^BCC across workloads.
 	Pareto []ParetoPoint `json:"pareto,omitempty"`
+	// Drift is the warm-vs-cold incremental re-solve sweep.
+	Drift []DriftPoint `json:"drift,omitempty"`
 }
 
 // benchLoop repeats fn until both floors are met — at least minRuns
@@ -174,7 +200,77 @@ func BenchJSON(ctx context.Context, seed int64) BenchReport {
 	}
 
 	rep.Pareto = paretoSweep(ctx, seed, in)
+	rep.Drift = driftSweep(ctx, seed, in)
 	return rep
+}
+
+// driftChurns are the workload-drift fractions the incremental re-solve
+// sweep samples: light (steady-state window-over-window), moderate, and
+// heavy churn where warm starts stop paying.
+var driftChurns = []float64{0.01, 0.05, 0.20}
+
+// driftSweep measures the incremental re-solve path: solve the base
+// workload once, then for each churn level repair the base plan against
+// the drifted instance and time warm vs cold A^BCC. The 1% row is the
+// acceptance benchmark TestWarmDriftSpeedup asserts (warm ≥ 3x faster
+// at a utility ratio meeting the abcc EvalFloor).
+func driftSweep(ctx context.Context, seed int64, base *model.Instance) []DriftPoint {
+	const (
+		minRuns = 2
+		perCase = 300 * time.Millisecond
+	)
+	baseRes := core.SolveCtx(ctx, base, core.Options{Seed: seed})
+	if baseRes.Solution == nil {
+		return nil
+	}
+	u := base.Universe()
+	var plan [][]string
+	for _, c := range baseRes.Solution.Classifiers() {
+		names := make([]string, c.Props.Len())
+		for i, id := range c.Props {
+			names[i] = u.Name(id)
+		}
+		plan = append(plan, names)
+	}
+	d, _ := algo.Lookup("abcc")
+
+	var out []DriftPoint
+	for _, churn := range driftChurns {
+		drift := dataset.SyntheticDrift(seed, base.NumQueries(), base.Budget(), churn)
+
+		var coldUtility float64
+		coldRuns, coldNs, _, _ := benchLoop(ctx, minRuns, perCase, func() {
+			coldUtility = core.SolveCtx(ctx, drift, core.Options{Seed: seed}).Utility
+		})
+
+		var warmUtility float64
+		var kept int
+		_, warmNs, _, _ := benchLoop(ctx, minRuns, perCase, func() {
+			warm := incr.Repair(drift, plan)
+			kept = len(warm)
+			warmUtility = core.SolveCtx(ctx, drift, core.Options{Seed: seed, Warm: warm}).Utility
+		})
+
+		p := DriftPoint{
+			Workload:    "synthetic-2000-b800",
+			Churn:       churn,
+			Runs:        coldRuns,
+			ColdNsPerOp: coldNs,
+			WarmNsPerOp: warmNs,
+			ColdUtility: coldUtility,
+			WarmUtility: warmUtility,
+			RepairKept:  kept,
+		}
+		if warmNs > 0 {
+			p.WarmSpeedup = float64(coldNs) / float64(warmNs)
+		}
+		if coldUtility > 0 {
+			p.UtilityRatio = warmUtility / coldUtility
+			p.FloorMet = p.UtilityRatio >= d.EvalFloor
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // paretoAlgos are the utility-vs-time comparison set: the A^BCC
@@ -233,7 +329,7 @@ func paretoSweep(ctx context.Context, seed int64, synthetic *model.Instance) []P
 }
 
 // WriteJSON renders the report with stable indentation so the committed
-// BENCH_PR7.json diffs cleanly between runs.
+// BENCH_PR10.json diffs cleanly between runs.
 func (r BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,195 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/propset"
+)
+
+func quickstart(budget float64) *model.Instance {
+	b := model.NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	b.AddQuery(5, "running", "shoes")
+	b.SetCost(4, "wooden")
+	b.SetCost(2, "table")
+	b.SetCost(3, "wooden", "table")
+	b.SetCost(6, "running", "shoes")
+	return b.MustInstance(budget)
+}
+
+func planNames(in *model.Instance, sets []propset.Set) [][]string {
+	u := in.Universe()
+	var out [][]string
+	for _, s := range sets {
+		names := make([]string, s.Len())
+		for i, id := range s {
+			names[i] = u.Name(id)
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+func TestDiff(t *testing.T) {
+	prev := quickstart(9)
+
+	b := model.NewBuilder()
+	b.AddQuery(8, "wooden", "table")  // unchanged
+	b.AddQuery(7, "running", "shoes") // utility 5 → 7
+	b.AddQuery(2, "leather", "boots") // added
+	next := b.MustInstance(12)
+
+	d := Diff(prev, next)
+	want := Delta{Added: 1, Removed: 0, Changed: 1, Unchanged: 1, BudgetDelta: 3}
+	if d != want {
+		t.Errorf("Diff = %+v, want %+v", d, want)
+	}
+	if got, want := d.Churn(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Churn = %v, want %v", got, want)
+	}
+
+	rd := Diff(next, prev)
+	if rd.Added != 0 || rd.Removed != 1 || rd.Changed != 1 || rd.Unchanged != 1 || rd.BudgetDelta != -3 {
+		t.Errorf("reverse Diff = %+v", rd)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	d := Diff(quickstart(9), quickstart(9))
+	if d != (Delta{Unchanged: 2}) {
+		t.Errorf("identical Diff = %+v", d)
+	}
+	if d.Churn() != 0 {
+		t.Errorf("identical churn = %v", d.Churn())
+	}
+}
+
+// Diff matches queries by canonical conjunction, not by interning order.
+func TestDiffIgnoresInterningOrder(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddQuery(5, "shoes", "running")
+	b.AddQuery(8, "table", "wooden")
+	reordered := b.MustInstance(9)
+	if d := Diff(quickstart(9), reordered); d != (Delta{Unchanged: 2}) {
+		t.Errorf("reordered Diff = %+v", d)
+	}
+}
+
+// A plan that still fits is kept whole; sets naming unknown properties or
+// priced out of CL are dropped, never fatal.
+func TestRepairDropsStale(t *testing.T) {
+	in := quickstart(9)
+	plan := [][]string{
+		{"wooden", "table"},      // valid
+		{"running", "shoes"},     // valid
+		{"leather"},              // unknown property: stale
+		{"wooden", "never-seen"}, // partially unknown: stale
+		{},                       // empty: dropped
+	}
+	got := Repair(in, plan)
+	if len(got) != 2 {
+		t.Fatalf("Repair kept %d sets, want 2: %v", len(got), got)
+	}
+	var cost float64
+	for _, s := range got {
+		cost += in.Cost(s)
+	}
+	if cost > in.Budget()+1e-9 {
+		t.Errorf("repaired plan cost %v exceeds budget %v", cost, in.Budget())
+	}
+}
+
+// After a budget cut the repaired plan must fit the new budget and keep
+// the highest-value part of the old plan.
+func TestRepairRestoresBudgetFeasibility(t *testing.T) {
+	in := quickstart(9)
+	full := [][]string{{"wooden", "table"}, {"running", "shoes"}} // cost 3 + 6 = 9
+	tight := in.WithBudget(5)
+	got := Repair(tight, full)
+	if len(got) != 1 {
+		t.Fatalf("Repair kept %d sets under budget 5, want 1: %v", len(got), got)
+	}
+	// {wooden,table} covers utility 8 at cost 3 — the better pick.
+	if c := tight.Cost(got[0]); c != 3 {
+		t.Errorf("Repair kept the wrong set (cost %v), want the cost-3 cover", c)
+	}
+}
+
+// Two sets that only cover a query jointly must survive repair together —
+// a per-set marginal-gain rule would drop both.
+func TestRepairKeepsJointCovers(t *testing.T) {
+	in := quickstart(9)
+	got := Repair(in, [][]string{{"wooden"}, {"table"}}) // jointly cover {wooden,table}
+	if len(got) != 2 {
+		t.Fatalf("Repair kept %d of a joint pair, want 2: %v", len(got), got)
+	}
+	tr := cover.New(in)
+	for _, s := range got {
+		tr.Add(s)
+	}
+	if tr.Utility() != 8 {
+		t.Errorf("joint pair utility = %v, want 8", tr.Utility())
+	}
+}
+
+// Sets contributing nothing (their coverage is already paid for by other
+// picks) are peeled so the solver gets the budget back.
+func TestRepairPeelsZeroContribution(t *testing.T) {
+	in := quickstart(9)
+	got := Repair(in, [][]string{{"wooden", "table"}, {"wooden"}, {"table"}})
+	if len(got) != 1 {
+		t.Fatalf("Repair kept %d sets, want just the 2-cover: %v", len(got), got)
+	}
+	if got[0].Len() != 2 {
+		t.Errorf("Repair kept %v, want the {wooden,table} cover", got[0])
+	}
+}
+
+func TestRepairEmptyAndNil(t *testing.T) {
+	in := quickstart(9)
+	if got := Repair(in, nil); got != nil {
+		t.Errorf("Repair(nil) = %v, want nil", got)
+	}
+	if got := RepairSets(in, nil); got != nil {
+		t.Errorf("RepairSets(nil) = %v, want nil", got)
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	in := dataset.Synthetic(3, 200, 120)
+	res := core.Solve(in, core.Options{Seed: 1})
+	var sets []propset.Set
+	for _, c := range res.Solution.Classifiers() {
+		sets = append(sets, c.Props)
+	}
+	plan := planNames(in, sets)
+	tight := in.WithBudget(in.Budget() / 3)
+	first := Repair(tight, plan)
+	for i := 0; i < 5; i++ {
+		again := Repair(tight, plan)
+		if len(again) != len(first) {
+			t.Fatalf("run %d kept %d sets, first kept %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if !again[j].Equal(first[j]) {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+// Floor is the IG1 greedy utility — the bar every warm path must clear.
+func TestFloor(t *testing.T) {
+	in := quickstart(9)
+	if got, want := Floor(in), core.SolveIG1(in).Utility; got != want {
+		t.Errorf("Floor = %v, want IG1 utility %v", got, want)
+	}
+	if Floor(in) <= 0 {
+		t.Error("Floor on a solvable instance must be positive")
+	}
+}

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/propset"
+)
+
+// fingerprint2Version tags the canonical encoding hashed by Fingerprint2.
+// Bump it whenever the encoding changes so old sibling-index entries
+// cannot be mistaken for current ones.
+const fingerprint2Version = "bccfp2/1"
+
+// Fingerprint2 returns the second-level "near-miss" fingerprint: a stable
+// canonical hash over the query *structure* alone. Unlike Fingerprint it
+// ignores the budget B, the query utilities U, and the classifier costs C,
+// so two instances that pose the same set of query conjunctions — however
+// their utilities, costs, or budget differ — share a Fingerprint2.
+//
+// That makes it unsound as a result-cache key but exactly right as a
+// sibling index: a cache entry with the same Fingerprint2 solved the same
+// combinatorial structure, and its plan is a high-quality warm seed for
+// the present instance after budget-feasibility repair (internal/incr).
+//
+// Canonicalization mirrors Fingerprint: each query renders as its
+// length-prefixed, lexicographically sorted property names, and the rows
+// are sorted before hashing, so interning order and insertion order are
+// invisible. Duplicate conjunctions cannot occur (the builder merges
+// them into one query), so the row multiset is a set.
+func (in *Instance) Fingerprint2() string {
+	h := sha256.New()
+	var word [8]byte
+	writeUint := func(v uint64) {
+		binary.BigEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	writeStr := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	canon := func(s propset.Set) string {
+		names := make([]string, s.Len())
+		for i, id := range s {
+			names[i] = in.universe.Name(id)
+		}
+		sort.Strings(names)
+		var buf bytes.Buffer
+		var n [8]byte
+		for _, name := range names {
+			binary.BigEndian.PutUint64(n[:], uint64(len(name)))
+			buf.Write(n[:])
+			buf.WriteString(name)
+		}
+		return buf.String()
+	}
+
+	writeStr(fingerprint2Version)
+
+	rows := make([]string, len(in.queries))
+	for i, q := range in.queries {
+		rows[i] = canon(q.Props)
+	}
+	sort.Strings(rows)
+	writeStr("Q")
+	writeUint(uint64(len(rows)))
+	for _, r := range rows {
+		writeStr(r)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}

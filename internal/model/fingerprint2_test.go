@@ -1,0 +1,99 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden values pin the canonical encoding (version bccfp2/1). The
+// second-level fingerprint feeds the persisted sibling index in
+// internal/solvecache: a silent encoding change would orphan every
+// snapshot-restored sibling entry across binary versions. On a
+// deliberate change, bump fingerprint2Version and regenerate.
+func TestFingerprint2Golden(t *testing.T) {
+	if got, want := quickstartInstance(false).Fingerprint2(),
+		"b71ffd952893c542355b0bd0af856f658a2e4f47c78c32b1a9e62dd06a10baea"; got != want {
+		t.Errorf("quickstart fingerprint2 = %s, want %s", got, want)
+	}
+	b := NewBuilder()
+	b.AddQuery(1, "a")
+	if got, want := b.MustInstance(1).Fingerprint2(),
+		"95ede00918443eb9e54c79ca01b37f454d3b719c0c0c527bf3c102d669374ab7"; got != want {
+		t.Errorf("singleton fingerprint2 = %s, want %s", got, want)
+	}
+}
+
+func TestFingerprint2StableAcrossReordering(t *testing.T) {
+	a, b := quickstartInstance(false), quickstartInstance(true)
+	if fa, fb := a.Fingerprint2(), b.Fingerprint2(); fa != fb {
+		t.Errorf("reordered construction changed fingerprint2:\n  %s\n  %s", fa, fb)
+	}
+}
+
+func TestFingerprint2Shape(t *testing.T) {
+	fp := quickstartInstance(false).Fingerprint2()
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Errorf("fingerprint2 %q is not lowercase hex sha256", fp)
+	}
+	if fp == quickstartInstance(false).Fingerprint() {
+		t.Error("fingerprint2 collides with the first-level fingerprint")
+	}
+}
+
+// The whole point of the second level: budget, utility, and cost changes
+// are invisible, so near-miss instances share the hash.
+func TestFingerprint2IgnoresBudgetUtilitiesCosts(t *testing.T) {
+	base := quickstartInstance(false).Fingerprint2()
+
+	if fp := quickstartInstance(false).WithBudget(10).Fingerprint2(); fp != base {
+		t.Error("budget change altered fingerprint2")
+	}
+
+	b := NewBuilder()
+	b.AddQuery(80, "wooden", "table") // 8 → 80
+	b.AddQuery(1, "running", "shoes") // 5 → 1
+	b.SetCost(4, "wooden")
+	b.SetCost(2, "table")
+	b.SetCost(3, "wooden", "table")
+	b.SetCost(6, "running", "shoes")
+	if fp := b.MustInstance(9).Fingerprint2(); fp != base {
+		t.Error("utility change altered fingerprint2")
+	}
+
+	b = NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	b.AddQuery(5, "running", "shoes")
+	b.SetCost(40, "wooden") // 4 → 40
+	b.SetCost(2, "table")
+	b.SetCost(3, "wooden", "table")
+	b.SetCost(6, "running", "shoes")
+	if fp := b.MustInstance(9).Fingerprint2(); fp != base {
+		t.Error("cost change altered fingerprint2")
+	}
+}
+
+// Changing the query *set* must change the hash.
+func TestFingerprint2QuerySensitivity(t *testing.T) {
+	base := quickstartInstance(false).Fingerprint2()
+
+	b := NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	b.AddQuery(5, "running", "shoes")
+	b.AddQuery(1, "table")
+	if fp := b.MustInstance(9).Fingerprint2(); fp == base {
+		t.Error("added query did not change fingerprint2")
+	}
+
+	b = NewBuilder()
+	b.AddQuery(8, "wooden", "table")
+	if fp := b.MustInstance(9).Fingerprint2(); fp == base {
+		t.Error("removed query did not change fingerprint2")
+	}
+
+	b = NewBuilder()
+	b.AddQuery(8, "wooden", "chair") // table → chair
+	b.AddQuery(5, "running", "shoes")
+	if fp := b.MustInstance(9).Fingerprint2(); fp == base {
+		t.Error("changed query conjunction did not change fingerprint2")
+	}
+}

@@ -245,22 +245,25 @@ type windowMeta struct {
 
 // Stats is the pipeline's /v1/statz section.
 type Stats struct {
-	Seq              uint64    `json:"seq"`
-	PlanAgeSeconds   float64   `json:"plan_age_seconds"` // -1 before first publish
-	BacklogRecords   int64     `json:"backlog_records"`
-	Inflight         bool      `json:"inflight"`
-	WindowsSolved    uint64    `json:"windows_solved"`
-	WindowsCoalesced uint64    `json:"windows_coalesced"`
-	WindowsSkipped   uint64    `json:"windows_skipped"`
-	WindowsFailed    uint64    `json:"windows_failed"`
-	WindowsEmpty     uint64    `json:"windows_empty"`
-	RecordsTotal     uint64    `json:"records_total"`
-	RecordsSkipped   uint64    `json:"records_skipped"`
-	RecordsFailed    uint64    `json:"records_failed"`
-	Ingested         uint64    `json:"ingested"`
-	IngestRejected   uint64    `json:"ingest_rejected"`
-	SolveRetries     uint64    `json:"solve_retries"`
-	WAL              wal.Stats `json:"wal"`
+	Seq              uint64  `json:"seq"`
+	PlanAgeSeconds   float64 `json:"plan_age_seconds"` // -1 before first publish
+	BacklogRecords   int64   `json:"backlog_records"`
+	Inflight         bool    `json:"inflight"`
+	WindowsSolved    uint64  `json:"windows_solved"`
+	WindowsCoalesced uint64  `json:"windows_coalesced"`
+	WindowsSkipped   uint64  `json:"windows_skipped"`
+	WindowsFailed    uint64  `json:"windows_failed"`
+	WindowsEmpty     uint64  `json:"windows_empty"`
+	RecordsTotal     uint64  `json:"records_total"`
+	RecordsSkipped   uint64  `json:"records_skipped"`
+	RecordsFailed    uint64  `json:"records_failed"`
+	Ingested         uint64  `json:"ingested"`
+	IngestRejected   uint64  `json:"ingest_rejected"`
+	SolveRetries     uint64  `json:"solve_retries"`
+	// WarmChained counts window solves seeded from the previous window's
+	// published plan (incremental re-solve chaining, DESIGN.md §17).
+	WarmChained uint64    `json:"warm_chained"`
+	WAL         wal.Stats `json:"wal"`
 }
 
 // Pipeline is the running scheduler. Open it, feed it via Ingest, read
@@ -274,10 +277,11 @@ type Pipeline struct {
 	mu sync.Mutex
 	st state
 
-	backlog  atomic.Int64
-	ingested atomic.Uint64
-	rejected atomic.Uint64
-	retries  atomic.Uint64
+	backlog     atomic.Int64
+	ingested    atomic.Uint64
+	rejected    atomic.Uint64
+	retries     atomic.Uint64
+	warmChained atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -450,6 +454,7 @@ func (p *Pipeline) Stats() *Stats {
 		Ingested:         p.ingested.Load(),
 		IngestRejected:   p.rejected.Load(),
 		SolveRetries:     p.retries.Load(),
+		WarmChained:      p.warmChained.Load(),
 		WAL:              p.wal.Stats(),
 	}
 	if st.PublishedUnixMS > 0 {
@@ -491,6 +496,8 @@ func (p *Pipeline) initMetrics(reg *obs.Registry) {
 		func() float64 { return float64(p.rejected.Load()) })
 	reg.CounterFunc("bcc_pipeline_solve_retries_total", "Window solve re-submissions after failure.", nil,
 		func() float64 { return float64(p.retries.Load()) })
+	reg.CounterFunc("bcc_incr_warm_chained_total", "Window solves seeded from the previous published plan.", nil,
+		func() float64 { return float64(p.warmChained.Load()) })
 	reg.CounterFunc("bcc_wal_corrupt_truncated_total", "WAL tails truncated at open (corrupt or torn).", nil,
 		func() float64 { return float64(p.wal.Truncations()) })
 	reg.GaugeFunc("bcc_pipeline_plan_age_seconds", "Seconds since the last plan publish (-1 before the first).", nil,
@@ -728,9 +735,33 @@ func (p *Pipeline) buildRequest(recs []wal.Record) (*api.JobRequest, error) {
 			Seed:        p.opts.Seed,
 			Target:      p.opts.Target,
 			IncludePlan: true,
+			// Warm chaining: consecutive windows of one workload overlap
+			// heavily, so the last published plan seeds this window's
+			// solve. The server repairs it against the new instance (stale
+			// queries drop out) and holds the result to the IG1 floor, so
+			// a divergent window costs at most a cold re-solve.
+			WarmPlan: p.lastPlanSets(),
 		},
 		JobDeadlineMS: watchdog.Milliseconds(),
 	}, nil
+}
+
+// lastPlanSets extracts the last published plan as warm-start property
+// sets, nil before the first publish (or when the plan carried no
+// classifiers).
+func (p *Pipeline) lastPlanSets() [][]string {
+	p.mu.Lock()
+	plan := p.st.Plan
+	p.mu.Unlock()
+	if plan == nil || len(plan.Classifiers) == 0 {
+		return nil
+	}
+	sets := make([][]string, len(plan.Classifiers))
+	for i, c := range plan.Classifiers {
+		sets[i] = c.Props
+	}
+	p.warmChained.Add(1)
+	return sets
 }
 
 // solveWindow runs one window to publication (or to counted

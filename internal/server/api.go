@@ -40,15 +40,21 @@ func errorf(code int, format string, args ...any) *Error {
 // or a job worker. warm, when non-nil, seeds the anytime solvers with a
 // previous incumbent so a resumed job never reports less than its last
 // checkpoint; the one-shot algos ignore it (they finish in a single
-// slice anyway). prepareSolve already validated the algo name, so the
-// registry lookup here cannot miss.
-func runSolve(ctx context.Context, in *bcc.Instance, algoName string, req *SolveRequest, fp string, warm []bcc.PropSet) *SolveResponse {
+// slice anyway). warmSource records the seed's provenance on the
+// response (api.WarmSource*; empty for cold and checkpoint-resumed
+// runs). prepareSolve already validated the algo name, so the registry
+// lookup here cannot miss.
+func runSolve(ctx context.Context, in *bcc.Instance, algoName string, req *SolveRequest, fp string, warm []bcc.PropSet, warmSource string) *SolveResponse {
 	start := time.Now()
 	resp := &SolveResponse{
 		Fingerprint: fp,
-		Algo:        algoName,
-		Budget:      in.Budget(),
-		Queries:     in.NumQueries(),
+		// The near-miss hash rides on every response (and thus into the
+		// cache and its snapshots), powering the sibling warm-start index.
+		Fingerprint2: in.Fingerprint2(),
+		Algo:         algoName,
+		Budget:       in.Budget(),
+		Queries:      in.NumQueries(),
+		WarmSource:   warmSource,
 	}
 	d, _ := algo.Lookup(algoName)
 	out, err := d.Run(ctx, in, algo.Params{

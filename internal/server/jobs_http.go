@@ -8,6 +8,7 @@ import (
 
 	bcc "repro"
 	"repro/internal/api"
+	"repro/internal/incr"
 	"repro/internal/jobs"
 	"repro/internal/propset"
 )
@@ -55,11 +56,26 @@ func (s *Server) jobSolve(ctx context.Context, req *api.JobRequest, cp *jobs.Che
 		// reason rather than retrying a request that can never parse.
 		return nil, errors.New(apiErr.Msg)
 	}
+	// A checkpoint (this job's own earlier progress) always wins; the
+	// request's WarmPlan only seeds the first slice, after which the
+	// checkpoint supersedes it.
 	warm := warmSets(in, cp)
+	warmSource := ""
+	if warm == nil && len(req.WarmPlan) > 0 {
+		if w := incr.Repair(in, req.WarmPlan); len(w) > 0 {
+			warm, warmSource = w, api.WarmSourceRequest
+			s.incrWarmRequest.Add(1)
+		}
+	}
 	s.solves.Add(1)
 	s.inflight.Add(1)
 	t0 := time.Now()
-	resp := runSolve(ctx, in, algo, &req.SolveRequest, fp, warm)
+	resp := runSolve(ctx, in, algo, &req.SolveRequest, fp, warm, warmSource)
+	if warmSource != "" {
+		// Checkpoint seeds are the job's own earlier incumbent and cannot
+		// lower quality; only externally supplied plans need the guard.
+		resp = s.floorGuard(ctx, in, algo, &req.SolveRequest, fp, resp)
+	}
 	s.inflight.Add(-1)
 	s.observeSolve(algo, resp.Status, time.Since(t0).Seconds())
 	if resp.Status == bcc.Complete.String() && !req.NoCache {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/api"
 	"repro/internal/pipeline"
@@ -108,7 +110,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handlePlanCurrent(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handlePlanCurrent(w http.ResponseWriter, r *http.Request) {
 	if s.pipe == nil {
 		writeError(w, errPipelineDisabled)
 		return
@@ -122,5 +124,41 @@ func (s *Server) handlePlanCurrent(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, errorf(http.StatusInternalServerError, "reading current plan: %v", err))
 		return
 	}
+	// Conditional GET: the ETag derives from the published plan's instance
+	// fingerprint plus the window sequence, so a poller (bccwatch, an
+	// enforcement agent) re-downloads the plan body only when a new window
+	// actually published. 304 answers cost no solve and no body bytes.
+	etag := planETag(resp)
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// planETag is the strong validator for GET /v1/plan/current:
+// "<fingerprint>-<seq>". The fingerprint alone is not enough — a window
+// can republish an identical instance with a fresher sequence — and the
+// sequence alone would not survive a WAL-truncating restart, so both go
+// in.
+func planETag(resp *api.CurrentPlanResponse) string {
+	return `"` + resp.Plan.Fingerprint + "-" + strconv.FormatUint(resp.Seq, 10) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-split
+// list of entity tags, each possibly W/-prefixed (weak comparison is
+// fine for a cache validator), or the "*" wildcard.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag || cand == "*" {
+			return true
+		}
+	}
+	return false
 }

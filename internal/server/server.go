@@ -40,6 +40,7 @@ import (
 
 	bcc "repro"
 	"repro/internal/algo"
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/jobs"
@@ -185,6 +186,12 @@ type Server struct {
 	panics          atomic.Uint64 // handler/worker panics contained into responses
 	draining        atomic.Bool   // BeginDrain called; healthz answers 503
 
+	// Incremental re-solve counters (internal/incr; see incr.go).
+	incrWarmRequest    atomic.Uint64 // warm solves seeded by a request WarmPlan
+	incrWarmSibling    atomic.Uint64 // warm solves seeded from a near-miss cache neighbor
+	incrSiblingHits    atomic.Uint64 // sibling index lookups that found a neighbor
+	incrFloorFallbacks atomic.Uint64 // warm results under the IG1 floor, re-solved cold
+
 	// Snapshot persistence counters (SaveSnapshot / RestoreSnapshot).
 	snapSaves      atomic.Uint64
 	snapSaveErrors atomic.Uint64
@@ -209,7 +216,12 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 		reg:   obs.NewRegistry(),
 	}
+	// The near-miss (sibling) index: every cached response is tagged by
+	// its bccfp2/1 hash + algo, and Import re-tags, so a bccsnap restore
+	// rebuilds the index from the persisted Fingerprint2 fields.
+	s.cache.SetTagger(siblingTag)
 	s.initMetrics()
+	s.initIncrMetrics()
 	return s
 }
 
@@ -267,6 +279,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("/v1/jobs/{id}/cancel", s.handleJobCancel))
 	mux.HandleFunc("POST /v1/ingest", s.instrument("/v1/ingest", s.handleIngest))
 	mux.HandleFunc("GET /v1/plan/current", s.instrument("/v1/plan/current", s.handlePlanCurrent))
+	mux.HandleFunc("GET /v1/cache/entry", s.instrument("/v1/cache/entry", s.handleCacheEntry))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/statz", s.instrument("/v1/statz", s.handleStatz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -377,7 +390,7 @@ func (s *Server) Solve(parent context.Context, req *SolveRequest) (*SolveRespons
 			s.inflight.Add(1)
 			guard.Inject("server.pool.dequeue")
 			t0 := time.Now()
-			resp := runSolve(ctx, in, served, req, fp, nil)
+			resp := s.runWarmSolve(ctx, in, served, req, fp, key)
 			s.observeSolve(served, resp.Status, time.Since(t0).Seconds())
 			answered = true
 			resCh <- resp
@@ -548,11 +561,12 @@ func recoveredResponse(fp, algo string, in *bcc.Instance, p any) *SolveResponse 
 }
 
 // cacheKey extends the instance fingerprint with every request parameter
-// that changes the answer. The deadline is deliberately excluded: it
-// changes how long we search, not what the full answer is, and truncated
-// results are never stored.
+// that changes the answer. The format (api.CacheKey) is shared with the
+// gateway's peer-fill lookups; deadlines and warm plans are deliberately
+// excluded — they change how/where we search, not what the full answer
+// is, and truncated or floor-violating results are never stored.
 func cacheKey(fp, algo string, req *SolveRequest) string {
-	return fmt.Sprintf("%s|a=%s|s=%d|t=%x", fp, algo, req.Seed, math.Float64bits(req.Target))
+	return api.CacheKey(fp, algo, req.Seed, req.Target)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -667,6 +681,7 @@ type Statz struct {
 	Draining        bool             `json:"draining"`
 	RetryAfterHint  int              `json:"retry_after_hint_seconds"`
 	Cache           solvecache.Stats `json:"cache"`
+	Incr            IncrStats        `json:"incr"`
 	Snapshot        SnapshotStats    `json:"snapshot"`
 	// Jobs is present once OpenJobs has enabled the async subsystem.
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
@@ -702,6 +717,7 @@ func (s *Server) snapshot() Statz {
 	st.DeadlineResults = s.deadlineResults.Load()
 	st.PanicsRecovered = s.panics.Load()
 	st.Requests = s.requests.Load()
+	st.Incr = s.incrStats()
 	st.Draining = s.draining.Load()
 	st.RetryAfterHint = s.retryAfterSeconds()
 	st.Snapshot = s.snapshotStats()

@@ -1,0 +1,153 @@
+package solvecache
+
+import (
+	"testing"
+	"time"
+)
+
+// tagged is the test stand-in for a server response carrying a bccfp2/1
+// near-miss fingerprint.
+type tagged struct {
+	fp2 string
+	val int
+}
+
+func tagOf(v any) string {
+	if t, ok := v.(tagged); ok {
+		return t.fp2
+	}
+	return ""
+}
+
+func TestSiblingBasic(t *testing.T) {
+	c := New(8, 0)
+	c.SetTagger(tagOf)
+	c.Put("a", tagged{"q1", 1})
+	c.Put("b", tagged{"q2", 2})
+
+	key, v, ok := c.Sibling("q1", "other")
+	if !ok || key != "a" || v.(tagged).val != 1 {
+		t.Fatalf("Sibling(q1) = %v %v %v", key, v, ok)
+	}
+	if _, _, ok := c.Sibling("q3", ""); ok {
+		t.Error("Sibling hit for unknown tag")
+	}
+	if _, _, ok := c.Sibling("", ""); ok {
+		t.Error("Sibling hit for empty tag")
+	}
+}
+
+// A request's own key is not its sibling; another entry with the same tag
+// is.
+func TestSiblingSkipsOwnKey(t *testing.T) {
+	c := New(8, 0)
+	c.SetTagger(tagOf)
+	c.Put("a", tagged{"q1", 1})
+	if _, _, ok := c.Sibling("q1", "a"); ok {
+		t.Fatal("entry returned as its own sibling")
+	}
+	c.Put("b", tagged{"q1", 2})
+	key, _, ok := c.Sibling("q1", "a")
+	if !ok || key != "b" {
+		t.Fatalf("Sibling(q1, skip a) = %v %v", key, ok)
+	}
+}
+
+// Most-recently-used wins among several siblings, without perturbing the
+// LRU order.
+func TestSiblingPrefersMRU(t *testing.T) {
+	c := New(8, 0)
+	c.SetTagger(tagOf)
+	c.Put("a", tagged{"q1", 1})
+	c.Put("b", tagged{"q1", 2})
+	if key, _, _ := c.Sibling("q1", ""); key != "b" {
+		t.Fatalf("MRU sibling = %v, want b", key)
+	}
+	c.Get("a") // refresh a
+	if key, _, _ := c.Sibling("q1", ""); key != "a" {
+		t.Fatalf("after Get(a), MRU sibling = %v, want a", key)
+	}
+	// Sibling reads must not refresh: b stays LRU and evicts first.
+	c2 := New(2, 0)
+	c2.SetTagger(tagOf)
+	c2.Put("x", tagged{"q1", 1})
+	c2.Put("y", tagged{"q1", 2})
+	c2.Sibling("q1", "") // returns y (MRU); must not demote x
+	c2.Get("x")          // x now MRU
+	c2.Put("z", tagged{"q2", 3})
+	if _, ok := c2.Get("y"); ok {
+		t.Error("y survived eviction; Sibling refreshed LRU order")
+	}
+}
+
+// Eviction, overwrite and expiry keep the index consistent.
+func TestSiblingIndexMaintenance(t *testing.T) {
+	c := New(2, 0)
+	c.SetTagger(tagOf)
+	c.Put("a", tagged{"q1", 1})
+	c.Put("b", tagged{"q2", 2})
+	c.Put("c", tagged{"q3", 3}) // evicts a
+	if _, _, ok := c.Sibling("q1", ""); ok {
+		t.Error("evicted entry still indexed")
+	}
+	c.Put("b", tagged{"q9", 2}) // overwrite changes the tag
+	if _, _, ok := c.Sibling("q2", ""); ok {
+		t.Error("overwritten entry keeps its old tag")
+	}
+	if key, _, ok := c.Sibling("q9", ""); !ok || key != "b" {
+		t.Errorf("Sibling(q9) = %v %v after overwrite", key, ok)
+	}
+
+	now := time.Now()
+	ce := New(4, time.Minute)
+	ce.SetTagger(tagOf)
+	ce.now = func() time.Time { return now }
+	ce.Put("a", tagged{"q1", 1})
+	ce.now = func() time.Time { return now.Add(2 * time.Minute) }
+	if _, _, ok := ce.Sibling("q1", ""); ok {
+		t.Error("expired entry returned as sibling")
+	}
+}
+
+// The index is derived state: Import re-tags, so a bccsnap restore in a
+// fresh process rebuilds it — in either SetTagger/Import order.
+func TestSiblingIndexRebuiltOnImport(t *testing.T) {
+	src := New(8, 0)
+	src.SetTagger(tagOf)
+	src.Put("a", tagged{"q1", 1})
+	src.Put("b", tagged{"q2", 2})
+	exported := src.Export()
+
+	restored := New(8, 0)
+	restored.SetTagger(tagOf)
+	if n := restored.Import(exported); n != 2 {
+		t.Fatalf("Import = %d, want 2", n)
+	}
+	if key, _, ok := restored.Sibling("q1", ""); !ok || key != "a" {
+		t.Errorf("restored Sibling(q1) = %v %v", key, ok)
+	}
+
+	// Import before SetTagger: SetTagger re-tags the existing entries.
+	late := New(8, 0)
+	late.Import(exported)
+	if _, _, ok := late.Sibling("q2", ""); ok {
+		t.Error("untagged cache answered a sibling lookup")
+	}
+	late.SetTagger(tagOf)
+	if key, _, ok := late.Sibling("q2", ""); !ok || key != "b" {
+		t.Errorf("late-tagged Sibling(q2) = %v %v", key, ok)
+	}
+}
+
+// Values the tagger does not recognize stay unindexed, never panic.
+func TestSiblingUnrecognizedValues(t *testing.T) {
+	c := New(8, 0)
+	c.SetTagger(tagOf)
+	c.Put("a", "just a string")
+	if _, _, ok := c.Sibling("", ""); ok {
+		t.Error("unrecognized value was indexed under the empty tag")
+	}
+	if v, ok := c.Get("a"); !ok || v.(string) != "just a string" {
+		t.Error("unrecognized value not served normally")
+	}
+}

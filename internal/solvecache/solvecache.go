@@ -61,6 +61,7 @@ type entry struct {
 	key     string
 	value   any
 	expires time.Time // zero means no expiry
+	tag     string    // sibling-index tag, "" = unindexed
 }
 
 type flight struct {
@@ -80,6 +81,14 @@ type Cache struct {
 	flights  map[string]*flight
 	now      func() time.Time // injectable clock for tests
 
+	// Sibling index (bccfp2/1 near-miss lookups): tagOf derives a tag
+	// from a stored value, tagCount tracks how many live entries carry
+	// each tag. The index is derived state — every insert path (Put, Do,
+	// Import, and therefore bccsnap restore) re-tags through tagOf, so a
+	// snapshot taken by one process rebuilds the index in the next.
+	tagOf    func(value any) string
+	tagCount map[string]int
+
 	stats Stats
 }
 
@@ -94,7 +103,88 @@ func New(capacity int, ttl time.Duration) *Cache {
 		entries:  make(map[string]*list.Element),
 		flights:  make(map[string]*flight),
 		now:      time.Now,
+		tagCount: make(map[string]int),
 	}
+}
+
+// SetTagger installs the sibling-index tag function: every stored value
+// is tagged with fn(value), and Sibling finds live entries by tag. An
+// empty tag leaves a value unindexed (the safe answer for values fn does
+// not recognize). Existing entries are re-tagged, so SetTagger composes
+// with Import in either order. A nil fn clears the index.
+func (c *Cache) SetTagger(fn func(value any) string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tagOf = fn
+	c.tagCount = make(map[string]int)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		e.tag = c.tagLocked(e.value)
+		if e.tag != "" {
+			c.tagCount[e.tag]++
+		}
+	}
+}
+
+func (c *Cache) tagLocked(value any) string {
+	if c.tagOf == nil {
+		return ""
+	}
+	return c.tagOf(value)
+}
+
+// retagLocked updates an entry's tag (and the index counts) to match its
+// current value. Every mutation of entry.value must go through this.
+func (c *Cache) retagLocked(e *entry) {
+	tag := c.tagLocked(e.value)
+	if tag == e.tag {
+		return
+	}
+	if e.tag != "" {
+		c.decTagLocked(e.tag)
+	}
+	if tag != "" {
+		c.tagCount[tag]++
+	}
+	e.tag = tag
+}
+
+func (c *Cache) decTagLocked(tag string) {
+	if n := c.tagCount[tag]; n <= 1 {
+		delete(c.tagCount, tag)
+	} else {
+		c.tagCount[tag] = n - 1
+	}
+}
+
+// Sibling returns the most-recently-used live entry tagged tag, skipping
+// the entry stored under key skip (a request's own exact key is not a
+// "sibling"). The common no-sibling case is O(1) via the tag counts; a
+// positive lookup walks the LRU list so recency decides ties. Expired
+// entries are passed over but not collected (Get-driven expiry keeps its
+// existing stats semantics), and the LRU order is left untouched — a
+// sibling read is a seeding hint, not a use of the entry's own key.
+func (c *Cache) Sibling(tag, skip string) (string, any, bool) {
+	if tag == "" {
+		return "", nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tagCount[tag] == 0 {
+		return "", nil, false
+	}
+	now := c.now()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.tag != tag || e.key == skip {
+			continue
+		}
+		if !e.expires.IsZero() && now.After(e.expires) {
+			continue
+		}
+		return e.key, e.value, true
+	}
+	return "", nil, false
 }
 
 // Get returns the cached value for key, refreshing its LRU position.
@@ -139,12 +229,14 @@ func (c *Cache) putLocked(key string, value any) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry)
 		e.value, e.expires = value, expires
+		c.retagLocked(e)
 		c.lru.MoveToFront(el)
 		c.stats.Stored++
 		return
 	}
-	el := c.lru.PushFront(&entry{key: key, value: value, expires: expires})
-	c.entries[key] = el
+	e := &entry{key: key, value: value, expires: expires}
+	c.retagLocked(e)
+	c.entries[key] = c.lru.PushFront(e)
 	c.stats.Stored++
 	for c.lru.Len() > c.capacity {
 		c.removeLocked(c.lru.Back())
@@ -154,7 +246,11 @@ func (c *Cache) putLocked(key string, value any) {
 
 func (c *Cache) removeLocked(el *list.Element) {
 	c.lru.Remove(el)
-	delete(c.entries, el.Value.(*entry).key)
+	e := el.Value.(*entry)
+	if e.tag != "" {
+		c.decTagLocked(e.tag)
+	}
+	delete(c.entries, e.key)
 }
 
 // Len reports the number of live entries (including not-yet-collected
@@ -285,9 +381,12 @@ func (c *Cache) Import(entries []Entry) int {
 		if el, ok := c.entries[e.Key]; ok {
 			ent := el.Value.(*entry)
 			ent.value, ent.expires = e.Value, e.Expires
+			c.retagLocked(ent)
 			c.lru.MoveToFront(el)
 		} else {
-			c.entries[e.Key] = c.lru.PushFront(&entry{key: e.Key, value: e.Value, expires: e.Expires})
+			ent := &entry{key: e.Key, value: e.Value, expires: e.Expires}
+			c.retagLocked(ent)
+			c.entries[e.Key] = c.lru.PushFront(ent)
 		}
 		added++
 		for c.lru.Len() > c.capacity {

@@ -125,12 +125,13 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 
 	// Shared base: free classifiers plus the warm incumbent. Both passes
 	// and the floor start from it, so prior progress is never lost.
-	base := cover.New(in)
+	free := cover.New(in)
 	for _, c := range in.Classifiers() {
 		if c.Cost == 0 {
-			base.Add(c.Props)
+			free.Add(c.Props)
 		}
 	}
+	base := free.Clone()
 	for _, w := range opts.Warm {
 		if base.Has(w) {
 			continue
@@ -145,11 +146,19 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (res Result
 	}
 
 	// Floor first: once this completes, any later stop returns an
-	// incumbent no worse than the IG1 baseline.
+	// incumbent no worse than the IG1 baseline. A poor warm seed can eat
+	// the budget before the floor runs, so with a warm base the floor is
+	// also evaluated warm-free — the warm contract (algo.Descriptor
+	// .WarmStart) promises never to land below the cold IG1 utility.
 	if !opts.DisableGreedyFloor {
 		fl := base.Clone()
 		steps += core.IG1Fill(g, fl)
 		adopt(&best, fl)
+		if len(opts.Warm) > 0 {
+			cold := free.Clone()
+			steps += core.IG1Fill(g, cold)
+			adopt(&best, cold)
+		}
 	}
 
 	for _, scaled := range []bool{true, false} {
